@@ -1,0 +1,46 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module regenerates one paper artifact (figure, worked example,
+or quantitative claim — see DESIGN.md's per-experiment index) and both:
+
+* *benchmarks* the relevant operation via pytest-benchmark, and
+* *prints* the comparison table the experiment is about (the rows/series a
+  paper evaluation section would report), asserting the qualitative shape —
+  who wins, by roughly what factor.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline; they are also appended to ``benchmarks/results.txt``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Sequence
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+
+
+def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Format, print, and persist one experiment table."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [f"== {title} ==", fmt(headers), fmt(["-" * w for w in widths])]
+    lines += [fmt(row) for row in rows]
+    text = "\n".join(lines)
+    print("\n" + text)
+    with open(RESULTS_PATH, "a") as handle:
+        handle.write(text + "\n\n")
+    return text
+
+
+def ratio(a: float, b: float) -> float:
+    """Safe ratio a/b for factor-of-improvement reporting."""
+    return a / b if b else float("inf")

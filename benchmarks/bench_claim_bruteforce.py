@@ -1,0 +1,78 @@
+"""Experiment claim-bruteforce — §1.1: the O(n^{t+O(1)}) brute-force wall.
+
+"The running time is O(n^{t+O(1)}) if there are n constants in the system
+and at most t variables in any rule."  The series: ground instances and
+runtime proxy for the brute-force method vs the message-passing engine's
+messages/tuples as the constant count n grows; shape — brute force grows
+polynomially with exponent ≈ t (here 3), the engine grows with the *useful*
+data only.
+"""
+
+import pytest
+
+from repro.baselines import bruteforce, naive
+from repro.network.engine import evaluate
+from repro.workloads import chain_edges, facts_from_tables, left_recursive_tc_program
+
+from _support import emit_table, ratio
+
+
+def instance(n: int):
+    return left_recursive_tc_program(0).with_facts(
+        facts_from_tables({"e": chain_edges(n)})
+    )
+
+
+def test_claim_bruteforce_growth():
+    rows = []
+    series = []
+    for n in (6, 12, 24):
+        program = instance(n)
+        brute = bruteforce.evaluate(program)
+        engine = evaluate(program)
+        assert brute.answers() == engine.answers == naive.goal_answers(program)
+        rows.append(
+            (n, brute.ground_instances, engine.computation_messages,
+             engine.tuples_stored)
+        )
+        series.append((n, brute.ground_instances, engine.computation_messages))
+    emit_table(
+        "claim-bruteforce: ground instantiation vs message engine (chain TC)",
+        ["n constants", "ground instances", "engine comp msgs", "engine tuples"],
+        rows,
+    )
+    # Cubic-ish growth for brute force (t = 3 variables in the recursive
+    # rule): doubling n multiplies instances by ~8.
+    (_, g1, m1), (_, g2, m2), (_, g3, m3) = series
+    assert 6 <= g2 / g1 <= 10 and 6 <= g3 / g2 <= 10
+    # The engine's growth is far tamer (quadratic-ish: the chain closure
+    # itself is quadratic in n).
+    assert m3 / m1 < (g3 / g1) / 2
+
+
+def test_claim_bruteforce_exponent_tracks_variable_count():
+    # Adding one variable to a rule multiplies instances by n.
+    from repro.core.parser import parse_program
+
+    two_var = parse_program(
+        "goal(X, Y) <- t(X, Y). t(X, Y) <- e(X, Y)."
+    ).with_facts(facts_from_tables({"e": chain_edges(10)}))
+    three_var = parse_program(
+        "goal(X, Y) <- t(X, Y). t(X, Y) <- e(X, U), e(U, Y)."
+    ).with_facts(facts_from_tables({"e": chain_edges(10)}))
+    n = len(two_var.constants())
+    c2 = bruteforce.ground_instance_count(two_var)
+    c3 = bruteforce.ground_instance_count(three_var)
+    assert c3 == pytest.approx(c2 / 2 * (1 + n), rel=0.01) or c3 > c2 * 3
+
+
+@pytest.mark.benchmark(group="claim-bruteforce")
+@pytest.mark.parametrize("method", ["bruteforce", "engine"])
+def test_bench_bruteforce_vs_engine(benchmark, method):
+    program = instance(12)
+    if method == "bruteforce":
+        result = benchmark(bruteforce.evaluate, program)
+        assert result.ground_instances > 0
+    else:
+        result = benchmark(evaluate, program)
+        assert result.completed

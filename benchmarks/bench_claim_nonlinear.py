@@ -1,0 +1,104 @@
+"""Experiment claim-nonlinear — §1.2/§3: nonlinear recursion and left
+recursion both terminate and answer correctly.
+
+"In particular, this method handles nonlinear recursion, in which a goal
+depends recursively on two or more of its subgoals in the same rule"; and
+"the method is certain to terminate, avoiding the well-known 'left
+recursion' problems of strictly top-down methods."
+
+The series: messages / tuples / protocol waves for nonlinear TC, the
+left-recursive TC variant, and same-generation, against semi-naive's full
+model; all validated against the oracle.
+"""
+
+import pytest
+
+from repro.baselines import naive, seminaive
+from repro.network.engine import evaluate
+from repro.workloads import (
+    chain_edges,
+    cycle_edges,
+    facts_from_tables,
+    left_recursive_tc_program,
+    nonlinear_tc_program,
+    random_digraph_edges,
+    same_generation_program,
+    tree_parent_edges,
+)
+
+from _support import emit_table
+
+
+def cases():
+    edges = random_digraph_edges(12, 30, seed=6) + [(0, 1)]
+    return [
+        ("nonlinear TC / random", nonlinear_tc_program(0).with_facts(
+            facts_from_tables({"e": edges}))),
+        ("nonlinear TC / cycle", nonlinear_tc_program(0).with_facts(
+            facts_from_tables({"e": cycle_edges(10)}))),
+        ("left-recursive TC / chain", left_recursive_tc_program(0).with_facts(
+            facts_from_tables({"e": chain_edges(14)}))),
+        ("left-recursive TC / cycle", left_recursive_tc_program(0).with_facts(
+            facts_from_tables({"e": cycle_edges(10)}))),
+        ("same-generation / tree", same_generation_program(7).with_facts(
+            facts_from_tables({"par": tree_parent_edges(4, 2)}))),
+    ]
+
+
+def test_claim_nonlinear_table():
+    rows = []
+    for name, program in cases():
+        oracle = naive.goal_answers(program)
+        result = evaluate(program)
+        semi = seminaive.evaluate(program)
+        assert result.answers == oracle == semi.answers()
+        assert result.completed and not result.protocol_violations
+        rows.append(
+            (
+                name,
+                len(oracle),
+                result.computation_messages,
+                result.protocol_messages,
+                result.tuples_stored,
+                semi.idb_tuples,
+                "nonlinear" if not program.is_linear() else "linear",
+            )
+        )
+    emit_table(
+        "claim-nonlinear: recursion shapes through the message engine",
+        ["case", "answers", "comp msgs", "proto msgs",
+         "engine tuples", "full model", "recursion"],
+        rows,
+    )
+    # Nonlinear cases really are nonlinear; everything terminated (we got
+    # here) and matched the oracle (asserted above).
+    assert any(row[6] == "nonlinear" for row in rows)
+
+
+def test_claim_left_recursion_graph_is_finite():
+    # The rule/goal graph itself must close the left-recursive cycle.
+    from repro.core.rulegoal import build_rule_goal_graph
+
+    program = left_recursive_tc_program(0)
+    graph = build_rule_goal_graph(program)
+    assert graph.size() < 40
+    assert graph.strong_components()
+
+
+@pytest.mark.benchmark(group="claim-nonlinear")
+@pytest.mark.parametrize("case", ["nonlinear", "left-recursive", "same-gen"])
+def test_bench_recursion_shapes(benchmark, case):
+    if case == "nonlinear":
+        program = nonlinear_tc_program(0).with_facts(
+            facts_from_tables({"e": cycle_edges(8)})
+        )
+    elif case == "left-recursive":
+        program = left_recursive_tc_program(0).with_facts(
+            facts_from_tables({"e": chain_edges(12)})
+        )
+    else:
+        program = same_generation_program(3).with_facts(
+            facts_from_tables({"par": tree_parent_edges(3, 2)})
+        )
+    result = benchmark(evaluate, program)
+    assert result.completed

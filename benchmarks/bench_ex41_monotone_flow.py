@@ -1,0 +1,162 @@
+"""Experiment ex41 — Example 4.1: the R3 blow-up, measured in the engine.
+
+R3 fails the monotone flow property because of the Y/V/W cycle: after
+evaluating ``a``, extending the flow through ``b`` first yields W bindings
+that restrict ``c``; doing ``b`` and ``c`` "in parallel" (each restricted
+only by its own variable from ``a``) "risks computing two large relations
+that are nearly unjoinable due to mismatches on W".
+
+We run rule R3 as a real program through the message-passing engine twice:
+
+* **sequential flow** — the greedy SIP: ``c`` receives both V^d and W^d;
+* **parallel branches** — a custom SIP that withholds the W binding from
+  ``c`` (only V^d), exactly the independent-branch evaluation a qual tree
+  would license if one existed.
+
+Both produce identical answers; the series compares tuples materialized and
+EDB rows retrieved.  For contrast the same two strategies are run on R2
+(monotone — branches genuinely independent), where they tie.
+"""
+
+import random
+
+import pytest
+
+from repro.baselines import naive
+from repro.core.adornment import head_bound_variables
+from repro.core.parser import parse_program
+from repro.core.sips import HEAD, SipArc, SipStrategy, greedy_sip
+from repro.network.engine import evaluate
+from repro.workloads import facts_from_tables
+
+from _support import emit_table, ratio
+
+R3_PROGRAM = """
+goal(Z) <- p(x0, Z).
+p(X, Z) <- a(X, Y, V), b(Y, W, U), c(V, W, T), d(T), e(U, Z).
+"""
+
+R2_PROGRAM = """
+goal(Z) <- p(x0, Z).
+p(X, Z) <- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).
+"""
+
+
+def parallel_branch_sip(rule, head):
+    """Left-to-right flow, but subgoal 2 (``c``) never receives W.
+
+    Applies only to the 5-subgoal rule bodies above; other rules (the goal
+    rule) fall back to the greedy strategy.
+    """
+    if len(rule.body) != 5:
+        return greedy_sip(rule, head)
+    body = rule.body
+    withheld = (body[1].variable_set() & body[2].variable_set()) - body[0].variable_set()
+    producer = {v: HEAD for v in head_bound_variables(head)}
+    arcs = []
+    for index in range(5):
+        incoming = {}
+        for var in sorted(body[index].variable_set(), key=lambda v: v.name):
+            source = producer.get(var)
+            if source is None:
+                producer[var] = index
+            elif not (index == 2 and var in withheld):
+                incoming.setdefault(source, set()).add(var)
+        for source in sorted(incoming):
+            arcs.append(SipArc(source, index, frozenset(incoming[source])))
+    return SipStrategy(rule, head, tuple(arcs), tuple(range(5)))
+
+
+def r3_tables(m: int, per_v: int, seed: int = 7):
+    """EDB with deliberate W mismatches between b and c.
+
+    ``a`` fans out to m (Y, V) pairs from x0; ``b`` assigns each Y one W from
+    a large domain; ``c`` offers ``per_v`` rows per V over the same large W
+    domain, so a (V, W)-bound retrieval hits ~0-1 rows while a V-only
+    retrieval always hits ``per_v``.
+    """
+    rng = random.Random(seed)
+    w_domain = 50 * m
+    a = [("x0", f"y{i}", f"v{i}") for i in range(m)]
+    b = [(f"y{i}", rng.randrange(w_domain), i) for i in range(m)]
+    c = []
+    for i in range(m):
+        for j in range(per_v):
+            c.append((f"v{i}", rng.randrange(w_domain), (i, j)))
+    # Make a few (V, W) pairs genuinely joinable so answers are nonempty.
+    for i in range(0, m, 5):
+        c.append((f"v{i}", b[i][1], (i, "hit")))
+    d = sorted({row[2] for row in c}, key=repr)
+    e = [(i, f"z{i}") for i in range(m)]
+    return {"a": a, "b": b, "c": c, "d": [(t,) for t in d], "e": e}
+
+
+def r2_tables(m: int, per_v: int, seed: int = 7):
+    rng = random.Random(seed)
+    a = [("x0", f"y{i}", f"v{i}") for i in range(m)]
+    b = [(f"y{i}", i) for i in range(m)]
+    c = []
+    for i in range(m):
+        for j in range(per_v):
+            c.append((f"v{i}", (i, j)))
+    d = sorted({row[1] for row in c}, key=repr)
+    e = [(i, f"z{i}") for i in range(m)]
+    return {"a": a, "b": b, "c": c, "d": [(t,) for t in d], "e": e}
+
+
+def run(program_text, tables, sip):
+    program = parse_program(program_text).with_facts(facts_from_tables(tables))
+    return program, evaluate(program, sip_factory=sip)
+
+
+def test_ex41_r3_blowup():
+    rows = []
+    for m, per_v in ((10, 10), (20, 20), (30, 30)):
+        tables = r3_tables(m, per_v)
+        program, seq = run(R3_PROGRAM, tables, greedy_sip)
+        _, par = run(R3_PROGRAM, tables, parallel_branch_sip)
+        oracle = naive.goal_answers(program)
+        assert seq.answers == par.answers == oracle
+        factor = ratio(par.tuples_stored, max(1, seq.tuples_stored))
+        rows.append(
+            (m, per_v, seq.tuples_stored, par.tuples_stored, f"{factor:.1f}x",
+             seq.db_rows_retrieved, par.db_rows_retrieved)
+        )
+    emit_table(
+        "Example 4.1 / R3: sequential flow vs parallel branches (no W passing)",
+        ["m", "c rows per V", "seq tuples", "par tuples", "factor",
+         "seq EDB rows", "par EDB rows"],
+        rows,
+    )
+    # The blow-up: parallel branches materialize far more, and the gap grows.
+    factors = [float(r[4].rstrip("x")) for r in rows]
+    assert factors[-1] > 3.0
+    assert factors[-1] >= factors[0]
+
+
+def test_ex41_r2_branches_harmless():
+    rows = []
+    for m, per_v in ((10, 10), (20, 20)):
+        tables = r2_tables(m, per_v)
+        program, seq = run(R2_PROGRAM, tables, greedy_sip)
+        _, par = run(R2_PROGRAM, tables, parallel_branch_sip)
+        assert seq.answers == par.answers == naive.goal_answers(program)
+        rows.append((m, per_v, seq.tuples_stored, par.tuples_stored))
+    emit_table(
+        "Example 4.1 / R2 (monotone): the same two strategies tie",
+        ["m", "c rows per V", "seq tuples", "par tuples"],
+        rows,
+    )
+    # R2 has no W: the strategies coincide up to noise.
+    for _, _, seq_t, par_t in rows:
+        assert par_t <= 1.2 * seq_t
+
+
+@pytest.mark.benchmark(group="ex41-monotone")
+@pytest.mark.parametrize("strategy", ["sequential", "parallel"])
+def test_bench_r3_strategies(benchmark, strategy):
+    tables = r3_tables(15, 15)
+    sip = greedy_sip if strategy == "sequential" else parallel_branch_sip
+    program = parse_program(R3_PROGRAM).with_facts(facts_from_tables(tables))
+    result = benchmark(evaluate, program, sip)
+    assert result.completed

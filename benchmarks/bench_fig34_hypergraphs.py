@@ -1,0 +1,61 @@
+"""Experiments fig3 & fig4 — the evaluation hypergraphs of rules R2 and R3.
+
+Regenerates both hypergraphs, asserts R2 reduces (acyclic, Fig 3) while R3
+leaves the Y/V/W core (cyclic, Fig 4), and benchmarks GYO reduction on
+generated chains of growing width.
+"""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.core.monotone import evaluation_hypergraph, has_monotone_flow
+from repro.workloads import adorned_head_df, rule_r2, rule_r3
+
+from _support import emit_table
+
+
+def test_fig3_fig4_classification():
+    rows = []
+    for name, rule in (("R2 (Fig 3)", rule_r2()), ("R3 (Fig 4)", rule_r3())):
+        head = adorned_head_df(rule)
+        result = evaluation_hypergraph(rule, head).gyo_reduction()
+        core = sorted(v.name for v in result.cyclic_core_vertices())
+        rows.append((name, "acyclic" if result.acyclic else "cyclic", ",".join(core) or "-"))
+    emit_table(
+        "Figs 3-4: monotone flow classification of Example 4.1",
+        ["rule", "hypergraph", "cyclic core"],
+        rows,
+    )
+    assert rows[0][1] == "acyclic"
+    assert rows[1][1] == "cyclic" and rows[1][2] == "V,W,Y"
+
+
+def chain_hypergraph(n: int) -> Hypergraph:
+    edges = {"head": {"v0"}}
+    for i in range(n):
+        edges[f"g{i}"] = {f"v{i}", f"v{i+1}"}
+    return Hypergraph(edges)
+
+
+def cyclic_hypergraph(n: int) -> Hypergraph:
+    h = chain_hypergraph(n)
+    edges = dict(h.edges)
+    edges["back"] = frozenset({f"v{n}", "v0", "vmid"})
+    edges["mid"] = frozenset({"vmid", f"v{n // 2}"})
+    return Hypergraph(edges)
+
+
+def test_generated_chains_acyclic_and_cycles_detected():
+    for n in (4, 16, 64):
+        assert chain_hypergraph(n).is_acyclic()
+    # A chain closed into a ring of binary edges is cyclic for n >= 2.
+    ring = {f"g{i}": {f"v{i}", f"v{(i+1) % 8}"} for i in range(8)}
+    assert not Hypergraph(ring).is_acyclic()
+
+
+@pytest.mark.benchmark(group="fig34-gyo")
+@pytest.mark.parametrize("n", [16, 64, 256])
+def test_bench_gyo_reduction(benchmark, n):
+    h = chain_hypergraph(n)
+    result = benchmark(h.gyo_reduction)
+    assert result.acyclic

@@ -1,0 +1,102 @@
+"""Experiment thm41 — Theorem 4.1: qual-tree SIPs are greedy.
+
+Generates a family of monotone rules (random acyclic hyperedge structures
+rendered as rules), derives each one's qual-tree SIP, and checks greediness
+(Definition 2.4).  The reported series: rules tested, monotone fraction,
+and greedy fraction among qual-tree SIPs — which the theorem says is 100%.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.core.adornment import AdornedAtom, DYNAMIC, FREE
+from repro.core.atoms import Atom
+from repro.core.monotone import has_monotone_flow, qual_tree_sip
+from repro.core.rules import Rule
+from repro.core.sips import greedy_sip, is_greedy
+from repro.core.terms import Variable
+
+from _support import emit_table
+
+
+def random_rule(rng: random.Random, subgoals: int) -> tuple[Rule, AdornedAtom]:
+    """A random safe rule grown as a connected chain of shared variables."""
+    variables = [Variable(f"V{i}") for i in range(subgoals + 2)]
+    x, z = variables[0], variables[-1]
+    body = []
+    produced = [x]
+    for i in range(subgoals):
+        shared = rng.choice(produced)
+        fresh = variables[i + 1]
+        arity = rng.choice([2, 2, 3])
+        args = [shared, fresh]
+        if arity == 3:
+            args.append(rng.choice(produced))
+        body.append(Atom(f"e{i}", tuple(args)))
+        produced.append(fresh)
+    body.append(Atom("last", (produced[-1], z)))
+    rule = Rule(Atom("p", (x, z)), tuple(body))
+    head = AdornedAtom(rule.head, (DYNAMIC, FREE))
+    return rule, head
+
+
+def test_thm41_generated_rules():
+    rng = random.Random(1986)
+    totals = {"rules": 0, "monotone": 0, "greedy": 0}
+    rows = []
+    for subgoals in (2, 3, 4, 5):
+        rules = 0
+        monotone = 0
+        greedy_count = 0
+        for _ in range(50):
+            rule, head = random_rule(rng, subgoals)
+            rules += 1
+            if not has_monotone_flow(rule, head):
+                continue
+            monotone += 1
+            sip = qual_tree_sip(rule, head)
+            assert sip is not None
+            if is_greedy(sip):
+                greedy_count += 1
+        rows.append((subgoals, rules, monotone, greedy_count))
+        totals["rules"] += rules
+        totals["monotone"] += monotone
+        totals["greedy"] += greedy_count
+    emit_table(
+        "Theorem 4.1: qual-tree SIP greediness over generated monotone rules",
+        ["subgoals", "rules", "monotone", "greedy qual-tree SIPs"],
+        rows,
+    )
+    # The theorem: every qual-tree SIP is greedy.
+    assert totals["greedy"] == totals["monotone"]
+    assert totals["monotone"] > 0
+
+
+def test_thm41_exhaustive_small_rules():
+    # All rules over 3 binary subgoals with chained variables.
+    X, A, B, Z = (Variable(n) for n in "XABZ")
+    for perm in itertools.permutations(
+        [Atom("a", (X, A)), Atom("b", (A, B)), Atom("c", (B, Z))]
+    ):
+        rule = Rule(Atom("p", (X, Z)), perm)
+        head = AdornedAtom(rule.head, (DYNAMIC, FREE))
+        if has_monotone_flow(rule, head):
+            sip = qual_tree_sip(rule, head)
+            assert sip is not None and is_greedy(sip)
+
+
+@pytest.mark.benchmark(group="thm41-sips")
+@pytest.mark.parametrize("strategy", ["greedy", "qual-tree"])
+def test_bench_sip_construction(benchmark, strategy):
+    # Use a generated rule known to be monotone so both strategies apply.
+    rng = random.Random(1986)
+    rule, head = random_rule(rng, 6)
+    while not has_monotone_flow(rule, head):
+        rule, head = random_rule(rng, 6)
+    if strategy == "greedy":
+        sip = benchmark(greedy_sip, rule, head)
+    else:
+        sip = benchmark(qual_tree_sip, rule, head)
+    assert sip is not None

@@ -1,0 +1,81 @@
+"""Bill-of-materials part explosion — nonlinear recursion with shared parts.
+
+A manufacturing database records which parts each assembly directly uses.
+Part explosion ("every part inside a widget, at any depth") is the classic
+deductive-database query, here in the divide-and-conquer form the paper's
+§1.2 highlights as the kind of nonlinear recursion its framework handles
+and linear-recursion methods (Henschen–Naqvi) do not::
+
+    contains(A, P) <- uses(A, P).
+    contains(A, P) <- contains(A, S), contains(S, P).
+
+Subassemblies are *shared* (a screw appears in many places): duplicate
+deletion at goal nodes is what keeps the message traffic proportional to
+the distinct part set, not to the number of paths through the DAG.
+
+Run:  python examples/bill_of_materials.py
+"""
+
+from repro import Session, evaluate
+from repro.workloads import (
+    bill_of_materials_program,
+    bom_tables,
+    facts_from_tables,
+)
+
+
+def main() -> None:
+    tables = bom_tables(depth=5, fanout=3, shared=6, seed=11)
+    uses = tables["uses"]
+    program = bill_of_materials_program("widget").with_facts(
+        facts_from_tables(tables)
+    )
+    print(f"Bill of materials: {len(uses)} direct uses-edges, shared subparts.")
+
+    result = evaluate(program)
+    print(f"The widget transitively contains {len(result.answers)} distinct parts.")
+    print()
+
+    # Count paths vs parts: the gap is what dedup saved.
+    children: dict = {}
+    for parent, child in uses:
+        children.setdefault(parent, []).append(child)
+
+    def count_paths(part: str) -> int:
+        return 1 + sum(count_paths(c) for c in children.get(part, ()))
+
+    paths = count_paths("widget") - 1
+    print(f"Derivation paths through the DAG: {paths}")
+    print(f"Distinct parts (answers):        {len(result.answers)}")
+    print(f"Tuples the engine materialized:  {result.tuples_stored}")
+    print("Duplicate deletion is why the engine's work tracks distinct parts —")
+    print("and why the recursive cycles go quiescent at all (Section 3.1).")
+    print()
+
+    # The same data through the Session API: interactive what-uses queries.
+    session = Session(
+        """
+        contains(A, P) <- uses(A, P).
+        contains(A, P) <- contains(A, S), contains(S, P).
+        """
+    )
+    from repro.core.atoms import Atom
+    from repro.core.terms import Constant
+
+    session.add_facts(
+        Atom("uses", (Constant(a), Constant(p))) for a, p in uses
+    )
+    some_part = sorted(result.answers)[len(result.answers) // 2][0]
+    containers = session.query(f"contains(A, {_quote(some_part)})")
+    print(f"Part {some_part} appears inside {len(containers)} assemblies "
+          f"(reverse query on the same session).")
+    assert session.ask(f"contains(widget, {_quote(some_part)})")
+
+
+def _quote(value: object) -> str:
+    text = str(value)
+    return text if text.isidentifier() and text[0].islower() else f"'{text}'"
+
+
+if __name__ == "__main__":
+    main()

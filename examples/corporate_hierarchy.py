@@ -1,0 +1,86 @@
+"""Corporate hierarchy: relevance-restricted queries over a large org chart.
+
+Scenario: a company database records who reports to whom (``reports_to``)
+and which office each employee sits in.  The query asks for everyone in the
+CEO-designate's *management chain's* reporting subtree — a recursive query
+touching only a sliver of a large organization.
+
+This example showcases the framework's central efficiency mechanism: the
+class "d" (dynamically bound) arguments restrict every intermediate relation
+to the part reachable from the query constant.  We run the same query with
+sideways information passing on (greedy) and off (all-free) and print how
+much of the database each strategy actually touched.
+
+Run:  python examples/corporate_hierarchy.py
+"""
+
+import random
+
+from repro import all_free_sip, evaluate, parse_program
+from repro.workloads import facts_from_tables
+
+RULES = """
+% goal: everyone managed (directly or transitively) by the target, with
+% the office they sit in.
+goal(Person, Office) <- manages(carol, Person), sits_in(Person, Office).
+
+% manages is the transitive closure of direct reports.
+manages(Boss, Person) <- reports_to(Person, Boss).
+manages(Boss, Person) <- reports_to(Person, Middle), manages(Boss, Middle).
+"""
+
+
+def build_company(divisions: int, size: int, seed: int = 42):
+    """A forest of `divisions` reporting trees, each with `size` employees."""
+    rng = random.Random(seed)
+    reports_to = []
+    sits_in = []
+    offices = ["hq", "east", "west", "lab"]
+    for division in range(divisions):
+        boss = f"d{division}_head"
+        names = [boss] + [f"d{division}_e{i}" for i in range(size)]
+        for i, name in enumerate(names[1:], start=1):
+            manager = names[rng.randrange(0, i)]  # random tree shape
+            reports_to.append((name, manager))
+        for name in names:
+            sits_in.append((name, rng.choice(offices)))
+    # carol runs division 0.
+    reports_to.append(("d0_head", "carol"))
+    sits_in.append(("carol", "hq"))
+    return {"reports_to": reports_to, "sits_in": sits_in}
+
+
+def main() -> None:
+    tables = build_company(divisions=8, size=40)
+    program = parse_program(RULES).with_facts(facts_from_tables(tables))
+    total_employees = len(tables["sits_in"])
+
+    restricted = evaluate(program)
+    unrestricted = evaluate(program, sip_factory=all_free_sip)
+    assert restricted.answers == unrestricted.answers
+
+    print(f"Company size: {total_employees} employees in 8 divisions")
+    print(f"People in carol's subtree: {len(restricted.answers)}")
+    print()
+    sample = sorted(restricted.answers)[:8]
+    for person, office in sample:
+        print(f"  {person:14s} sits in {office}")
+    if len(restricted.answers) > len(sample):
+        print(f"  ... and {len(restricted.answers) - len(sample)} more")
+
+    print()
+    print("Work comparison (sideways information passing on vs off):")
+    print(f"  {'':24s}{'greedy':>10s}{'all-free':>10s}")
+    print(f"  {'tuples materialized':24s}{restricted.tuples_stored:>10d}"
+          f"{unrestricted.tuples_stored:>10d}")
+    print(f"  {'EDB rows retrieved':24s}{restricted.db_rows_retrieved:>10d}"
+          f"{unrestricted.db_rows_retrieved:>10d}")
+    print(f"  {'messages':24s}{restricted.total_messages:>10d}"
+          f"{unrestricted.total_messages:>10d}")
+    print()
+    print("The greedy strategy never looks at the other 7 divisions: the 'd'")
+    print("binding on `manages` flows carol's subtree down to the EDB index.")
+
+
+if __name__ == "__main__":
+    main()

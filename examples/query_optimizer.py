@@ -1,0 +1,85 @@
+"""Static analysis and statistics-driven optimization of a real-ish workload.
+
+A product-catalog knowledge base: categories form a tree, products belong to
+categories, a sparse `featured` table flags a handful of products.  The
+query finds featured products in a given category's subtree.
+
+Three stages, mirroring how the library is meant to be used:
+
+1. ``analyze`` the program: recursion classes, induced binding patterns,
+   monotone flow per rule, and warnings (the Section 4 toolbox as a linter);
+2. evaluate with the paper's default **greedy** strategy (which knows only
+   the structure of the rules);
+3. gather ``EdbStatistics`` and re-evaluate with the **statistics-driven**
+   strategy (the §3.1 "optimization information" extension) — the sparse
+   `featured` table gets scheduled early and the work drops sharply.
+
+Run:  python examples/query_optimizer.py
+"""
+
+import random
+
+from repro import evaluate, parse_program
+from repro.core.analysis import analyze
+from repro.core.optimizer import EdbStatistics, statistics_sip
+from repro.relational.database import Database
+from repro.workloads import facts_from_tables
+
+RULES = """
+% Featured products somewhere under a category (subtree search).
+goal(Product) <- in_subtree(electronics, Cat), product(Product, Cat),
+                 featured(Product).
+
+in_subtree(Cat, Cat) <- category(Cat).
+in_subtree(Root, Cat) <- subcategory(Mid, Root), in_subtree(Mid, Cat).
+"""
+
+
+def build_catalog(categories: int = 60, products: int = 1500, seed: int = 7):
+    rng = random.Random(seed)
+    names = ["electronics"] + [f"cat{i}" for i in range(1, categories)]
+    subcategory = []
+    for i in range(1, categories):
+        parent = names[rng.randrange(0, i)]
+        subcategory.append((names[i], parent))
+    product = [(f"prod{i}", rng.choice(names)) for i in range(products)]
+    featured = [(f"prod{i}",) for i in rng.sample(range(products), 12)]
+    return {
+        "category": [(n,) for n in names],
+        "subcategory": subcategory,
+        "product": product,
+        "featured": featured,
+    }
+
+
+def main() -> None:
+    tables = build_catalog()
+    program = parse_program(RULES).with_facts(facts_from_tables(tables))
+
+    print("=== 1. Static analysis ===")
+    print(analyze(program).render())
+
+    print()
+    print("=== 2. Structural greedy strategy ===")
+    structural = evaluate(program)
+    print(f"answers: {len(structural.answers)}")
+    print(f"tuples materialized: {structural.tuples_stored}")
+    print(f"EDB rows retrieved:  {structural.db_rows_retrieved}")
+
+    print()
+    print("=== 3. Statistics-driven strategy (§3.1 extension) ===")
+    stats = EdbStatistics.from_database(Database.from_tuples(tables))
+    informed = evaluate(program, sip_factory=statistics_sip(stats))
+    assert informed.answers == structural.answers
+    print(f"answers: {len(informed.answers)} (identical)")
+    print(f"tuples materialized: {informed.tuples_stored}")
+    print(f"EDB rows retrieved:  {informed.db_rows_retrieved}")
+
+    saved = structural.tuples_stored / max(1, informed.tuples_stored)
+    print()
+    print(f"Knowing that `featured` holds 12 rows (vs {len(tables['product'])} "
+          f"products) is worth {saved:.1f}x in materialized tuples here.")
+
+
+if __name__ == "__main__":
+    main()

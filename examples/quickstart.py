@@ -1,0 +1,51 @@
+"""Quickstart: define a recursive Datalog program and evaluate the query.
+
+The library implements Van Gelder's message-passing framework (SIGMOD 1986):
+the program below is compiled into an information-passing rule/goal graph,
+each node becomes a process, and the query is answered entirely by message
+exchange — tuple requests flowing down, answer tuples flowing up, and the
+distributed termination protocol detecting when the recursive component is
+done.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import evaluate, parse_program
+
+PROGRAM = """
+% Who are Ann's ancestors' descendants? A classic recursive query.
+goal(Z) <- anc(ann, Z).
+
+anc(X, Y) <- par(X, Y).
+anc(X, Y) <- par(X, U), anc(U, Y).
+
+% The EDB: a small family tree (par(child's-parent... no: par(X, Y) reads
+% "Y is a child of X" here, so anc finds descendants).
+par(ann, bob).
+par(ann, bea).
+par(bob, cal).
+par(bob, cat).
+par(cal, dee).
+"""
+
+
+def main() -> None:
+    program = parse_program(PROGRAM)
+    result = evaluate(program)
+
+    print("Descendants of ann:")
+    for (person,) in sorted(result.answers):
+        print(f"  {person}")
+
+    print()
+    print("How the distributed evaluation went:")
+    print(result.summary())
+
+    # The rule/goal graph that structured the computation (Section 2):
+    print()
+    print("Rule/goal graph:")
+    print(result.graph.pretty())
+
+
+if __name__ == "__main__":
+    main()

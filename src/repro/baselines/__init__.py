@@ -1,0 +1,17 @@
+"""Baseline evaluators the paper compares against (Section 1.1).
+
+* :mod:`~repro.baselines.naive` — the minimum-model oracle (Reiter/least
+  fixed point, no restriction);
+* :mod:`~repro.baselines.seminaive` — differential bottom-up;
+* :mod:`~repro.baselines.bruteforce` — full ground instantiation, the
+  O(n^t) method whose cost motivates everything else;
+* :mod:`~repro.baselines.topdown` — tabled top-down (QSQR-style), the
+  sequential point of comparison for relevance-restricted evaluation;
+* :mod:`~repro.baselines.magic` — the magic-sets rewriting (the *compiled*
+  realization of sideways information passing, contemporaneous with the
+  paper) evaluated semi-naive.
+"""
+
+from . import bruteforce, magic, naive, seminaive, topdown
+
+__all__ = ["naive", "seminaive", "bruteforce", "topdown", "magic"]

@@ -1,0 +1,97 @@
+"""Brute-force evaluation by full ground instantiation — Section 1.1.
+
+"The recursive problem can be solved by brute force, essentially by
+enumerating all possible ground instances of the IDB with all possible
+combinations of constants that appear in the system substituted for the
+variables, and 'reasoning forward' until the minimum model is derived.  The
+running time is O(n^{t+O(1)}) if there are n constants in the system and at
+most t variables in any rule."
+
+This module implements exactly that, with counters for the number of ground
+instances generated, so the benchmarks can exhibit the ``n^t`` growth against
+which the message-passing method is contrasted.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+from ..core.program import Program
+from ..core.rules import GOAL_PREDICATE, Rule
+from .common import FactStore, apply_bindings
+
+__all__ = ["BruteForceResult", "evaluate", "ground_instance_count"]
+
+
+@dataclass
+class BruteForceResult:
+    """Outcome and cost accounting of the brute-force method."""
+
+    facts: FactStore
+    ground_instances: int
+    iterations: int
+    idb_tuples: int
+
+    def answers(self, predicate: str = GOAL_PREDICATE) -> set[tuple]:
+        """The computed relation for ``predicate``."""
+        return set(self.facts.get(predicate, set()))
+
+
+def ground_instance_count(program: Program) -> int:
+    """``sum over rules of n^(#variables)`` — the instantiation volume."""
+    n = max(1, len(program.constants()))
+    return sum(n ** len(rule.variables()) for rule in program.rules)
+
+
+def evaluate(program: Program, max_instances: int = 5_000_000) -> BruteForceResult:
+    """Ground every rule over the constant set, then forward-chain.
+
+    Raises ``RuntimeError`` when the instantiation volume would exceed
+    ``max_instances`` — the exponential wall is the point of the baseline,
+    but runs should fail loudly rather than hang.
+    """
+    constants = sorted(program.constants(), key=repr)
+    volume = ground_instance_count(program)
+    if volume > max_instances:
+        raise RuntimeError(
+            f"brute force would generate {volume} ground instances (> {max_instances})"
+        )
+
+    ground_rules: list[tuple[str, tuple, tuple[tuple[str, tuple], ...]]] = []
+    instances = 0
+    for rule in program.rules:
+        variables = sorted(rule.variables(), key=lambda v: v.name)
+        for combo in itertools.product(constants, repeat=len(variables)):
+            instances += 1
+            env = dict(zip(variables, combo))
+            head_row = apply_bindings(rule.head, env)
+            assert head_row is not None
+            body_rows = []
+            for subgoal in rule.body:
+                row = apply_bindings(subgoal, env)
+                assert row is not None
+                body_rows.append((subgoal.predicate, row))
+            ground_rules.append((rule.head.predicate, head_row, tuple(body_rows)))
+
+    facts: FactStore = {}
+    for fact in program.facts:
+        facts.setdefault(fact.predicate, set()).add(fact.ground_tuple())
+
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for head_pred, head_row, body in ground_rules:
+            bucket = facts.setdefault(head_pred, set())
+            if head_row in bucket:
+                continue
+            if all(row in facts.get(pred, ()) for pred, row in body):
+                bucket.add(head_row)
+                changed = True
+
+    idb_tuples = sum(
+        len(rows) for pred, rows in facts.items() if pred in program.idb_predicates
+    )
+    return BruteForceResult(facts, instances, iterations, idb_tuples)

@@ -1,0 +1,87 @@
+"""Shared helpers for the bottom-up baseline evaluators."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping
+
+from ..core.atoms import Atom
+from ..core.rules import Rule
+from ..core.terms import Constant, Term, Variable
+
+__all__ = ["FactStore", "enumerate_matches", "apply_bindings"]
+
+#: Derived facts, keyed by predicate: ``{pred: {tuple-of-values, ...}}``.
+FactStore = dict[str, set[tuple]]
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+
+
+def apply_bindings(atom: Atom, bindings: Mapping[Variable, object]) -> tuple | None:
+    """Ground ``atom``'s arguments under value bindings; None if incomplete."""
+    row = []
+    for term in atom.args:
+        if isinstance(term, Constant):
+            row.append(term.value)
+        else:
+            if term not in bindings:
+                return None
+            row.append(bindings[term])
+    return tuple(row)
+
+
+def enumerate_matches(
+    body: tuple[Atom, ...],
+    facts: FactStore,
+    start: int = 0,
+    bindings: Mapping[Variable, object] | None = None,
+    restrict_first: Iterable[tuple] | None = None,
+) -> Iterator[dict[Variable, object]]:
+    """All variable bindings satisfying ``body`` against ``facts``.
+
+    A straightforward backtracking matcher — the reference semantics every
+    engine is tested against.  Subgoal ``start`` is matched first (the rest
+    follow in textual order), and ``restrict_first`` optionally replaces its
+    fact set — the hooks semi-naive delta evaluation needs.
+    """
+    if not body:
+        yield dict(bindings or {})
+        return
+    order = [start] + [i for i in range(len(body)) if i != start]
+
+    def recurse(step: int, env: dict[Variable, object]) -> Iterator[dict[Variable, object]]:
+        if step >= len(order):
+            yield env
+            return
+        index = order[step]
+        subgoal = body[index]
+        if index == start and restrict_first is not None:
+            candidates: Iterable[tuple] = restrict_first
+        else:
+            candidates = facts.get(subgoal.predicate, ())
+        # Snapshot: callers may add derived facts while consuming matches.
+        for row in tuple(candidates):
+            if len(row) != subgoal.arity:
+                continue
+            extended = dict(env)
+            ok = True
+            for term, value in zip(subgoal.args, row):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    bound = extended.get(term, _MISSING)
+                    if bound is _MISSING:
+                        extended[term] = value
+                    elif bound != value:
+                        ok = False
+                        break
+            if ok:
+                yield from recurse(step + 1, extended)
+
+    yield from recurse(0, dict(bindings or {}))

@@ -1,0 +1,171 @@
+"""Memoized top-down evaluation (QSQR-style tabling).
+
+A strictly top-down, left-to-right evaluator in the spirit of Prolog, but
+with *tabling*: each distinct call pattern ``(predicate, bound-argument
+values)`` gets a memo table, recursive calls consume the table's current
+contents, and the whole computation iterates to a fixed point.  Tabling is
+what lets it terminate on left recursion, which plain Prolog famously does
+not (Section 1.2 contrasts the message-passing method with the "well-known
+'left recursion' problems of strictly top-down methods").
+
+This baseline restricts computation to *relevant* call patterns like the
+message-passing engine, but it is sequential and re-derives across passes;
+the benchmarks report its pass counts next to the engine's message counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.atoms import Atom
+from ..core.program import Program
+from ..core.rules import GOAL_PREDICATE
+from ..core.terms import Constant, Variable
+from ..core.unify import unify
+from ..core.terms import FreshVariables
+
+__all__ = ["TopDownResult", "evaluate"]
+
+#: A call pattern: one entry per argument — a constant value, or None (free).
+CallPattern = tuple
+
+
+@dataclass
+class TopDownResult:
+    """Tables and counters of a tabled top-down run."""
+
+    tables: dict[tuple[str, CallPattern], set[tuple]]
+    passes: int
+    rule_applications: int
+
+    def answers(self, predicate: str = GOAL_PREDICATE) -> set[tuple]:
+        """Union of all table entries for ``predicate``."""
+        result: set[tuple] = set()
+        for (pred, _pattern), rows in self.tables.items():
+            if pred == predicate:
+                result |= rows
+        return result
+
+    def relevant_tuples(self) -> int:
+        """Total tuples across all tables — the 'computed portion' metric."""
+        return sum(len(rows) for rows in self.tables.values())
+
+
+def _call_atom(predicate: str, pattern: CallPattern) -> Atom:
+    args = []
+    for i, value in enumerate(pattern):
+        if value is None:
+            args.append(Variable(f"A{i}"))
+        else:
+            args.append(Constant(value))
+    return Atom(predicate, tuple(args))
+
+
+def evaluate(program: Program, max_passes: int = 10_000) -> TopDownResult:
+    """Run tabled top-down evaluation of the program's query.
+
+    Starts from the all-free call to ``goal`` and iterates global passes over
+    every tabled call until no table grows.  ``max_passes`` guards against
+    bugs rather than legitimate workloads (each pass adds at least one tuple
+    when progress is possible, so passes ≤ total relevant tuples + 2).
+    """
+    edb: dict[str, set[tuple]] = {}
+    for fact in program.facts:
+        edb.setdefault(fact.predicate, set()).add(fact.ground_tuple())
+
+    tables: dict[tuple[str, CallPattern], set[tuple]] = {}
+    fresh = FreshVariables()
+    counters = {"rule_applications": 0}
+
+    def ensure_table(predicate: str, pattern: CallPattern) -> set[tuple]:
+        return tables.setdefault((predicate, pattern), set())
+
+    def solve_body(
+        body: tuple[Atom, ...], index: int, env: dict[Variable, object]
+    ) -> list[dict[Variable, object]]:
+        if index >= len(body):
+            return [env]
+        subgoal = body[index]
+        # Determine the call: arguments ground under env become the pattern.
+        pattern = []
+        for term in subgoal.args:
+            if isinstance(term, Constant):
+                pattern.append(term.value)
+            elif term in env:
+                pattern.append(env[term])
+            else:
+                pattern.append(None)
+        if program.is_edb(subgoal.predicate):
+            rows: set[tuple] = edb.get(subgoal.predicate, set())
+        else:
+            rows = ensure_table(subgoal.predicate, tuple(pattern))
+        results: list[dict[Variable, object]] = []
+        for row in rows:
+            if len(row) != subgoal.arity:
+                continue
+            extended = dict(env)
+            ok = True
+            for term, value in zip(subgoal.args, row):
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        ok = False
+                        break
+                else:
+                    if term in extended:
+                        if extended[term] != value:
+                            ok = False
+                            break
+                    else:
+                        extended[term] = value
+            if ok:
+                results.extend(solve_body(body, index + 1, extended))
+        return results
+
+    def one_pass(predicate: str, pattern: CallPattern) -> bool:
+        """Recompute one table entry from the rules; True if it grew."""
+        call = _call_atom(predicate, pattern)
+        table = ensure_table(predicate, pattern)
+        grew = False
+        for rule in program.rules_for(predicate):
+            renamed = rule.rename_apart(fresh)
+            mgu = unify(renamed.head, call)
+            if mgu is None:
+                continue
+            applied = renamed.substitute(mgu.as_dict())
+            counters["rule_applications"] += 1
+            for env in solve_body(applied.body, 0, {}):
+                row = []
+                complete = True
+                for term in applied.head.args:
+                    if isinstance(term, Constant):
+                        row.append(term.value)
+                    elif term in env:
+                        row.append(env[term])
+                    else:
+                        complete = False
+                        break
+                if complete and tuple(row) not in table:
+                    table.add(tuple(row))
+                    grew = True
+        return grew
+
+    # Seed with the all-free goal call.
+    goal_arity = program.query_rules[0].head.arity if program.query_rules else 0
+    ensure_table(GOAL_PREDICATE, tuple([None] * goal_arity))
+
+    passes = 0
+    changed = True
+    while changed:
+        passes += 1
+        if passes > max_passes:
+            raise RuntimeError("top-down evaluation did not converge (bug)")
+        changed = False
+        before = len(tables)
+        for predicate, pattern in list(tables):
+            if one_pass(predicate, pattern):
+                changed = True
+        if len(tables) != before:
+            changed = True  # new call patterns appeared; give them a pass
+
+    return TopDownResult(tables, passes, counters["rule_applications"])

@@ -1,0 +1,178 @@
+"""Command-line interface: evaluate Datalog files with the message framework.
+
+Usage examples::
+
+    repro-datalog run examples/data/ancestor.dl
+    repro-datalog run program.dl --query 'p(a, Z)' --sip all-free --stats
+    repro-datalog graph program.dl            # print the rule/goal graph
+    repro-datalog trace program.dl --limit 40 # show the message conversation
+
+The file format is the Prolog-style syntax of :mod:`repro.core.parser`:
+facts, rules (``<-`` or ``:-``), and ``?-`` queries.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .core.parser import parse_atom, parse_program, query_to_rule
+from .core.program import Program
+from .core.rulegoal import build_rule_goal_graph
+from .core.rules import GOAL_PREDICATE
+from .core.sips import all_free_sip, greedy_sip, left_to_right_sip
+from .network.engine import MessagePassingEngine, evaluate
+from .network.tracing import MessageTrace
+
+__all__ = ["main", "build_parser"]
+
+_SIPS = {
+    "greedy": greedy_sip,
+    "left-to-right": left_to_right_sip,
+    "all-free": all_free_sip,
+}
+
+
+def _load_program(path: str, query: Optional[str], data: Optional[str] = None) -> Program:
+    with open(path) as handle:
+        program = parse_program(handle.read())
+    if data is not None:
+        from .relational.csvio import facts_from_directory
+
+        extra = facts_from_directory(data)
+        program = Program(program.rules, tuple(program.facts) + tuple(extra))
+    if query is not None:
+        # A --query replaces any queries in the file.
+        from .core.parser import _Parser, _tokenize  # reuse the atom-list parser
+
+        rules = [r for r in program.rules if r.head.predicate != GOAL_PREDICATE]
+        parser = _Parser(_tokenize(query.rstrip(". ") + "."))
+        atoms = parser.atom_list()
+        rules.append(query_to_rule(atoms))
+        program = Program(rules, program.facts)
+    return program
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    program = _load_program(args.file, args.query, args.data)
+    result = evaluate(
+        program,
+        sip_factory=_SIPS[args.sip],
+        seed=args.seed,
+        coalesce=args.coalesce,
+        package_requests=args.package,
+    )
+    for row in sorted(result.answers, key=repr):
+        print(", ".join(str(v) for v in row) if row else "true")
+    if args.stats:
+        print("--", file=sys.stderr)
+        print(result.summary(), file=sys.stderr)
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    program = _load_program(args.file, args.query, args.data)
+    graph = build_rule_goal_graph(
+        program, sip_factory=_SIPS[args.sip], coalesce=args.coalesce
+    )
+    if args.dot:
+        print(graph.to_dot())
+        return 0
+    print(graph.pretty())
+    print(f"-- {len(graph.goal_nodes)} goal nodes, {len(graph.rule_nodes)} rule nodes")
+    for info in graph.strong_components():
+        members = ", ".join(graph.node_label(m) for m in sorted(info.members))
+        print(f"-- strong component (leader {graph.node_label(info.leader)}): {members}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    program = _load_program(args.file, args.query, args.data)
+    trace = MessageTrace(limit=args.limit, include_protocol=not args.no_protocol)
+    engine = MessagePassingEngine(
+        program,
+        sip_factory=_SIPS[args.sip],
+        seed=args.seed,
+        trace=trace,
+        coalesce=args.coalesce,
+        package_requests=args.package,
+    )
+    result = engine.run()
+    print(trace.render(engine.graph))
+    print(f"-- {len(result.answers)} answers; {result.total_messages} messages")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from .core.analysis import analyze
+
+    program = _load_program(args.file, args.query, args.data)
+    report = analyze(program, sip_factory=_SIPS[args.sip])
+    print(report.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-datalog",
+        description="Message-passing Datalog query evaluation (Van Gelder, SIGMOD 1986)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", help="Datalog source file")
+        p.add_argument("--query", help="query atoms, e.g. 'p(a, Z)' (overrides ?- in the file)")
+        p.add_argument(
+            "--sip", choices=sorted(_SIPS), default="greedy", help="information passing strategy"
+        )
+        p.add_argument("--seed", type=int, default=None, help="randomize message latencies")
+        p.add_argument(
+            "--data",
+            help="directory of <predicate>.csv / .tsv files to load as EDB facts",
+        )
+        p.add_argument(
+            "--coalesce",
+            action="store_true",
+            help="merge goal nodes with identical binding patterns (single-processor mode)",
+        )
+        p.add_argument(
+            "--package",
+            action="store_true",
+            help="batch related tuple requests (footnote-2 packaging)",
+        )
+
+    run_p = sub.add_parser("run", help="evaluate the query and print the answers")
+    common(run_p)
+    run_p.add_argument("--stats", action="store_true", help="print run statistics to stderr")
+    run_p.set_defaults(func=_cmd_run)
+
+    graph_p = sub.add_parser("graph", help="print the information-passing rule/goal graph")
+    common(graph_p)
+    graph_p.add_argument("--dot", action="store_true", help="emit Graphviz DOT instead of text")
+    graph_p.set_defaults(func=_cmd_graph)
+
+    trace_p = sub.add_parser("trace", help="evaluate and print the message trace")
+    common(trace_p)
+    trace_p.add_argument("--limit", type=int, default=200, help="max messages to record")
+    trace_p.add_argument("--no-protocol", action="store_true", help="hide protocol messages")
+    trace_p.set_defaults(func=_cmd_trace)
+
+    analyze_p = sub.add_parser(
+        "analyze", help="static analysis: recursion classes, monotone flow, warnings"
+    )
+    common(analyze_p)
+    analyze_p.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro-datalog`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,209 @@
+"""Binding classes ("adornments") for predicate arguments — Section 2.2.
+
+The information-passing rule/goal graph divides predicate arguments into four
+classes (Section 1.2):
+
+``c``
+    Constants known at graph-construction time.
+``d``
+    Arguments *dynamically bound* during the computation to a set of needed
+    values; a "d" argument functions as a semijoin operand and is what
+    restricts the computed part of an intermediate relation to potentially
+    useful values.
+``e``
+    Existential — free variables whose values are not used; only the
+    existence of a value matters, so they need not be transmitted.
+``f``
+    Free — the job is to find bindings for them.
+
+An :class:`AdornedAtom` pairs an atom with one class letter per argument.
+:func:`adorn_body` propagates the head's classes into a rule's subgoals under
+a sideways-information-passing strategy (see :mod:`repro.core.sips`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from .atoms import Atom
+from .rules import Rule
+from .terms import Constant, Term, Variable
+
+__all__ = [
+    "CONSTANT",
+    "DYNAMIC",
+    "EXISTENTIAL",
+    "FREE",
+    "BINDING_CLASSES",
+    "Adornment",
+    "AdornedAtom",
+    "initial_goal_adornment",
+    "head_bound_variables",
+]
+
+CONSTANT = "c"
+DYNAMIC = "d"
+EXISTENTIAL = "e"
+FREE = "f"
+
+#: All four binding classes, in the paper's order.
+BINDING_CLASSES = (CONSTANT, DYNAMIC, EXISTENTIAL, FREE)
+
+#: An adornment is one class letter per argument position.
+Adornment = tuple[str, ...]
+
+
+def _check_adornment(atom: Atom, adornment: Sequence[str]) -> Adornment:
+    adornment = tuple(adornment)
+    if len(adornment) != atom.arity:
+        raise ValueError(
+            f"adornment {adornment} does not match arity of {atom}"
+        )
+    for letter, term in zip(adornment, atom.args):
+        if letter not in BINDING_CLASSES:
+            raise ValueError(f"unknown binding class {letter!r}")
+        if letter == CONSTANT and not isinstance(term, Constant):
+            raise ValueError(f"class 'c' argument of {atom} must be a constant")
+        if letter != CONSTANT and isinstance(term, Constant):
+            raise ValueError(
+                f"constant argument of {atom} must have class 'c', got {letter!r}"
+            )
+    return adornment
+
+
+@dataclass(frozen=True)
+class AdornedAtom:
+    """An atom together with the binding class of each argument.
+
+    Printed in the paper's superscript style, e.g. ``p(a^c, Z^f)``.
+    """
+
+    atom: Atom
+    adornment: Adornment
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "adornment", _check_adornment(self.atom, self.adornment))
+
+    # ------------------------------------------------------------------
+    @property
+    def predicate(self) -> str:
+        """The predicate symbol."""
+        return self.atom.predicate
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return self.atom.arity
+
+    def positions(self, *classes: str) -> tuple[int, ...]:
+        """Argument positions whose class is one of ``classes``."""
+        return tuple(i for i, a in enumerate(self.adornment) if a in classes)
+
+    @property
+    def bound_positions(self) -> tuple[int, ...]:
+        """Positions carrying bindings into the node: classes "c" and "d"."""
+        return self.positions(CONSTANT, DYNAMIC)
+
+    @property
+    def dynamic_positions(self) -> tuple[int, ...]:
+        """Positions of class "d" — the ones tuple requests must bind."""
+        return self.positions(DYNAMIC)
+
+    @property
+    def free_positions(self) -> tuple[int, ...]:
+        """Positions of class "f" — values to be produced and transmitted."""
+        return self.positions(FREE)
+
+    @property
+    def existential_positions(self) -> tuple[int, ...]:
+        """Positions of class "e" — values needed to exist but not transmitted."""
+        return self.positions(EXISTENTIAL)
+
+    @property
+    def output_positions(self) -> tuple[int, ...]:
+        """Positions whose values flow upward in answers ("d" keys + "f")."""
+        return tuple(i for i, a in enumerate(self.adornment) if a in (DYNAMIC, FREE))
+
+    def bound_variables(self) -> set[Variable]:
+        """Variables at class-"d" positions."""
+        return {
+            self.atom.args[i]
+            for i in self.dynamic_positions
+            if isinstance(self.atom.args[i], Variable)
+        }
+
+    def free_variables(self) -> set[Variable]:
+        """Variables at class-"f" positions."""
+        return {
+            self.atom.args[i]
+            for i in self.free_positions
+            if isinstance(self.atom.args[i], Variable)
+        }
+
+    # ------------------------------------------------------------------
+    def variant_signature(self) -> tuple:
+        """A canonical key equal for exactly the adorned variants of this atom.
+
+        Two adorned goals are variants (Definition 2.2) when the underlying
+        atoms are variants (same predicate, same constants in the same places,
+        same repeated-variable pattern) *and* "the arguments match on their
+        classes as well".  The proof of Theorem 2.1 relies on there being
+        finitely many such signatures.
+        """
+        first_seen: dict[Variable, int] = {}
+        shape: list[object] = []
+        for position, term in enumerate(self.atom.args):
+            if isinstance(term, Variable):
+                if term not in first_seen:
+                    first_seen[term] = position
+                shape.append(first_seen[term])
+            else:
+                shape.append(("const", term.value))
+        return (self.predicate, self.adornment, tuple(shape))
+
+    def adornment_string(self) -> str:
+        """The adornment as a compact string, e.g. ``"cf"``."""
+        return "".join(self.adornment)
+
+    def __str__(self) -> str:
+        parts = [
+            f"{term}^{letter}" for term, letter in zip(self.atom.args, self.adornment)
+        ]
+        return f"{self.predicate}({', '.join(parts)})"
+
+    def __repr__(self) -> str:
+        return f"AdornedAtom({str(self)!r})"
+
+
+def initial_goal_adornment(atom: Atom, existential: Iterable[Variable] = ()) -> AdornedAtom:
+    """Adorn a top-level goal: constants are "c", variables "f" (or "e").
+
+    ``existential`` names variables whose values the caller does not want
+    transmitted (the paper's ``p(X^f, Y^e)`` example: one tuple per unique X).
+    """
+    existential_set = set(existential)
+    letters = []
+    for term in atom.args:
+        if isinstance(term, Constant):
+            letters.append(CONSTANT)
+        elif term in existential_set:
+            letters.append(EXISTENTIAL)
+        else:
+            letters.append(FREE)
+    return AdornedAtom(atom, tuple(letters))
+
+
+def head_bound_variables(head: AdornedAtom) -> set[Variable]:
+    """Variables the head supplies bindings for: those at "c"/"d" positions.
+
+    "c" positions hold constants after the mgu is applied, so in practice the
+    set is the variables at "d" positions; a variable sitting at a "c"
+    position (possible before unification) is included for robustness.
+    """
+    bound: set[Variable] = set()
+    for i in head.bound_positions:
+        term = head.atom.args[i]
+        if isinstance(term, Variable):
+            bound.add(term)
+    return bound

@@ -1,0 +1,237 @@
+"""Whole-program static analysis: the paper's toolbox applied end to end.
+
+Given a program, this module builds the information-passing rule/goal graph
+for its query and reports, per predicate and per rule-node:
+
+* recursion classification (nonrecursive / linear / nonlinear — the §1.1
+  taxonomy that separates Henschen–Naqvi's method from the general case);
+* the binding patterns (adornments) the query actually induces;
+* the monotone flow property for each rule under each induced binding
+  (Definition 4.2), with the qual-tree SIP when it exists and the cyclic
+  hypergraph core when it does not;
+* strong components, their leaders, and sizes (the units the termination
+  protocol runs over);
+* warnings: rules without monotone flow (risk of the Example 4.1 blow-up),
+  cartesian-product stages (subgoals evaluated with no shared bound
+  variable), and existential positions that enable projection savings.
+
+Entry points: :func:`analyze` (structured report) and
+:meth:`ProgramReport.render` (human-readable text, used by the CLI's
+``analyze`` subcommand).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .adornment import AdornedAtom, EXISTENTIAL
+from .monotone import evaluation_hypergraph, qual_tree_sip, rule_qual_tree
+from .program import Program
+from .rulegoal import RuleGoalGraph, SipFactory, build_rule_goal_graph
+from .rules import Rule
+from .sips import adorn_body, greedy_sip, is_greedy
+
+__all__ = ["PredicateReport", "RuleNodeReport", "ComponentReport", "ProgramReport", "analyze"]
+
+
+@dataclass(frozen=True)
+class PredicateReport:
+    """Classification of one predicate."""
+
+    name: str
+    kind: str  # "edb" | "idb"
+    recursive: bool
+    linear: bool
+    rule_count: int
+    adornments: tuple[str, ...]  # binding patterns induced by the query
+
+
+@dataclass(frozen=True)
+class RuleNodeReport:
+    """Analysis of one rule node of the graph (one rule × one binding)."""
+
+    rule: str
+    head_adornment: str
+    subgoal_adornments: tuple[str, ...]
+    sip_order: tuple[int, ...]
+    sip_is_greedy: bool
+    monotone_flow: bool
+    qual_tree_order: Optional[tuple[int, ...]]
+    cyclic_core: tuple[str, ...]  # variable names, empty when monotone
+    cartesian_stages: tuple[int, ...]  # subgoal indices joined with 0 bound vars
+    existential_positions: int
+
+
+@dataclass(frozen=True)
+class ComponentReport:
+    """One strong component of the rule/goal graph."""
+
+    size: int
+    leader: str
+    members: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class ProgramReport:
+    """The full analysis result."""
+
+    predicates: tuple[PredicateReport, ...]
+    rule_nodes: tuple[RuleNodeReport, ...]
+    components: tuple[ComponentReport, ...]
+    graph_goal_nodes: int
+    graph_rule_nodes: int
+    warnings: tuple[str, ...]
+
+    def render(self) -> str:
+        """A human-readable multi-section report."""
+        lines = ["PREDICATES"]
+        for p in self.predicates:
+            shape = (
+                "nonrecursive"
+                if not p.recursive
+                else ("linear recursive" if p.linear else "NONLINEAR recursive")
+            )
+            adorn = ", ".join(p.adornments) or "-"
+            lines.append(
+                f"  {p.name:16s} {p.kind:4s} {shape:22s} "
+                f"rules={p.rule_count}  bindings: {adorn}"
+            )
+        lines.append("")
+        lines.append(
+            f"RULE/GOAL GRAPH: {self.graph_goal_nodes} goal nodes, "
+            f"{self.graph_rule_nodes} rule nodes, "
+            f"{len(self.components)} strong component(s)"
+        )
+        for c in self.components:
+            lines.append(f"  component of {c.size}: leader {c.leader}")
+        lines.append("")
+        lines.append("RULES (per binding pattern)")
+        for r in self.rule_nodes:
+            lines.append(f"  {r.rule}")
+            lines.append(
+                f"    head^{r.head_adornment}; body adornments "
+                f"{', '.join(r.subgoal_adornments) or '-'}; "
+                f"SIP order {list(r.sip_order)}"
+                f"{' (greedy)' if r.sip_is_greedy else ' (NOT greedy)'}"
+            )
+            if r.monotone_flow:
+                lines.append(
+                    f"    monotone flow: YES; qual-tree order {list(r.qual_tree_order or ())}"
+                )
+            else:
+                lines.append(
+                    f"    monotone flow: NO — cyclic core {{{', '.join(r.cyclic_core)}}}"
+                )
+        if self.warnings:
+            lines.append("")
+            lines.append("WARNINGS")
+            lines += [f"  ! {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+def _rule_node_report(rule: Rule, head: AdornedAtom, sip_factory: SipFactory) -> RuleNodeReport:
+    sip = sip_factory(rule, head)
+    adorned = adorn_body(sip)
+    monotone = rule_qual_tree(rule, head) is not None
+    qt_sip = qual_tree_sip(rule, head) if monotone else None
+    if monotone:
+        core: tuple[str, ...] = ()
+    else:
+        reduction = evaluation_hypergraph(rule, head).gyo_reduction()
+        core = tuple(sorted(str(v) for v in reduction.cyclic_core_vertices()))
+
+    # A stage is cartesian when the subgoal shares no bound variable (nor a
+    # constant) with everything evaluated before it.
+    cartesian = []
+    bound = set(head.bound_variables())
+    for index in sip.order:
+        subgoal = rule.body[index]
+        if subgoal.arity and not subgoal.constants() and not (subgoal.variable_set() & bound):
+            cartesian.append(index)
+        bound |= subgoal.variable_set()
+
+    existential = sum(a.adornment.count(EXISTENTIAL) for a in adorned)
+    return RuleNodeReport(
+        rule=str(rule),
+        head_adornment=head.adornment_string(),
+        subgoal_adornments=tuple(a.adornment_string() for a in adorned),
+        sip_order=sip.order,
+        sip_is_greedy=is_greedy(sip),
+        monotone_flow=monotone,
+        qual_tree_order=qt_sip.order if qt_sip else None,
+        cyclic_core=core,
+        cartesian_stages=tuple(cartesian),
+        existential_positions=existential,
+    )
+
+
+def analyze(
+    program: Program,
+    sip_factory: SipFactory = greedy_sip,
+    graph: Optional[RuleGoalGraph] = None,
+) -> ProgramReport:
+    """Analyze a program under its query's induced binding patterns."""
+    graph = graph or build_rule_goal_graph(program, sip_factory)
+
+    adornments_by_predicate: dict[str, set[str]] = {}
+    for goal in graph.goal_nodes.values():
+        adornments_by_predicate.setdefault(goal.predicate, set()).add(
+            goal.adorned.adornment_string()
+        )
+
+    recursive = program.recursive_predicates()
+    predicates = []
+    for name in sorted(program.idb_predicates | set(program.edb_predicates)):
+        is_idb = name in program.idb_predicates
+        rules = program.rules_for(name)
+        predicates.append(
+            PredicateReport(
+                name=name,
+                kind="idb" if is_idb else "edb",
+                recursive=name in recursive,
+                linear=all(program.is_linear_rule(r) for r in rules),
+                rule_count=len(rules),
+                adornments=tuple(sorted(adornments_by_predicate.get(name, ()))),
+            )
+        )
+
+    seen: set[tuple[str, str]] = set()
+    rule_reports = []
+    warnings: list[str] = []
+    for rule_node in sorted(graph.rule_nodes.values(), key=lambda r: r.id):
+        key = (str(rule_node.rule), rule_node.head.adornment_string())
+        if key in seen:
+            continue
+        seen.add(key)
+        report = _rule_node_report(rule_node.rule, rule_node.head, sip_factory)
+        rule_reports.append(report)
+        if not report.monotone_flow:
+            warnings.append(
+                f"no monotone flow for {report.rule} under head^{report.head_adornment}: "
+                f"cyclic core {{{', '.join(report.cyclic_core)}}} — parallel branch "
+                "evaluation risks large, nearly unjoinable intermediates (Example 4.1)"
+            )
+        if report.cartesian_stages:
+            warnings.append(
+                f"cartesian stage(s) {list(report.cartesian_stages)} in {report.rule}: "
+                "a subgoal joins with no bound variable"
+            )
+
+    components = tuple(
+        ComponentReport(
+            size=len(info.members),
+            leader=graph.node_label(info.leader),
+            members=tuple(graph.node_label(m) for m in sorted(info.members)),
+        )
+        for info in graph.strong_components()
+    )
+
+    return ProgramReport(
+        predicates=tuple(predicates),
+        rule_nodes=tuple(rule_reports),
+        components=components,
+        graph_goal_nodes=len(graph.goal_nodes),
+        graph_rule_nodes=len(graph.rule_nodes),
+        warnings=tuple(warnings),
+    )

@@ -1,0 +1,162 @@
+"""The Section 4.3 cost model: order-of-magnitude estimates for strategies.
+
+The paper's "reasonable assumptions", asserting "a high degree of ignorance
+about the relations in the EDB":
+
+1. the relations of all subgoals are of comparable size, and large;
+2. each bound argument reduces the relation size by an *order of magnitude*,
+   with a corresponding reduction in retrieval cost (bound arguments function
+   as selections);
+3. the size of a join relation is the size of the cross product, reduced by
+   one order of magnitude for each pair of join arguments (each pair of
+   subgoal arguments containing the same variable);
+4. the cost of computing a join is proportional to the sum of the sizes of
+   the operands and the size of the result;
+5. multiplicative log factors are ignored.
+
+"Reduced by an order of magnitude" is defined in the footnote: the
+*logarithm* is multiplied by a constant factor α < 1 (the same α throughout).
+So a base relation of size n becomes n^α after one selection and n^(α²)
+after two, and a join result is (|R|·|S|)^(α^p) for p join pairs.
+
+All arithmetic is done on base-10 logarithms to stay stable for large n.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from .adornment import AdornedAtom, head_bound_variables
+from .atoms import Atom
+from .rules import Rule
+from .sips import SipStrategy, sip_from_order
+from .terms import Constant, Variable
+
+__all__ = ["CostModel", "StageEstimate", "StrategyEstimate", "rank_orders", "best_order"]
+
+
+@dataclass(frozen=True)
+class StageEstimate:
+    """Cost accounting for evaluating one subgoal in an order."""
+
+    subgoal_index: int
+    bound_arguments: int
+    operand_log_size: float  # log10 of the (selected) subgoal relation
+    join_pairs: int
+    result_log_size: float  # log10 of the accumulated intermediate after the join
+    stage_cost: float  # linear-domain: operands + result
+
+
+@dataclass(frozen=True)
+class StrategyEstimate:
+    """Total model cost of one evaluation order for a rule."""
+
+    order: tuple[int, ...]
+    stages: tuple[StageEstimate, ...]
+    total_cost: float
+    peak_log_size: float
+
+    def __str__(self) -> str:
+        inner = " -> ".join(f"g{s.subgoal_index}" for s in self.stages)
+        return f"[{inner}] cost≈{self.total_cost:.3g} peak≈1e{self.peak_log_size:.2f}"
+
+
+@dataclass
+class CostModel:
+    """Parameters of the Section 4.3 model.
+
+    ``alpha`` is the order-of-magnitude factor (the footnote's example uses
+    0.3); ``base_size`` the common size n of all subgoal relations;
+    ``binding_log_size`` the log10 size of the head-binding relation (the
+    set of "d" bindings the head supplies — Definition 4.1 treats it as one
+    of the join operands).
+    """
+
+    alpha: float = 0.3
+    base_size: float = 1.0e6
+    binding_log_size: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        if self.base_size <= 1:
+            raise ValueError("base_size must exceed 1")
+
+    # ------------------------------------------------------------------
+    def selected_log_size(self, bound_arguments: int) -> float:
+        """log10 size of a base relation after ``bound_arguments`` selections."""
+        return math.log10(self.base_size) * (self.alpha ** bound_arguments)
+
+    def join_log_size(self, left_log: float, right_log: float, pairs: int) -> float:
+        """log10 size of a join: cross product cut by α per join pair."""
+        return (left_log + right_log) * (self.alpha ** pairs)
+
+    # ------------------------------------------------------------------
+    def estimate_order(
+        self, rule: Rule, head: AdornedAtom, order: Sequence[int]
+    ) -> StrategyEstimate:
+        """Model cost of evaluating ``rule``'s body in the given order.
+
+        The accumulated intermediate starts as the head-binding relation; at
+        each stage the next subgoal is retrieved with its currently-bound
+        arguments selected and joined in; the stage cost is the sum of the
+        operand sizes and the result size (assumption 4).
+        """
+        bound: set[Variable] = set(head_bound_variables(head))
+        acc_log = self.binding_log_size
+        acc_vars: set[Variable] = set(bound)
+        total = 0.0
+        peak = acc_log
+        stages: list[StageEstimate] = []
+        for index in order:
+            subgoal = rule.body[index]
+            sub_vars = subgoal.variable_set()
+            bound_args = sum(
+                1
+                for term in subgoal.args
+                if isinstance(term, Constant) or term in acc_vars
+            )
+            operand_log = self.selected_log_size(bound_args)
+            pairs = len(acc_vars & sub_vars)
+            result_log = self.join_log_size(acc_log, operand_log, pairs)
+            cost = 10.0 ** acc_log + 10.0 ** operand_log + 10.0 ** result_log
+            total += cost
+            peak = max(peak, result_log)
+            stages.append(
+                StageEstimate(index, bound_args, operand_log, pairs, result_log, cost)
+            )
+            acc_log = result_log
+            acc_vars |= sub_vars
+        return StrategyEstimate(tuple(order), tuple(stages), total, peak)
+
+    def estimate_sip(self, strategy: SipStrategy) -> StrategyEstimate:
+        """Model cost of a SIP strategy (its induced order)."""
+        return self.estimate_order(strategy.rule, strategy.head_adornment, strategy.order)
+
+
+def rank_orders(
+    rule: Rule, head: AdornedAtom, model: Optional[CostModel] = None
+) -> list[StrategyEstimate]:
+    """All body permutations ranked by model cost (cheapest first).
+
+    Exhaustive — meant for the paper-scale rules (≤ ~7 subgoals).
+    """
+    model = model or CostModel()
+    estimates = [
+        model.estimate_order(rule, head, order)
+        for order in itertools.permutations(range(len(rule.body)))
+    ]
+    estimates.sort(key=lambda e: (e.total_cost, e.order))
+    return estimates
+
+
+def best_order(
+    rule: Rule, head: AdornedAtom, model: Optional[CostModel] = None
+) -> StrategyEstimate:
+    """The model-optimal evaluation order for a rule."""
+    if not rule.body:
+        raise ValueError("rule has an empty body")
+    return rank_orders(rule, head, model)[0]

@@ -1,0 +1,287 @@
+"""Hypergraphs, Graham (GYO) reduction, α-acyclicity, and qual trees.
+
+Section 4 defines the *monotone flow property* of a rule through the
+α-acyclicity of its evaluation hypergraph, tested by the **Graham reduction
+procedure**, which "both tests for acyclicity and exhibits a qual tree for
+the hypergraph when it is acyclic".  The two reductions, applied as long as
+possible:
+
+1. if a vertex is currently in only one hyperedge, delete it;
+2. if a hyperedge ``h1`` is a subset of another hyperedge ``h2``, add an
+   edge between ``h1`` and ``h2`` to the qual tree and delete ``h1`` from
+   the hypergraph.
+
+The hypergraph is acyclic iff the procedure reduces it to one empty edge.
+
+The **qual tree property**: for any vertex and any two hyperedges containing
+it, every hyperedge on the tree path between them also contains it — this is
+the classical "connected subtree" / running-intersection property of join
+trees for acyclic schemes [BFM*81, Yan81].
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Optional, Sequence
+
+__all__ = ["Hypergraph", "QualTree", "GyoResult"]
+
+#: Hyperedge labels and vertices may be any hashable value (we use strings
+#: and :class:`~repro.core.terms.Variable` objects respectively).
+Label = Hashable
+Vertex = Hashable
+
+
+class Hypergraph:
+    """A labelled hypergraph: each label names a set of vertices.
+
+    Duplicate labels are rejected; duplicate vertex sets under different
+    labels are allowed (two subgoals may mention the same variables).
+    """
+
+    def __init__(self, edges: Mapping[Label, Iterable[Vertex]]) -> None:
+        self.edges: dict[Label, frozenset[Vertex]] = {
+            label: frozenset(vertices) for label, vertices in edges.items()
+        }
+
+    # ------------------------------------------------------------------
+    def vertices(self) -> set[Vertex]:
+        """The union of all hyperedges."""
+        result: set[Vertex] = set()
+        for edge in self.edges.values():
+            result |= edge
+        return result
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{label}:{sorted(map(str, vs))}" for label, vs in sorted(self.edges.items(), key=lambda p: str(p[0])))
+        return f"Hypergraph({parts})"
+
+    # ------------------------------------------------------------------
+    def gyo_reduction(self) -> "GyoResult":
+        """Run the Graham reduction; report acyclicity and the qual tree edges.
+
+        The reduction is deterministic: rule 1 runs exhaustively, then the
+        lexicographically smallest applicable rule-2 pair fires, and so on.
+        """
+        current: dict[Label, set[Vertex]] = {
+            label: set(vs) for label, vs in self.edges.items()
+        }
+        tree_edges: list[tuple[Label, Label]] = []
+        absorbed: dict[Label, Label] = {}
+
+        def apply_rule_one() -> None:
+            counts: dict[Vertex, int] = {}
+            for vs in current.values():
+                for v in vs:
+                    counts[v] = counts.get(v, 0) + 1
+            lonely = {v for v, n in counts.items() if n == 1}
+            if lonely:
+                for vs in current.values():
+                    vs -= lonely
+
+        changed = True
+        while changed and len(current) > 1:
+            changed = False
+            apply_rule_one()
+            labels = sorted(current, key=str)
+            found: Optional[tuple[Label, Label]] = None
+            for small in labels:
+                for big in labels:
+                    if small == big:
+                        continue
+                    if current[small] <= current[big]:
+                        found = (small, big)
+                        break
+                if found:
+                    break
+            if found:
+                small, big = found
+                tree_edges.append((small, big))
+                absorbed[small] = big
+                del current[small]
+                changed = True
+        apply_rule_one()
+
+        acyclic = len(current) == 1 and not next(iter(current.values()))
+        return GyoResult(
+            acyclic=acyclic,
+            tree_edges=tuple(tree_edges),
+            residual={label: frozenset(vs) for label, vs in current.items()},
+            original=self,
+        )
+
+    def is_acyclic(self) -> bool:
+        """α-acyclicity via GYO reduction."""
+        return self.gyo_reduction().acyclic
+
+
+@dataclass(frozen=True)
+class GyoResult:
+    """Outcome of a Graham reduction.
+
+    ``residual`` is whatever could not be reduced: a single empty edge when
+    acyclic, otherwise the cyclic *core* (e.g. the Y/V/W triangle of rule R3
+    in Fig 4).
+    """
+
+    acyclic: bool
+    tree_edges: tuple[tuple[Label, Label], ...]
+    residual: dict[Label, frozenset[Vertex]]
+    original: Hypergraph
+
+    def qual_tree(self, root: Label) -> "QualTree":
+        """Assemble the qual tree, rooted at ``root`` (the rule head).
+
+        Raises ``ValueError`` if the hypergraph was cyclic (cyclic
+        hypergraphs "do not have qual trees, but have qual graphs containing
+        cycles").
+        """
+        if not self.acyclic:
+            raise ValueError("cyclic hypergraph has no qual tree")
+        return QualTree.from_edges(self.original.edges, self.tree_edges, root)
+
+    def cyclic_core_vertices(self) -> set[Vertex]:
+        """Vertices of the irreducible residual (empty when acyclic)."""
+        result: set[Vertex] = set()
+        for vs in self.residual.values():
+            result |= vs
+        return result
+
+
+class QualTree:
+    """An undirected tree over hyperedges, rooted at the rule head.
+
+    "The important qual tree property ... for any variable in the rule, and
+    any two hyperedges containing that variable, the path between those
+    hyperedges in the qual tree only involves hyperedges that also contain
+    that variable."
+    """
+
+    def __init__(
+        self,
+        nodes: Mapping[Label, frozenset[Vertex]],
+        adjacency: Mapping[Label, set[Label]],
+        root: Label,
+    ) -> None:
+        self.nodes: dict[Label, frozenset[Vertex]] = dict(nodes)
+        self.adjacency: dict[Label, set[Label]] = {
+            label: set(neighbors) for label, neighbors in adjacency.items()
+        }
+        for label in self.nodes:
+            self.adjacency.setdefault(label, set())
+        if root not in self.nodes:
+            raise ValueError(f"root {root!r} is not a node")
+        self.root = root
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        nodes: Mapping[Label, frozenset[Vertex]],
+        tree_edges: Sequence[tuple[Label, Label]],
+        root: Label,
+    ) -> "QualTree":
+        """Build the tree from GYO rule-2 edges.
+
+        GYO may terminate with the final surviving edge unattached; every
+        (small, big) pair becomes an undirected edge, which yields a tree on
+        all nodes because each label is absorbed exactly once.
+        """
+        adjacency: dict[Label, set[Label]] = {label: set() for label in nodes}
+        for small, big in tree_edges:
+            adjacency[small].add(big)
+            adjacency[big].add(small)
+        return cls(nodes, adjacency, root)
+
+    # ------------------------------------------------------------------
+    def is_tree(self) -> bool:
+        """Connected and acyclic (|E| = |V| - 1 with full reachability)."""
+        if not self.nodes:
+            return False
+        edge_count = sum(len(n) for n in self.adjacency.values()) // 2
+        if edge_count != len(self.nodes) - 1:
+            return False
+        seen = {self.root}
+        frontier = deque([self.root])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in self.adjacency[node]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self.nodes)
+
+    def parent_map(self) -> dict[Label, Label]:
+        """Parent of each non-root node when edges are directed from the root."""
+        parents: dict[Label, Label] = {}
+        seen = {self.root}
+        frontier = deque([self.root])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in sorted(self.adjacency[node], key=str):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    parents[neighbor] = node
+                    frontier.append(neighbor)
+        return parents
+
+    def children_map(self) -> dict[Label, list[Label]]:
+        """Children of each node when edges are directed away from the root."""
+        children: dict[Label, list[Label]] = {label: [] for label in self.nodes}
+        for child, parent in self.parent_map().items():
+            children[parent].append(child)
+        for kids in children.values():
+            kids.sort(key=str)
+        return children
+
+    def path(self, a: Label, b: Label) -> list[Label]:
+        """The unique tree path from ``a`` to ``b`` (inclusive)."""
+        if a not in self.nodes or b not in self.nodes:
+            raise KeyError(f"unknown node in path({a!r}, {b!r})")
+        previous: dict[Label, Label] = {a: a}
+        frontier = deque([a])
+        while frontier:
+            node = frontier.popleft()
+            if node == b:
+                break
+            for neighbor in self.adjacency[node]:
+                if neighbor not in previous:
+                    previous[neighbor] = node
+                    frontier.append(neighbor)
+        if b not in previous:
+            raise ValueError(f"{a!r} and {b!r} are not connected")
+        result = [b]
+        while result[-1] != a:
+            result.append(previous[result[-1]])
+        result.reverse()
+        return result
+
+    def satisfies_qual_tree_property(self) -> bool:
+        """Check the running-intersection (qual tree) property exhaustively."""
+        labels = sorted(self.nodes, key=str)
+        vertices: set[Vertex] = set()
+        for vs in self.nodes.values():
+            vertices |= vs
+        for vertex in vertices:
+            holders = [l for l in labels if vertex in self.nodes[l]]
+            for i, a in enumerate(holders):
+                for b in holders[i + 1 :]:
+                    if any(vertex not in self.nodes[n] for n in self.path(a, b)):
+                        return False
+        return True
+
+    def leaves(self) -> list[Label]:
+        """Nodes of degree one, excluding the root (sorted for determinism)."""
+        return sorted(
+            (l for l in self.nodes if len(self.adjacency[l]) == 1 and l != self.root),
+            key=str,
+        )
+
+    def __repr__(self) -> str:
+        parents = self.parent_map()
+        parts = ", ".join(f"{child}->{parent}" for child, parent in sorted(parents.items(), key=lambda p: str(p[0])))
+        return f"QualTree(root={self.root!r}; {parts})"

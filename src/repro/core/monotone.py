@@ -1,0 +1,365 @@
+"""The monotone flow property (Section 4) and qual-tree composition.
+
+Information passing can be viewed as function evaluation: "c" and "d"
+arguments are inputs and "f" arguments outputs.  The **monotone flow
+property** (Definition 4.2) holds for a rule, with given head binding
+classes, when its *evaluation hypergraph* (Definition 4.1) is α-acyclic:
+
+* one hypergraph vertex per variable of the rule;
+* the hyperedge of the head holds the head's bound ("c"/"d") variables —
+  written ``head^b`` in the paper;
+* the hyperedge of each subgoal holds all variables of that subgoal.
+
+When acyclic, Graham reduction exhibits a **qual tree** rooted at the head;
+directing its edges away from the root yields a greedy SIP (Theorem 4.1).
+Qual trees *compose* under resolution on a leaf subgoal (Theorem 4.2), which
+is how monotone flow can transmit through recursive expansions (§4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from .adornment import (
+    CONSTANT,
+    DYNAMIC,
+    AdornedAtom,
+    head_bound_variables,
+)
+from .atoms import Atom
+from .hypergraph import Hypergraph, QualTree
+from .rules import Rule
+from .sips import HEAD, SipArc, SipStrategy, is_greedy
+from .terms import Constant, FreshVariables, Variable
+from .unify import Substitution, unify
+
+__all__ = [
+    "HEAD_LABEL",
+    "subgoal_label",
+    "evaluation_hypergraph",
+    "has_monotone_flow",
+    "rule_qual_tree",
+    "qual_tree_sip",
+    "ExtendedRule",
+    "extend_rule",
+    "compose_qual_trees",
+    "recursive_leaf_subgoals",
+]
+
+#: Label of the head hyperedge (the paper's ``head^b`` / ``p^b``).
+HEAD_LABEL = "head"
+
+
+def subgoal_label(index: int) -> str:
+    """Canonical hyperedge label for subgoal ``index``: ``g0``, ``g1``, ..."""
+    return f"g{index}"
+
+
+def evaluation_hypergraph(rule: Rule, head: AdornedAtom) -> Hypergraph:
+    """The evaluation hypergraph of Definition 4.1.
+
+    "Evaluating the rule for the bindings in the head can be viewed as
+    evaluating a join expression in which the bindings in the head are one
+    relation and the subgoals are the remaining relations."
+    """
+    if head.atom != rule.head:
+        raise ValueError(f"adorned head {head} does not match rule head {rule.head}")
+    edges: dict[str, set[Variable]] = {HEAD_LABEL: set(head_bound_variables(head))}
+    for i, sub in enumerate(rule.body):
+        edges[subgoal_label(i)] = set(sub.variable_set())
+    return Hypergraph(edges)
+
+
+def has_monotone_flow(rule: Rule, head: AdornedAtom) -> bool:
+    """Definition 4.2: the evaluation hypergraph is α-acyclic."""
+    return evaluation_hypergraph(rule, head).is_acyclic()
+
+
+def rule_qual_tree(rule: Rule, head: AdornedAtom) -> Optional[QualTree]:
+    """The qual tree of the rule, rooted at the head — or ``None`` if cyclic."""
+    result = evaluation_hypergraph(rule, head).gyo_reduction()
+    if not result.acyclic:
+        return None
+    return result.qual_tree(HEAD_LABEL)
+
+
+def qual_tree_sip(rule: Rule, head: AdornedAtom) -> Optional[SipStrategy]:
+    """The SIP obtained by directing qual tree edges away from the root.
+
+    Returns ``None`` when the rule lacks the monotone flow property.  The
+    induced evaluation order schedules, among the tree frontier, the subgoal
+    with the most bound argument positions first — the selection rule used in
+    the proof of Theorem 4.1, which guarantees the result :func:`is greedy
+    <repro.core.sips.is_greedy>`.
+    """
+    tree = rule_qual_tree(rule, head)
+    if tree is None:
+        return None
+    children = tree.children_map()
+    parents = tree.parent_map()
+
+    def label_index(label: object) -> int:
+        assert isinstance(label, str) and label.startswith("g")
+        return int(label[1:])
+
+    from .sips import bound_score
+
+    bound: set[Variable] = set(head_bound_variables(head))
+    frontier: list[str] = [str(c) for c in children[HEAD_LABEL]]
+    order: list[int] = []
+    arcs: list[SipArc] = []
+
+    while frontier:
+        best = max(
+            frontier,
+            key=lambda l: (bound_score(rule.body[label_index(l)], bound), -label_index(l)),
+        )
+        frontier.remove(best)
+        index = label_index(best)
+        order.append(index)
+        parent = parents[best]
+        parent_index = HEAD if parent == HEAD_LABEL else label_index(str(parent))
+        parent_vars = (
+            head_bound_variables(head)
+            if parent == HEAD_LABEL
+            else rule.body[parent_index].variable_set()
+        )
+        shared = frozenset(rule.body[index].variable_set() & parent_vars & bound)
+        if shared:
+            arcs.append(SipArc(parent_index, index, shared))
+        bound |= rule.body[index].variable_set()
+        frontier.extend(str(c) for c in children[best])
+    return SipStrategy(rule, head, tuple(arcs), tuple(order))
+
+
+# ----------------------------------------------------------------------
+# Rule extension by resolution and qual-tree composition (§4.2)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ExtendedRule:
+    """The result of resolving an upper rule with a lower rule on a subgoal.
+
+    Attributes
+    ----------
+    rule:
+        The extended rule: the resolved subgoal replaced, in place, by the
+        (unified) body of the lower rule.
+    head:
+        The extended rule's adorned head — "the argument bindings for the
+        head of the extended rule be the same as R_v" (§4.2).
+    mgu:
+        The unifier of the lower head with the resolved subgoal.
+    upper_applied / lower_applied:
+        Both parent rules after the mgu is applied (lower renamed apart
+        first).
+    resolved_index:
+        Index of the replaced subgoal in the upper rule.
+    """
+
+    rule: Rule
+    head: AdornedAtom
+    mgu: Substitution
+    upper_applied: Rule
+    lower_applied: Rule
+    resolved_index: int
+
+    def extended_index(self, upper_index: int) -> int:
+        """Map an upper-rule subgoal index into the extended rule."""
+        if upper_index == self.resolved_index:
+            raise ValueError("the resolved subgoal has no image in the extension")
+        if upper_index < self.resolved_index:
+            return upper_index
+        return upper_index + len(self.lower_applied.body) - 1
+
+    def lower_extended_index(self, lower_index: int) -> int:
+        """Map a lower-rule subgoal index into the extended rule."""
+        return self.resolved_index + lower_index
+
+
+def extend_rule(
+    upper: Rule,
+    subgoal_index: int,
+    lower: Rule,
+    fresh: FreshVariables | None = None,
+) -> ExtendedRule:
+    """Resolve ``upper`` with ``lower`` on ``upper.body[subgoal_index]``.
+
+    "First unify the head of R_w with subgoal p, then replace p in R_v by the
+    subgoals of R_w" (§4.2).  The lower rule is renamed apart first.  The
+    head adornment of the extension mirrors the upper head's: constants "c",
+    everything else keeps its original class.
+    """
+    fresh = fresh or FreshVariables()
+    subgoal = upper.body[subgoal_index]
+    lower_renamed = lower.rename_apart(fresh)
+    theta = unify(lower_renamed.head, subgoal)
+    if theta is None:
+        raise ValueError(f"{lower_renamed.head} does not unify with {subgoal}")
+    upper_applied = upper.substitute(theta.as_dict())
+    lower_applied = lower_renamed.substitute(theta.as_dict())
+    body = (
+        upper_applied.body[:subgoal_index]
+        + lower_applied.body
+        + upper_applied.body[subgoal_index + 1 :]
+    )
+    return ExtendedRule(
+        rule=Rule(upper_applied.head, body),
+        head=_transfer_adornment(upper_applied.head, None),
+        mgu=theta,
+        upper_applied=upper_applied,
+        lower_applied=lower_applied,
+        resolved_index=subgoal_index,
+    )
+
+
+def _transfer_adornment(atom: Atom, letters: Optional[Sequence[str]]) -> AdornedAtom:
+    """Adorn ``atom`` with ``letters``, repairing positions the mgu grounded.
+
+    Any position now holding a constant must be "c"; variable positions keep
+    the given class (defaulting "d" for none supplied is wrong, so when
+    ``letters`` is ``None`` variables default to "f").
+    """
+    from .adornment import EXISTENTIAL, FREE
+
+    result = []
+    for i, term in enumerate(atom.args):
+        wanted = letters[i] if letters is not None else FREE
+        if isinstance(term, Constant):
+            result.append(CONSTANT)
+        elif wanted == CONSTANT:
+            result.append(DYNAMIC)
+        else:
+            result.append(wanted)
+    return AdornedAtom(atom, tuple(result))
+
+
+def extend_adorned(
+    upper: Rule,
+    upper_head: AdornedAtom,
+    subgoal_index: int,
+    lower: Rule,
+    fresh: FreshVariables | None = None,
+) -> ExtendedRule:
+    """Like :func:`extend_rule`, carrying the upper head's adornment through."""
+    extension = extend_rule(upper, subgoal_index, lower, fresh)
+    head = _transfer_adornment(extension.upper_applied.head, upper_head.adornment)
+    return ExtendedRule(
+        rule=extension.rule,
+        head=head,
+        mgu=extension.mgu,
+        upper_applied=extension.upper_applied,
+        lower_applied=extension.lower_applied,
+        resolved_index=subgoal_index,
+    )
+
+
+def compose_qual_trees(
+    upper: Rule,
+    upper_head: AdornedAtom,
+    subgoal_index: int,
+    lower: Rule,
+    fresh: FreshVariables | None = None,
+) -> tuple[ExtendedRule, QualTree]:
+    """Theorem 4.2: compose the qual trees of two monotone rules.
+
+    Requires that both rules have the monotone flow property (for the binding
+    patterns induced by the upper rule's qual-tree SIP) and that the resolved
+    subgoal is a **leaf** of the upper qual tree.  The composition "attaches
+    the neighbors of the root p^b of the qual tree of w to the parent of the
+    resolved leaf p in the qual tree of u, removing both p^b and p".
+
+    Returns the extended rule and its composed qual tree; the theorem (tested
+    in the suite) asserts the result is a qual tree for the extended rule.
+    """
+    from .sips import adorn_body
+
+    upper_sip = qual_tree_sip(upper, upper_head)
+    if upper_sip is None:
+        raise ValueError("upper rule lacks the monotone flow property")
+    upper_tree = rule_qual_tree(upper, upper_head)
+    assert upper_tree is not None
+    leaf = subgoal_label(subgoal_index)
+    if leaf not in upper_tree.leaves():
+        raise ValueError(f"subgoal {subgoal_index} is not a leaf of the upper qual tree")
+
+    adorned_subgoals = adorn_body(upper_sip)
+    subgoal_adornment = adorned_subgoals[subgoal_index].adornment
+
+    extension = extend_adorned(upper, upper_head, subgoal_index, lower, fresh)
+
+    # Lower rule's qual tree, for the head binding pattern the subgoal imposes,
+    # computed on the mgu-applied copy so vertex sets are the extended rule's.
+    lower_head = _transfer_adornment(extension.lower_applied.head, subgoal_adornment)
+    lower_tree = rule_qual_tree(extension.lower_applied, lower_head)
+    if lower_tree is None:
+        raise ValueError("lower rule lacks the monotone flow property for this binding")
+
+    upper_applied_tree = rule_qual_tree(extension.upper_applied, extension.head)
+    if upper_applied_tree is None:
+        # The mgu can only merge variables already connected through p, so
+        # this should not happen for well-formed inputs; guard anyway.
+        raise ValueError("upper rule lost monotone flow after unification")
+
+    # --- splice ---------------------------------------------------------
+    nodes: dict[object, frozenset] = {}
+    adjacency: dict[object, set[object]] = {}
+
+    def upper_new_label(label: object) -> object:
+        if label == HEAD_LABEL:
+            return HEAD_LABEL
+        index = int(str(label)[1:])
+        return subgoal_label(extension.extended_index(index))
+
+    def lower_new_label(label: object) -> object:
+        index = int(str(label)[1:])
+        return subgoal_label(extension.lower_extended_index(index))
+
+    for label, vertices in upper_applied_tree.nodes.items():
+        if label == leaf:
+            continue
+        nodes[upper_new_label(label)] = vertices
+        adjacency[upper_new_label(label)] = set()
+    for label, vertices in lower_tree.nodes.items():
+        if label == HEAD_LABEL:
+            continue
+        nodes[lower_new_label(label)] = vertices
+        adjacency[lower_new_label(label)] = set()
+
+    parent_of_leaf = upper_new_label(upper_applied_tree.parent_map()[leaf])
+    for a, neighbors in upper_applied_tree.adjacency.items():
+        for b in neighbors:
+            if leaf in (a, b):
+                continue
+            adjacency[upper_new_label(a)].add(upper_new_label(b))
+    for a, neighbors in lower_tree.adjacency.items():
+        for b in neighbors:
+            if HEAD_LABEL in (a, b):
+                continue
+            adjacency[lower_new_label(a)].add(lower_new_label(b))
+    for neighbor in lower_tree.adjacency[HEAD_LABEL]:
+        new = lower_new_label(neighbor)
+        adjacency[new].add(parent_of_leaf)
+        adjacency[parent_of_leaf].add(new)
+
+    composed = QualTree(nodes, adjacency, HEAD_LABEL)
+    return extension, composed
+
+
+def recursive_leaf_subgoals(rule: Rule, head: AdornedAtom) -> list[int]:
+    """Subgoal indices sharing the head's predicate that are qual tree leaves.
+
+    When every recursive subgoal is a leaf, Theorem 4.2 applies to each
+    recursive expansion, so the monotone flow property "might be transmitted
+    to all recursive extensions of the rule" (§4.2).
+    """
+    tree = rule_qual_tree(rule, head)
+    if tree is None:
+        return []
+    leaves = set(tree.leaves())
+    return [
+        i
+        for i, sub in enumerate(rule.body)
+        if sub.predicate == rule.head.predicate and subgoal_label(i) in leaves
+    ]

@@ -1,0 +1,116 @@
+"""Horn clause rules.
+
+A *rule* (Section 1) is a definite Horn clause: one positive literal (the
+head) and zero or more negative literals (the subgoals).  The paper writes
+rules in Prolog style with the head on the left::
+
+    p(X, Y) <- p(X, U), q(U, V), p(V, Y).
+
+Facts are rules with an empty body and a ground head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from .atoms import Atom
+from .terms import Constant, FreshVariables, Term, Variable
+from .unify import rename_apart
+
+__all__ = ["Rule", "GOAL_PREDICATE"]
+
+#: The distinguished predicate of the query rules (Section 1): it never
+#: appears negatively, and the answer to the query is its portion of the
+#: minimum model.
+GOAL_PREDICATE = "goal"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A definite Horn clause ``head <- body``.
+
+    ``Rule`` is immutable and hashable; the rule/goal graph stores renamed
+    copies rather than mutating rules in place.
+    """
+
+    head: Atom
+    body: tuple[Atom, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.head, Atom):
+            raise TypeError("rule head must be an Atom")
+        for sub in self.body:
+            if not isinstance(sub, Atom):
+                raise TypeError("rule subgoals must be Atoms")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_fact(self) -> bool:
+        """True iff the rule has an empty body."""
+        return not self.body
+
+    def variables(self) -> set[Variable]:
+        """All distinct variables occurring anywhere in the rule."""
+        result = self.head.variable_set()
+        for sub in self.body:
+            result |= sub.variable_set()
+        return result
+
+    def body_variables(self) -> set[Variable]:
+        """Distinct variables occurring in the body."""
+        result: set[Variable] = set()
+        for sub in self.body:
+            result |= sub.variable_set()
+        return result
+
+    def is_safe(self) -> bool:
+        """Range restriction: every head variable must occur in the body.
+
+        Safety guarantees the minimum model restricted to any predicate is a
+        finite relation over the constants of the system, which the whole
+        framework presumes.
+        """
+        return self.head.variable_set() <= self.body_variables()
+
+    def predicates(self) -> set[str]:
+        """All predicate symbols used by the rule (head and body)."""
+        return {self.head.predicate, *(s.predicate for s in self.body)}
+
+    def body_predicates(self) -> set[str]:
+        """Predicate symbols occurring in the body."""
+        return {s.predicate for s in self.body}
+
+    # ------------------------------------------------------------------
+    def substitute(self, mapping: Mapping[Variable, Term]) -> "Rule":
+        """Apply a substitution to head and every subgoal."""
+        return Rule(self.head.substitute(mapping), tuple(s.substitute(mapping) for s in self.body))
+
+    def rename_apart(self, fresh: FreshVariables) -> "Rule":
+        """Return a copy of the rule with all-new variables (Section 2.1)."""
+        atoms, _ = rename_apart([self.head, *self.body], fresh)
+        return Rule(atoms[0], tuple(atoms[1:]))
+
+    def singleton_variables(self) -> set[Variable]:
+        """Variables occurring exactly once in the whole rule.
+
+        A variable occurring in one subgoal and nowhere else is classified
+        "e" (existential) by the information-passing construction
+        (Section 2.2): its value will not be transmitted.
+        """
+        counts: dict[Variable, int] = {}
+        for atom_ in (self.head, *self.body):
+            for term in atom_.args:
+                if isinstance(term, Variable):
+                    counts[term] = counts.get(term, 0) + 1
+        return {v for v, n in counts.items() if n == 1}
+
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if self.is_fact:
+            return f"{self.head}."
+        body = ", ".join(str(s) for s in self.body)
+        return f"{self.head} <- {body}."
+
+    def __repr__(self) -> str:
+        return f"Rule({str(self)!r})"

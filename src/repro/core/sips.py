@@ -1,0 +1,303 @@
+"""Sideways information passing (SIP) strategies — Definitions 2.3 and 2.4.
+
+A SIP strategy for a rule is "an acyclic directed graph on the subgoals; the
+arc r -> s is present whenever an 'f' argument of r furnishes bindings for a
+'d' argument of s" (Definition 2.3).  We also allow the rule *head* as a
+virtual source node (index ``HEAD``), since head "c"/"d" arguments furnish
+the first bindings.
+
+The **greedy** strategy (Definition 2.4) maximally pushes "d" arguments
+forward: no subgoal is requested with an argument free if it could wait for
+tuples from an already-scheduled subgoal and receive a set of bindings for
+that argument.  It rests on the heuristic that "maximizing bound arguments is
+more important than minimizing unbound arguments for the purpose of making
+intermediate relations small" (Section 2.2).
+
+Strategies provided:
+
+* :func:`greedy_sip` — Definition 2.4 (the default of the whole framework);
+* :func:`left_to_right_sip` — Prolog's textual order, for comparison;
+* :func:`all_free_sip` — no sideways passing at all; every non-head-bound
+  variable stays "f".  This is the stand-in for McKay–Shapiro-style
+  evaluation where "intermediate relations ... tend to be entirely computed"
+  (Section 1.1), used as a baseline;
+* :func:`sip_from_order` — the generic constructor both of the above use;
+* ``qual-tree SIP`` — built in :mod:`repro.core.monotone` by directing qual
+  tree edges away from the root (Theorem 4.1 shows it is greedy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .adornment import (
+    CONSTANT,
+    DYNAMIC,
+    EXISTENTIAL,
+    FREE,
+    AdornedAtom,
+    head_bound_variables,
+)
+from .atoms import Atom
+from .rules import Rule
+from .terms import Constant, Variable
+
+__all__ = [
+    "HEAD",
+    "SipArc",
+    "SipStrategy",
+    "sip_from_order",
+    "greedy_sip",
+    "left_to_right_sip",
+    "all_free_sip",
+    "adorn_body",
+    "bound_score",
+    "is_greedy",
+]
+
+#: Virtual node index standing for the rule head as a source of bindings.
+HEAD = -1
+
+
+@dataclass(frozen=True)
+class SipArc:
+    """One arc of a SIP graph: ``source`` passes ``variables`` to ``target``.
+
+    ``source`` is a subgoal index or :data:`HEAD`; ``target`` is a subgoal
+    index; ``variables`` are the variables whose bindings flow along the arc.
+    """
+
+    source: int
+    target: int
+    variables: frozenset[Variable]
+
+    def __str__(self) -> str:
+        src = "head" if self.source == HEAD else f"g{self.source}"
+        names = ",".join(sorted(v.name for v in self.variables))
+        return f"{src} --{{{names}}}--> g{self.target}"
+
+
+@dataclass(frozen=True)
+class SipStrategy:
+    """A SIP graph for one rule, plus the evaluation order it induces.
+
+    ``order`` is a topological order of the subgoal indices consistent with
+    the arcs (ties resolved by the constructing strategy); the message-passing
+    engine and the bottom-up oracle both consume it.
+    """
+
+    rule: Rule
+    head_adornment: AdornedAtom
+    arcs: tuple[SipArc, ...]
+    order: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        indices = set(range(len(self.rule.body)))
+        if set(self.order) != indices or len(self.order) != len(indices):
+            raise ValueError(
+                f"order {self.order} is not a permutation of subgoals {sorted(indices)}"
+            )
+        position = {g: i for i, g in enumerate(self.order)}
+        for arc in self.arcs:
+            if arc.target not in indices:
+                raise ValueError(f"arc target {arc.target} out of range")
+            if arc.source != HEAD:
+                if arc.source not in indices:
+                    raise ValueError(f"arc source {arc.source} out of range")
+                if position[arc.source] >= position[arc.target]:
+                    raise ValueError(f"arc {arc} disagrees with order {self.order}")
+
+    # ------------------------------------------------------------------
+    def bound_variables_at(self, subgoal: int) -> set[Variable]:
+        """Variables arriving bound at ``subgoal`` via SIP arcs (and the head)."""
+        incoming: set[Variable] = set()
+        for arc in self.arcs:
+            if arc.target == subgoal:
+                incoming |= arc.variables
+        return incoming
+
+    def arcs_into(self, subgoal: int) -> list[SipArc]:
+        """The arcs whose target is ``subgoal``."""
+        return [a for a in self.arcs if a.target == subgoal]
+
+    def is_acyclic(self) -> bool:
+        """Definition 2.3 requires the SIP graph to be acyclic; verify it."""
+        successors: dict[int, set[int]] = {}
+        for arc in self.arcs:
+            successors.setdefault(arc.source, set()).add(arc.target)
+        visited: dict[int, int] = {}  # 1 = in progress, 2 = done
+
+        def dfs(node: int) -> bool:
+            visited[node] = 1
+            for nxt in successors.get(node, ()):
+                state = visited.get(nxt)
+                if state == 1:
+                    return False
+                if state is None and not dfs(nxt):
+                    return False
+            visited[node] = 2
+            return True
+
+        return all(dfs(n) for n in list(successors) if n not in visited)
+
+    def __str__(self) -> str:
+        arcs = "; ".join(str(a) for a in self.arcs)
+        return f"SIP[{arcs}] order={list(self.order)}"
+
+
+# ----------------------------------------------------------------------
+# Adornment propagation under a SIP
+# ----------------------------------------------------------------------
+
+def adorn_body(strategy: SipStrategy) -> list[AdornedAtom]:
+    """Adorn every subgoal of the strategy's rule, in *textual* order.
+
+    Classification per Section 2.2:
+
+    * constant arguments are "c";
+    * a variable bound by the head ("d" position) or fed by an incoming SIP
+      arc is "d";
+    * a variable occurring exactly once in the whole rule is "e"
+      (existential);
+    * a head variable whose head class is "e" and which occurs in exactly one
+      subgoal is "e" as well — its value need not be transmitted;
+    * everything else is "f": this occurrence is the producer of the
+      variable's bindings.
+    """
+    rule = strategy.rule
+    head = strategy.head_adornment
+    head_bound = head_bound_variables(head)
+    head_existential = {
+        rule.head.args[i]
+        for i in head.existential_positions
+        if isinstance(rule.head.args[i], Variable)
+    }
+    singletons = rule.singleton_variables()
+
+    body_occurrences: dict[Variable, int] = {}
+    for sub in rule.body:
+        for var in sub.variable_set():
+            body_occurrences[var] = body_occurrences.get(var, 0) + 1
+
+    adorned: list[AdornedAtom] = []
+    for index, sub in enumerate(rule.body):
+        incoming = strategy.bound_variables_at(index) | head_bound
+        letters: list[str] = []
+        for term in sub.args:
+            if isinstance(term, Constant):
+                letters.append(CONSTANT)
+            elif term in incoming:
+                letters.append(DYNAMIC)
+            elif term in singletons:
+                letters.append(EXISTENTIAL)
+            elif term in head_existential and body_occurrences.get(term, 0) == 1:
+                letters.append(EXISTENTIAL)
+            else:
+                letters.append(FREE)
+        adorned.append(AdornedAtom(sub, tuple(letters)))
+    return adorned
+
+
+# ----------------------------------------------------------------------
+# Strategy constructors
+# ----------------------------------------------------------------------
+
+def bound_score(subgoal: Atom, bound: set[Variable]) -> int:
+    """How bound a subgoal is: distinct constants + distinct bound variables.
+
+    This is the notion of "bindings" used by the proof of Theorem 4.1 (a
+    repeated occurrence of one bound variable is still one binding): the
+    qual-tree property propagates *variables*, so counting argument positions
+    instead would let a repeated-variable subgoal outside the tree frontier
+    spuriously outrank the frontier.
+    """
+    constants = {t for t in subgoal.args if isinstance(t, Constant)}
+    bound_vars = subgoal.variable_set() & bound
+    return len(constants) + len(bound_vars)
+
+
+def sip_from_order(rule: Rule, head: AdornedAtom, order: Sequence[int]) -> SipStrategy:
+    """Build the SIP graph induced by evaluating subgoals in ``order``.
+
+    Each variable's bindings flow from its *producer* — the head if the head
+    binds it, else the earliest subgoal (in ``order``) containing it — to
+    every later subgoal containing it.
+    """
+    rule_body = rule.body
+    head_bound = head_bound_variables(head)
+    producer: dict[Variable, int] = {v: HEAD for v in head_bound}
+    arcs: list[SipArc] = []
+    for index in order:
+        sub = rule_body[index]
+        incoming: dict[int, set[Variable]] = {}
+        for var in sorted(sub.variable_set(), key=lambda v: v.name):
+            source = producer.get(var)
+            if source is not None:
+                incoming.setdefault(source, set()).add(var)
+            else:
+                producer[var] = index
+        for source in sorted(incoming):
+            arcs.append(SipArc(source, index, frozenset(incoming[source])))
+    return SipStrategy(rule, head, tuple(arcs), tuple(order))
+
+
+def left_to_right_sip(rule: Rule, head: AdornedAtom) -> SipStrategy:
+    """Prolog's strategy: solve subgoals in textual order (Section 2.2)."""
+    return sip_from_order(rule, head, range(len(rule.body)))
+
+
+def greedy_sip(rule: Rule, head: AdornedAtom) -> SipStrategy:
+    """The greedy strategy of Definition 2.4.
+
+    Repeatedly schedule next the not-yet-scheduled subgoal with the maximum
+    number of argument positions already bound (by the head or by scheduled
+    subgoals); ties break toward the leftmost subgoal, matching the paper's
+    examples.  The result maximally pushes "d" arguments forward.
+    """
+    bound: set[Variable] = set(head_bound_variables(head))
+    remaining = list(range(len(rule.body)))
+    order: list[int] = []
+    while remaining:
+        best = max(remaining, key=lambda i: (bound_score(rule.body[i], bound), -i))
+        remaining.remove(best)
+        order.append(best)
+        bound |= rule.body[best].variable_set()
+    return sip_from_order(rule, head, order)
+
+
+def all_free_sip(rule: Rule, head: AdornedAtom) -> SipStrategy:
+    """No sideways passing: the SIP graph has no arcs at all.
+
+    Head bindings still apply (they are not "sideways"), but no subgoal waits
+    for another, so shared variables stay "f" everywhere — intermediate
+    relations are computed in full, McKay–Shapiro style.
+    """
+    return SipStrategy(rule, head, (), tuple(range(len(rule.body))))
+
+
+# ----------------------------------------------------------------------
+# Greediness checking (used by the Theorem 4.1 artifacts)
+# ----------------------------------------------------------------------
+
+def is_greedy(strategy: SipStrategy) -> bool:
+    """Check Definition 2.4 for a SIP strategy.
+
+    A strategy is greedy iff no subgoal is evaluated with an argument free
+    when, at its scheduling point, *waiting longer* could have bound more of
+    its bindings.  Operationally: at each step of ``strategy.order`` the
+    chosen subgoal must score at least as high (:func:`bound_score`:
+    distinct constants + distinct bound variables — the Theorem 4.1 notion)
+    as every other remaining subgoal at the current point; since bindings
+    only grow, stepwise maximality is exactly "could not profit by waiting".
+    """
+    rule = strategy.rule
+    bound: set[Variable] = set(head_bound_variables(strategy.head_adornment))
+    remaining = set(range(len(rule.body)))
+    for chosen in strategy.order:
+        best = max(bound_score(rule.body[i], bound) for i in remaining)
+        if bound_score(rule.body[chosen], bound) < best:
+            return False
+        remaining.discard(chosen)
+        bound |= rule.body[chosen].variable_set()
+    return True

@@ -1,0 +1,199 @@
+"""Unification, substitutions, variants, and renaming apart.
+
+The rule/goal graph construction (Section 2.1) expands a subgoal by creating a
+rule node "for every rule whose head unifies with the subgoal", applying the
+most general unifier (mgu), and it stops expanding a subgoal that "is a
+variant of one of its ancestors".  This module supplies those three
+operations: :func:`unify`, :func:`is_variant`, and :func:`rename_apart`.
+
+Because the language is function-free, unification never needs an occurs
+check and the mgu (when it exists) is computable in linear time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .atoms import Atom
+from .terms import Constant, FreshVariables, Term, Variable
+
+__all__ = [
+    "Substitution",
+    "unify",
+    "unify_terms",
+    "is_variant",
+    "variant_renaming",
+    "rename_apart",
+    "match",
+]
+
+
+class Substitution:
+    """An idempotent substitution: a finite map from variables to terms.
+
+    The class maintains the *triangular-solved* form: no variable in the
+    domain appears in any term of the range.  This makes :meth:`apply`
+    single-pass and composition straightforward.
+    """
+
+    __slots__ = ("_map",)
+
+    def __init__(self, mapping: Mapping[Variable, Term] | None = None) -> None:
+        self._map: dict[Variable, Term] = dict(mapping or {})
+
+    # ------------------------------------------------------------------
+    def __contains__(self, var: Variable) -> bool:
+        return var in self._map
+
+    def __getitem__(self, var: Variable) -> Term:
+        return self._map[var]
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._map == other._map
+
+    def __repr__(self) -> str:
+        pairs = ", ".join(f"{v}↦{t}" for v, t in sorted(self._map.items(), key=lambda p: p[0].name))
+        return f"{{{pairs}}}"
+
+    def items(self) -> Iterable[tuple[Variable, Term]]:
+        """The (variable, term) bindings in the substitution."""
+        return self._map.items()
+
+    def as_dict(self) -> dict[Variable, Term]:
+        """A defensive copy of the underlying mapping."""
+        return dict(self._map)
+
+    # ------------------------------------------------------------------
+    def resolve(self, term: Term) -> Term:
+        """Apply the substitution to a single term."""
+        if isinstance(term, Variable):
+            return self._map.get(term, term)
+        return term
+
+    def apply(self, atom: Atom) -> Atom:
+        """Apply the substitution to every argument of ``atom``."""
+        return atom.substitute(self._map)
+
+    def bind(self, var: Variable, term: Term) -> None:
+        """Extend the substitution with ``var -> term``, keeping solved form.
+
+        Any earlier bindings whose range mentions ``var`` are rewritten so the
+        substitution stays idempotent.
+        """
+        term = self.resolve(term)
+        if term == var:
+            return
+        # Rewrite existing range occurrences of var.
+        for key, value in list(self._map.items()):
+            if value == var:
+                self._map[key] = term
+        self._map[var] = term
+
+    def is_renaming(self) -> bool:
+        """True iff the substitution maps variables bijectively to variables."""
+        targets = list(self._map.values())
+        return all(isinstance(t, Variable) for t in targets) and len(set(targets)) == len(targets)
+
+
+def unify_terms(pairs: Sequence[tuple[Term, Term]]) -> Optional[Substitution]:
+    """Unify a sequence of term pairs; return the mgu or ``None``.
+
+    Function-free unification: constants unify only with themselves; a
+    variable unifies with anything.
+    """
+    subst = Substitution()
+    for left, right in pairs:
+        left = subst.resolve(left)
+        right = subst.resolve(right)
+        if left == right:
+            continue
+        if isinstance(left, Variable):
+            subst.bind(left, right)
+        elif isinstance(right, Variable):
+            subst.bind(right, left)
+        else:
+            return None  # two distinct constants
+    return subst
+
+
+def unify(a: Atom, b: Atom) -> Optional[Substitution]:
+    """Return the most general unifier of two atoms, or ``None``.
+
+    The atoms must share no variables for the result to be an mgu in the
+    classical sense; :func:`rename_apart` one side first when in doubt (the
+    rule/goal graph construction always renames rules apart).
+    """
+    if a.predicate != b.predicate or a.arity != b.arity:
+        return None
+    return unify_terms(list(zip(a.args, b.args)))
+
+
+def variant_renaming(a: Atom, b: Atom) -> Optional[dict[Variable, Variable]]:
+    """Return the variable bijection making ``a`` into ``b``, or ``None``.
+
+    Two atoms are *variants* when each can be obtained from the other by a
+    one-to-one renaming of variables.  Constants must match exactly, and
+    repeated-variable patterns must agree (``p(X, X)`` is not a variant of
+    ``p(X, Y)``).
+    """
+    if a.predicate != b.predicate or a.arity != b.arity:
+        return None
+    forward: dict[Variable, Variable] = {}
+    backward: dict[Variable, Variable] = {}
+    for ta, tb in zip(a.args, b.args):
+        if isinstance(ta, Constant) or isinstance(tb, Constant):
+            if ta != tb:
+                return None
+            continue
+        # both variables
+        if forward.get(ta, tb) != tb or backward.get(tb, ta) != ta:
+            return None
+        forward[ta] = tb
+        backward[tb] = ta
+    return forward
+
+
+def is_variant(a: Atom, b: Atom) -> bool:
+    """True iff ``a`` and ``b`` are equal up to a renaming of variables."""
+    return variant_renaming(a, b) is not None
+
+
+def match(pattern: Atom, fact: Atom) -> Optional[Substitution]:
+    """One-way matching of ``pattern`` against a ground ``fact``.
+
+    Returns the substitution binding the pattern's variables, or ``None`` if
+    the fact does not match.  Used by the bottom-up baselines and the EDB
+    leaf nodes when serving tuple requests.
+    """
+    if pattern.predicate != fact.predicate or pattern.arity != fact.arity:
+        return None
+    bindings: dict[Variable, Term] = {}
+    for p, f in zip(pattern.args, fact.args):
+        if isinstance(p, Constant):
+            if p != f:
+                return None
+        else:
+            bound = bindings.get(p)
+            if bound is None:
+                bindings[p] = f
+            elif bound != f:
+                return None
+    return Substitution(bindings)
+
+
+def rename_apart(atoms: Sequence[Atom], fresh: FreshVariables) -> tuple[list[Atom], dict[Variable, Variable]]:
+    """Rename every variable in ``atoms`` to a brand-new variable.
+
+    Returns the renamed atoms and the renaming used.  This implements the
+    paper's "copy of the rule that began with all new variables".
+    """
+    variables: set[Variable] = set()
+    for a in atoms:
+        variables |= a.variable_set()
+    renaming = fresh.rename_all(variables)
+    return [a.substitute(renaming) for a in atoms], renaming

@@ -1,0 +1,34 @@
+"""The message-passing network: messages, processes, scheduler, protocol."""
+
+from .engine import MessagePassingEngine, QueryResult, evaluate
+from .messages import (
+    EndConfirmed,
+    EndMessage,
+    EndNegative,
+    EndRequest,
+    Message,
+    RelationRequest,
+    TupleMessage,
+    TupleRequest,
+)
+from .nodes import (
+    DRIVER_ID,
+    CyclicNodeProcess,
+    DriverProcess,
+    EdbLeafProcess,
+    GoalNodeProcess,
+    NodeProcess,
+    RuleNodeProcess,
+)
+from .scheduler import MessageBudgetExceeded, Scheduler, SchedulerStats
+from .termination import TerminationProtocol
+
+__all__ = [
+    "evaluate", "MessagePassingEngine", "QueryResult",
+    "Message", "RelationRequest", "TupleRequest", "TupleMessage", "EndMessage",
+    "EndRequest", "EndNegative", "EndConfirmed",
+    "NodeProcess", "GoalNodeProcess", "CyclicNodeProcess", "EdbLeafProcess",
+    "RuleNodeProcess", "DriverProcess", "DRIVER_ID",
+    "Scheduler", "SchedulerStats", "MessageBudgetExceeded",
+    "TerminationProtocol",
+]

@@ -1,0 +1,408 @@
+"""The message-passing query evaluation engine.
+
+Glues the pieces together: builds the information-passing rule/goal graph
+(Section 2), instantiates one process per node (Section 3.1), wires consumer
+and feeder streams along the graph's arcs, attaches the Fig-2 termination
+protocol to every strong component (Section 3.2), and runs the network to
+completion under the deterministic scheduler.
+
+The public entry point is :func:`evaluate`; it returns a
+:class:`QueryResult` carrying the goal relation together with the message,
+storage, join, and protocol statistics the benchmarks report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..core.adornment import AdornedAtom
+from ..core.program import Program
+from ..core.rulegoal import (
+    RuleGoalGraph,
+    SipFactory,
+    build_rule_goal_graph,
+)
+from ..core.sips import all_free_sip, greedy_sip
+from ..relational.database import Database
+from .messages import COMPUTATION_TYPES, Message
+from .nodes import (
+    DRIVER_ID,
+    CyclicNodeProcess,
+    DriverProcess,
+    EdbLeafProcess,
+    GoalNodeProcess,
+    NodeProcess,
+    RuleNodeProcess,
+)
+from .scheduler import Scheduler, SchedulerStats
+from .termination import TerminationProtocol
+
+__all__ = ["QueryResult", "MessagePassingEngine", "evaluate"]
+
+
+@dataclass
+class QueryResult:
+    """Everything a run produces: the answer plus full accounting."""
+
+    answers: set[tuple]
+    completed: bool  # the driver received its end message
+    stats: SchedulerStats
+    tuples_stored: int  # rows materialized across all node relations
+    tuples_by_node: dict[str, int]
+    join_lookups: int
+    envs_materialized: int
+    protocol_rounds: int
+    protocol_conclusions: int
+    protocol_violations: list[str]
+    db_scans: int
+    db_indexed_lookups: int
+    db_rows_retrieved: int
+    graph: RuleGoalGraph
+
+    @property
+    def total_messages(self) -> int:
+        """All delivered messages (computation + protocol)."""
+        return self.stats.delivered_total
+
+    @property
+    def computation_messages(self) -> int:
+        """Delivered relation/tuple requests, tuples, and ends."""
+        return self.stats.computation_messages
+
+    @property
+    def protocol_messages(self) -> int:
+        """Delivered end request/negative/confirmed messages."""
+        return self.stats.protocol_messages
+
+    def summary(self) -> str:
+        """A compact human-readable report."""
+        lines = [
+            f"answers: {len(self.answers)}",
+            f"messages: {self.total_messages} "
+            f"(computation {self.computation_messages}, protocol {self.protocol_messages})",
+            f"tuples stored: {self.tuples_stored}; join lookups: {self.join_lookups}",
+            f"protocol rounds: {self.protocol_rounds}; conclusions: {self.protocol_conclusions}",
+            f"db: {self.db_scans} scans, {self.db_indexed_lookups} lookups, "
+            f"{self.db_rows_retrieved} rows retrieved",
+        ]
+        return "\n".join(lines)
+
+    def node_table(self, top: int = 10) -> str:
+        """The busiest nodes: messages received and tuples stored, per node.
+
+        A per-process hot-spot view — in a real deployment these would be the
+        processes to place on separate machines or to coalesce.
+        """
+        label_by_id = {
+            node_id: self.graph.node_label(node_id)
+            for node_id in list(self.graph.goal_nodes) + list(self.graph.rule_nodes)
+        }
+        rows = []
+        for node_id, received in self.stats.by_receiver.items():
+            label = label_by_id.get(node_id, "driver")
+            rows.append((received, self.tuples_by_node.get(label, 0), label))
+        rows.sort(reverse=True)
+        width = max((len(r[2]) for r in rows[:top]), default=4)
+        lines = [f"{'node'.ljust(width)}  msgs-in  tuples"]
+        for received, tuples, label in rows[:top]:
+            lines.append(f"{label.ljust(width)}  {received:7d}  {tuples:6d}")
+        return "\n".join(lines)
+
+
+class MessagePassingEngine:
+    """Builds the process network for a program and evaluates queries.
+
+    Parameters
+    ----------
+    program:
+        The validated EDB+IDB+query bundle.
+    sip_factory:
+        Information passing strategy (default greedy — Definition 2.4).
+    seed:
+        ``None`` for send-order delivery; an int for seeded random latencies
+        (exercises asynchrony; the answer must not change).
+    validate_protocol:
+        When true (default), every protocol conclusion is checked against the
+        scheduler's global quiescence oracle — Theorem 3.1's "only if"
+        direction; violations are recorded in the result.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        sip_factory: SipFactory = greedy_sip,
+        seed: Optional[int] = None,
+        max_messages: int = 5_000_000,
+        validate_protocol: bool = True,
+        query_goal: Optional[AdornedAtom] = None,
+        trace: Optional[Callable[[Message], None]] = None,
+        coalesce: bool = False,
+        package_requests: bool = False,
+        provenance: bool = False,
+        on_answer: Optional[Callable[[tuple], None]] = None,
+        database: Optional[Database] = None,
+        trivial_relay: bool = True,
+    ) -> None:
+        self.program = program
+        self.graph = build_rule_goal_graph(
+            program, sip_factory, query_goal=query_goal, coalesce=coalesce
+        )
+        self._package_requests = package_requests
+        self._provenance = provenance
+        self._on_answer = on_answer
+        self._trivial_relay = trivial_relay
+        # Any object with the Database access surface works (e.g. the
+        # SQLite backend); the program's inline facts are the default.
+        self.database = database if database is not None else Database.from_facts(program.facts)
+        self.scheduler = Scheduler(seed=seed, max_messages=max_messages, trace=trace)
+        self.processes: dict[int, NodeProcess] = {}
+        self.driver: DriverProcess
+        self.protocol_violations: list[str] = []
+        self._validate_protocol = validate_protocol
+        self._build_network()
+
+    # ------------------------------------------------------------------
+    def _component_members(self) -> dict[int, frozenset[int]]:
+        membership: dict[int, frozenset[int]] = {}
+        for info in self.graph.strong_components():
+            for member in info.members:
+                membership[member] = info.members
+        return membership
+
+    def _build_network(self) -> None:
+        graph = self.graph
+        membership = self._component_members()
+
+        def same_component(a: int, b: int) -> bool:
+            return membership.get(a) is not None and membership.get(a) == membership.get(b)
+
+        # --- instantiate processes -----------------------------------
+        for goal in graph.goal_nodes.values():
+            if goal.kind == "edb":
+                process: NodeProcess = EdbLeafProcess(goal.id, goal.adorned, self.database)
+            elif goal.kind == "cyclic":
+                assert goal.cycle_source is not None
+                process = CyclicNodeProcess(goal.id, goal.adorned, goal.cycle_source)
+            else:
+                process = GoalNodeProcess(goal.id, goal.adorned)
+            self.processes[goal.id] = process
+        for rule_node in graph.rule_nodes.values():
+            parent_goal = graph.goal_nodes[rule_node.parent]
+            self.processes[rule_node.id] = RuleNodeProcess(
+                rule_node.id,
+                rule_node.rule,
+                rule_node.head,
+                parent_goal.adorned,
+                rule_node.sip.order,
+                rule_node.adorned_body,
+                tuple(rule_node.subgoal_children),
+            )
+
+        root_goal = graph.goal_nodes[graph.root]
+        self.driver = DriverProcess(graph.root, root_goal.adorned.adornment)
+        self.driver.on_answer = self._on_answer
+        self.processes[DRIVER_ID] = self.driver
+
+        # --- wire streams ---------------------------------------------
+        def wants_all(producer_adorned: AdornedAtom) -> bool:
+            return not producer_adorned.dynamic_positions
+
+        for rule_node in graph.rule_nodes.values():
+            parent = graph.goal_nodes[rule_node.parent]
+            # rule -> parent goal (answers up)
+            self.processes[rule_node.id].add_consumer(
+                parent.id, wants_all(parent.adorned)
+            )
+            self.processes[parent.id].add_feeder(
+                rule_node.id, is_feeder=not same_component(rule_node.id, parent.id)
+            )
+            # subgoal children -> rule node (a coalesced child may serve two
+            # subgoals of the same rule: one stream each way)
+            for position, child_id in enumerate(rule_node.subgoal_children):
+                child = graph.goal_nodes[child_id]
+                if rule_node.id not in self.processes[child_id].consumers:
+                    self.processes[child_id].add_consumer(
+                        rule_node.id, wants_all(child.adorned)
+                    )
+                if child_id not in self.processes[rule_node.id].feeders:
+                    self.processes[rule_node.id].add_feeder(
+                        child_id,
+                        is_feeder=not same_component(child_id, rule_node.id),
+                    )
+        for goal in graph.goal_nodes.values():
+            if goal.kind == "cyclic":
+                assert goal.cycle_source is not None
+                ancestor = graph.goal_nodes[goal.cycle_source]
+                self.processes[ancestor.id].add_consumer(
+                    goal.id, wants_all(goal.adorned)
+                )
+                # Ancestor and cyclic node always share a strong component.
+                self.processes[goal.id].add_feeder(ancestor.id, is_feeder=False)
+
+        self.driver.add_feeder(graph.root, is_feeder=True)
+        self.processes[graph.root].add_consumer(
+            DRIVER_ID, wants_all(root_goal.adorned)
+        )
+
+        # --- termination protocol per strong component -----------------
+        for info in graph.strong_components():
+            for member in sorted(info.members):
+                process = self.processes[member]
+                is_leader = member == info.leader
+
+                def make_conclude(node: NodeProcess, leader: bool) -> Callable:
+                    def conclude(network: Scheduler) -> None:
+                        if leader and self._validate_protocol:
+                            self._check_conclusion(node, network)
+                        node.on_component_conclude(network)
+
+                    return conclude
+
+                protocol = TerminationProtocol(
+                    node_id=member,
+                    is_leader=is_leader,
+                    bfst_parent=info.bfst_parent.get(member),
+                    bfst_children=info.bfst_children.get(member, ()),
+                    empty_queues=process.empty_queues,
+                    on_conclude=make_conclude(process, is_leader),
+                )
+                process.attach_protocol(protocol, info.members, leader_id=info.leader)
+
+        # --- trivial goal nodes (§3.1's storage exemption) ---------------
+        if self._trivial_relay:
+            for process in self.processes.values():
+                if (
+                    isinstance(process, GoalNodeProcess)
+                    and len(process.consumers) == 1
+                    and len(process.feeders) == 1
+                ):
+                    process.trivial_relay = True
+
+        # --- register with the scheduler --------------------------------
+        for process in self.processes.values():
+            process.package_requests = self._package_requests
+            process.record_provenance = self._provenance
+            self.scheduler.register(process)
+
+    # ------------------------------------------------------------------
+    def _check_conclusion(self, leader: NodeProcess, network: Scheduler) -> None:
+        """Theorem 3.1 oracle: at conclusion, the component must be quiescent.
+
+        Quiescent with respect to its *own* computation: no computation
+        message in flight between members (or from a member anywhere — its
+        answers must already be out), and every member's feeder streams
+        caught up.  A brand-new request from an external customer may be
+        legitimately queued at this instant (coalesced graphs); its sequence
+        number exceeds the ends being emitted, so it is not covered by them
+        and will be answered — and ended — later.
+        """
+        members = leader.sc_members
+        for member in members:
+            process = self.processes[member]
+            for stream in process.feeders.values():
+                if stream.is_feeder and not stream.caught_up:
+                    self.protocol_violations.append(
+                        f"member {member} concluded with feeder "
+                        f"{stream.producer_id} not caught up"
+                    )
+        for _, _, message in network._heap:  # oracle access, tests only
+            if not isinstance(message, COMPUTATION_TYPES):
+                continue
+            if message.sender in members and message.receiver in members:
+                self.protocol_violations.append(
+                    f"internal computation message in flight "
+                    f"{message.sender}->{message.receiver} at conclusion: "
+                    f"{message.kind()}"
+                )
+
+    # ------------------------------------------------------------------
+    def explain(self, row: tuple):
+        """Proof tree for one answer (requires ``provenance=True``).
+
+        Returns a :class:`~repro.network.provenance.Derivation`.
+        """
+        from .provenance import ProvenanceError, explain
+
+        if not self._provenance:
+            raise ProvenanceError(
+                "construct the engine with provenance=True to record derivations"
+            )
+        return explain(self, row)
+
+    # ------------------------------------------------------------------
+    def run(self) -> QueryResult:
+        """Evaluate the query and collect the result with full accounting."""
+        self.driver.start(self.scheduler)
+        stats = self.scheduler.run()
+
+        tuples_by_node: dict[str, int] = {}
+        tuples_total = 0
+        join_lookups = 0
+        envs = 0
+        rounds = 0
+        conclusions = 0
+        for node_id, process in self.processes.items():
+            if node_id == DRIVER_ID:
+                continue
+            if process.tuples_stored:
+                tuples_by_node[self.graph.node_label(node_id)] = process.tuples_stored
+                tuples_total += process.tuples_stored
+            if isinstance(process, RuleNodeProcess):
+                join_lookups += process.join_lookups
+                envs += process.envs_materialized
+                tuples_total += process.envs_materialized
+            if process.protocol is not None and process.protocol.is_leader:
+                rounds += process.protocol.rounds_started
+                conclusions += process.protocol.conclusions
+
+        return QueryResult(
+            answers=set(self.driver.answers),
+            completed=self.driver.completed,
+            stats=stats,
+            tuples_stored=tuples_total,
+            tuples_by_node=tuples_by_node,
+            join_lookups=join_lookups,
+            envs_materialized=envs,
+            protocol_rounds=rounds,
+            protocol_conclusions=conclusions,
+            protocol_violations=list(self.protocol_violations),
+            db_scans=self.database.scans,
+            db_indexed_lookups=self.database.indexed_lookups,
+            db_rows_retrieved=self.database.rows_retrieved,
+            graph=self.graph,
+        )
+
+
+def evaluate(
+    program: Program,
+    sip_factory: SipFactory = greedy_sip,
+    seed: Optional[int] = None,
+    max_messages: int = 5_000_000,
+    validate_protocol: bool = True,
+    query_goal: Optional[AdornedAtom] = None,
+    coalesce: bool = False,
+    package_requests: bool = False,
+    trivial_relay: bool = True,
+) -> QueryResult:
+    """Evaluate a program's query with the message-passing framework.
+
+    ``sip_factory=all_free_sip`` turns sideways information passing off — the
+    McKay–Shapiro-style baseline in which intermediate relations are computed
+    in full.  ``coalesce=True`` merges goal nodes with identical binding
+    patterns (the paper's single-processor variant, §2.2 + footnote 4).
+    ``package_requests=True`` batches related tuple requests per producer
+    (the footnote-2 enhancement).
+    """
+    engine = MessagePassingEngine(
+        program,
+        sip_factory=sip_factory,
+        seed=seed,
+        max_messages=max_messages,
+        validate_protocol=validate_protocol,
+        query_goal=query_goal,
+        coalesce=coalesce,
+        package_requests=package_requests,
+        trivial_relay=trivial_relay,
+    )
+    return engine.run()

@@ -1,0 +1,170 @@
+"""The message vocabulary of the framework — Sections 3.1 and 3.2.
+
+Basic computation messages (Section 3.1):
+
+* :class:`RelationRequest` — "triggers the beginning of computation and
+  identifies the classes of the arguments"; flows against the orientation of
+  the arcs.
+* :class:`TupleRequest` — "specifies one binding for all of the 'd'
+  arguments"; the complete specification of an intermediate relation is the
+  relation request plus the set of associated tuple requests.
+* :class:`TupleMessage` — "whenever a tuple is derived it is sent to the
+  parent via a tuple message" (and to cyclic successors).
+* :class:`EndMessage` — "when a feeder node determines that it can produce
+  no more tuples for a particular tuple request (or relation request), it
+  sends an end message".
+
+Termination-protocol messages (Section 3.2, Fig 2):
+
+* :class:`EndRequest` — propagated down the breadth-first spanning tree by
+  the leader;
+* :class:`EndNegative` / :class:`EndConfirmed` — the answers passed back up.
+
+Requests on a stream are *sequence numbered* by the consumer (the relation
+request is sequence 0; tuple requests count up from 1) and an
+:class:`EndMessage` carries ``upto``, the highest request sequence it
+completes.  Channels are FIFO, so "caught up" is simply
+``last end.upto == last sequence sent`` — this realizes the paper's
+per-request end semantics while letting one end message cover a batch
+(compare the paper's remark on packaging related tuple requests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Message",
+    "RelationRequest",
+    "TupleRequest",
+    "TupleMessage",
+    "EndMessage",
+    "EndRequest",
+    "EndNegative",
+    "EndConfirmed",
+    "COMPUTATION_TYPES",
+    "PROTOCOL_TYPES",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """Base class: every message names its sender and receiver node ids."""
+
+    sender: int
+    receiver: int
+
+    def kind(self) -> str:
+        """Short lowercase tag used by the statistics tables."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True, slots=True)
+class RelationRequest(Message):
+    """Opens a stream: the consumer asks the producer for its relation.
+
+    ``adornment`` is the producer goal's argument classes, carried so that a
+    process could in principle be spawned knowing only the message (the
+    specification "for the relation [is] received in messages from
+    neighboring processes" — Section 1.2).  Sequence number 0 on the stream.
+    """
+
+    adornment: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class TupleRequest(Message):
+    """One binding for all the "d" arguments of the producer's goal.
+
+    ``binding`` lists values for the producer's "d" positions in increasing
+    position order; ``seq`` is the consumer's per-stream sequence number.
+    """
+
+    binding: tuple
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class PackagedTupleRequest(Message):
+    """A batch of related tuple requests — the footnote-2 enhancement.
+
+    "A further enhancement would be to 'package' a set of related tuple
+    requests, in case the node servicing the request can gain some
+    efficiency of volume ... If packaged, the retrieval can be done in one
+    scan."  ``bindings`` holds several "d" bindings; ``seq`` is the sequence
+    number of the *last* request in the package (one end covers them all).
+    """
+
+    bindings: tuple
+    seq: int
+
+
+@dataclass(frozen=True, slots=True)
+class TupleMessage(Message):
+    """One derived tuple, as values over the producer goal's non-"e" positions."""
+
+    row: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class EndMessage(Message):
+    """All requests with sequence number ≤ ``upto`` on this stream are complete."""
+
+    upto: int
+
+
+@dataclass(frozen=True, slots=True)
+class EndRequest(Message):
+    """Protocol: the leader (via the BFST) asks "are you done?" — round ``round_id``."""
+
+    round_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class EndNegative(Message):
+    """Protocol: some node below was not idle for a full period."""
+
+    round_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class EndConfirmed(Message):
+    """Protocol: this subtree was idle for the whole period between two requests."""
+
+    round_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class ComponentDone(Message):
+    """Protocol: the leader concluded; members may end their own customers.
+
+    Footnote 4: "if nodes with identical predicates and binding patterns were
+    coalesced, then the leader must propagate the end message around the
+    strong component, as other nodes may have customers."  This message is
+    that propagation, sent down the BFST after a conclusion.
+    """
+
+    round_id: int
+
+
+@dataclass(frozen=True, slots=True)
+class EndNudge(Message):
+    """Protocol: a member owing an end asks the leader to probe.
+
+    Needed only in coalesced graphs: a member can receive a tuple request it
+    can serve entirely from cache, creating an end obligation without any
+    work ever reaching the leader; the nudge restores the leader's trigger.
+    """
+
+
+#: Message classes that constitute *work* (reset the idleness counter).
+COMPUTATION_TYPES = (
+    RelationRequest,
+    TupleRequest,
+    PackagedTupleRequest,
+    TupleMessage,
+    EndMessage,
+)
+
+#: Message classes belonging to the Fig-2 termination protocol.
+PROTOCOL_TYPES = (EndRequest, EndNegative, EndConfirmed, ComponentDone, EndNudge)

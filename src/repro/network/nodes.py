@@ -1,0 +1,1033 @@
+"""Node processes: the relational computations behind each graph node.
+
+Section 2.2: "we interpret each node as a processor that performs a
+relational computation.  Predicate nodes with rule-children compute the union
+of the relations computed by their children; rule nodes combine their subgoal
+relations using join, select, and project.  The predicate nodes that are
+connected to an ancestor predicate node by a cyclic edge perform a selection
+on the relation computed by the ancestor."
+
+Section 3.1's storage discipline is followed: "rule nodes store their
+subgoals' temporary relations ...  When a tuple arrives, provided it does not
+duplicate one already received, it is matched against the (partial) temporary
+relations of other subgoals to form new tuples via joins.  Detection of
+duplicates is necessary to allow loops to terminate.  In addition, goal nodes
+store their temporary relations, and only forward answer tuples that are
+genuinely new."  Processes never block waiting for complete answers — every
+arriving tuple or tuple request is processed incrementally.
+
+No process reads another's state; all interaction goes through
+:class:`~repro.network.scheduler.Scheduler` messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
+
+from ..core.adornment import AdornedAtom, CONSTANT, DYNAMIC, EXISTENTIAL, FREE
+from ..core.rules import Rule
+from ..core.terms import Constant, Variable
+from ..relational.database import Database
+from .messages import (
+    ComponentDone,
+    EndConfirmed,
+    EndMessage,
+    EndNegative,
+    EndNudge,
+    EndRequest,
+    Message,
+    PackagedTupleRequest,
+    RelationRequest,
+    TupleMessage,
+    TupleRequest,
+)
+from .termination import TerminationProtocol
+
+if TYPE_CHECKING:
+    from .scheduler import Scheduler
+
+__all__ = [
+    "ConsumerStream",
+    "FeederStream",
+    "NodeProcess",
+    "GoalNodeProcess",
+    "CyclicNodeProcess",
+    "EdbLeafProcess",
+    "RuleNodeProcess",
+    "DriverProcess",
+    "DRIVER_ID",
+]
+
+#: Node id of the query driver (the environment posing the query).
+DRIVER_ID = -1
+
+
+@dataclass
+class ConsumerStream:
+    """Producer-side state for one successor (customer) of this node.
+
+    "A goal node with multiple out-edges needs to furnish answers in separate
+    streams to each successor node; different successors ... normally will
+    have requested different subsets of the total temporary relation."
+    """
+
+    consumer_id: int
+    wants_all: bool  # producer has no "d" positions: everything flows
+    last_seq_received: int = -1  # -1: no relation request yet
+    last_seq_ended: int = -1
+    requested: set[tuple] = field(default_factory=set)  # d-bindings asked for
+    sent_rows: set[tuple] = field(default_factory=set)  # per-stream dedup
+
+    @property
+    def owes_end(self) -> bool:
+        """True when requests arrived that no end message has covered yet."""
+        return self.last_seq_ended < self.last_seq_received
+
+
+@dataclass
+class FeederStream:
+    """Consumer-side state for one producer this node requests tuples from."""
+
+    producer_id: int
+    is_feeder: bool  # producer in a different strong component (Def 2.1)
+    last_seq_sent: int = -1
+    last_upto_ended: int = -1
+    sent_bindings: set[tuple] = field(default_factory=set)
+
+    @property
+    def caught_up(self) -> bool:
+        """All requests sent so far have been covered by end messages."""
+        return self.last_upto_ended >= self.last_seq_sent
+
+    def next_seq(self) -> int:
+        """Allocate the next request sequence number on this stream."""
+        self.last_seq_sent += 1
+        return self.last_seq_sent
+
+
+class NodeProcess:
+    """Common machinery: streams, ends, and termination-protocol plumbing."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+        self.consumers: dict[int, ConsumerStream] = {}
+        self.feeders: dict[int, FeederStream] = {}
+        self.protocol: Optional[TerminationProtocol] = None
+        self.sc_members: frozenset[int] = frozenset()
+        self.tuples_stored = 0  # statistic: rows materialized at this node
+        # Protocol triggers (meaningful only for strong-component members):
+        # the leader probes while work arrived since its last conclusion or
+        # ends are owed; members nudge the leader when they owe ends that
+        # never produced component-wide work (coalesced graphs, footnote 4).
+        self.work_since_conclusion = False
+        self.nudge_sent = False
+        self._leader_id: Optional[int] = None
+        # Footnote-2 packaging: buffer outgoing tuple requests per producer
+        # during one handle() and flush them as one message each.
+        self.package_requests = False
+        self._request_buffer: dict[int, list[tuple]] = {}
+        # Provenance: when on, processes record each tuple's first derivation
+        # so proof trees can be reassembled after the run.
+        self.record_provenance = False
+
+    # ------------------------------------------------------------------
+    # Wiring (done by the engine before the run)
+    # ------------------------------------------------------------------
+    def add_consumer(self, consumer_id: int, wants_all: bool) -> ConsumerStream:
+        """Register a successor stream."""
+        stream = ConsumerStream(consumer_id, wants_all)
+        self.consumers[consumer_id] = stream
+        return stream
+
+    def add_feeder(self, producer_id: int, is_feeder: bool) -> FeederStream:
+        """Register a producer stream (``is_feeder``: cross-component)."""
+        stream = FeederStream(producer_id, is_feeder)
+        self.feeders[producer_id] = stream
+        return stream
+
+    def attach_protocol(
+        self,
+        protocol: TerminationProtocol,
+        members: frozenset[int],
+        leader_id: Optional[int] = None,
+    ) -> None:
+        """Join a strong component's termination protocol."""
+        self.protocol = protocol
+        self.sc_members = members
+        self._leader_id = leader_id if leader_id is not None else protocol.node_id
+
+    # ------------------------------------------------------------------
+    # The distributed idleness predicate
+    # ------------------------------------------------------------------
+    def empty_queues(self, network: "Scheduler") -> bool:
+        """Fig 2's ``empty-queues()``: inbox empty and all feeders ended.
+
+        Only *feeder* streams (producers outside this node's strong
+        component) are required to have reported end; in-component producers
+        cannot — detecting their collective completion is the protocol's job.
+        """
+        if network.pending_for(self.node_id) > 0:
+            return False
+        if self._request_buffer:
+            return False  # unflushed packaged requests are pending work
+        return all(f.caught_up for f in self.feeders.values() if f.is_feeder)
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+    def handle(self, message: Message, network: "Scheduler") -> None:
+        """Dispatch one delivered message."""
+        if isinstance(
+            message,
+            (RelationRequest, TupleRequest, PackagedTupleRequest, TupleMessage, EndMessage),
+        ):
+            if self.protocol is not None:
+                self.protocol.on_work()
+                self.work_since_conclusion = True
+            if isinstance(message, RelationRequest):
+                self.on_relation_request(message, network)
+            elif isinstance(message, TupleRequest):
+                self.on_tuple_request(message, network)
+            elif isinstance(message, PackagedTupleRequest):
+                self.on_packaged_request(message, network)
+            elif isinstance(message, TupleMessage):
+                self.on_tuple(message, network)
+            else:
+                self.on_end(message, network)
+        elif isinstance(message, EndRequest):
+            assert self.protocol is not None, f"protocol message at non-SC node {self.node_id}"
+            self.protocol.handle_end_request(message, network)
+        elif isinstance(message, EndNegative):
+            assert self.protocol is not None
+            self.protocol.handle_end_negative(message, network)
+        elif isinstance(message, EndConfirmed):
+            assert self.protocol is not None
+            self.protocol.handle_end_confirmed(message, network)
+        elif isinstance(message, ComponentDone):
+            assert self.protocol is not None
+            self.protocol.handle_component_done(message, network)
+        elif isinstance(message, EndNudge):
+            # A member owes an end: make sure the leader probes again.
+            assert self.protocol is not None and self.protocol.is_leader
+            self.work_since_conclusion = True
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown message {message}")
+
+    def on_idle_check(self, network: "Scheduler") -> None:
+        """Post-delivery hook: emit ends (acyclic) or run the protocol (leader)."""
+        if self._request_buffer and network.pending_for(self.node_id) == 0:
+            # Packaging: requests accumulated over the burst go out together
+            # once the inbox drains ("package a set of related tuple requests").
+            self.flush_requests(network)
+        if self.protocol is not None:
+            if self.protocol.is_leader:
+                self.protocol.maybe_initiate(
+                    network, self._owes_external_end() or self.work_since_conclusion
+                )
+            elif self._owes_external_end() and not self.nudge_sent:
+                self.nudge_sent = True
+                network.send(EndNudge(self.node_id, self.protocol_leader_id))
+            return
+        self.maybe_send_ends(network)
+
+    @property
+    def protocol_leader_id(self) -> int:
+        """The strong component's leader (valid only for SC members)."""
+        assert self.protocol is not None
+        leader = self._leader_id
+        assert leader is not None
+        return leader
+
+    def on_component_conclude(self, network: "Scheduler") -> None:
+        """Conclusion reached (locally or via ComponentDone): emit owed ends."""
+        self.send_owed_ends(network)
+        self.work_since_conclusion = False
+        self.nudge_sent = False
+
+    # ------------------------------------------------------------------
+    # Tuple-request emission (with optional footnote-2 packaging)
+    # ------------------------------------------------------------------
+    def send_tuple_request(self, producer_id: int, binding: tuple, network: "Scheduler") -> None:
+        """Request one "d" binding from a producer, deduplicated per stream.
+
+        With packaging on, the request is buffered and flushed (as part of
+        one :class:`PackagedTupleRequest` per producer) when the current
+        message finishes processing.
+        """
+        feeder = self.feeders[producer_id]
+        if binding in feeder.sent_bindings:
+            return
+        feeder.sent_bindings.add(binding)
+        if self.package_requests:
+            self._request_buffer.setdefault(producer_id, []).append(binding)
+        else:
+            network.send(
+                TupleRequest(self.node_id, producer_id, binding, feeder.next_seq())
+            )
+
+    def flush_requests(self, network: "Scheduler") -> None:
+        """Send each producer's buffered bindings as one packaged request."""
+        if not self._request_buffer:
+            return
+        buffered, self._request_buffer = self._request_buffer, {}
+        for producer_id in sorted(buffered):
+            bindings = buffered[producer_id]
+            feeder = self.feeders[producer_id]
+            seq = -1
+            for _ in bindings:
+                seq = feeder.next_seq()
+            network.send(
+                PackagedTupleRequest(self.node_id, producer_id, tuple(bindings), seq)
+            )
+
+    def on_packaged_request(self, message: PackagedTupleRequest, network: "Scheduler") -> None:
+        """Serve every binding of a package under one sequence number."""
+        stream = self.consumers[message.sender]
+        stream.last_seq_received = max(stream.last_seq_received, message.seq)
+        for binding in message.bindings:
+            self.serve_binding(stream, binding, network)
+
+    def serve_binding(self, stream: ConsumerStream, binding: tuple, network: "Scheduler") -> None:
+        """Node-specific handling of one "d" binding (see subclasses)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # End emission
+    # ------------------------------------------------------------------
+    def _owes_external_end(self) -> bool:
+        return any(
+            stream.owes_end
+            for consumer_id, stream in self.consumers.items()
+            if consumer_id not in self.sc_members
+        )
+
+    def maybe_send_ends(self, network: "Scheduler") -> None:
+        """Acyclic-node end rule: once every feeder stream is caught up,
+        everything requested so far is complete (FIFO channels guarantee all
+        child tuples were delivered before their ends)."""
+        if self._request_buffer:
+            return  # unflushed packaged requests: not done yet
+        if not all(f.caught_up for f in self.feeders.values()):
+            return
+        self.send_owed_ends(network)
+
+    def send_owed_ends(self, network: "Scheduler") -> None:
+        """End every external consumer stream with uncovered requests."""
+        for consumer_id, stream in self.consumers.items():
+            if consumer_id in self.sc_members:
+                continue
+            if stream.owes_end:
+                stream.last_seq_ended = stream.last_seq_received
+                network.send(EndMessage(self.node_id, consumer_id, stream.last_seq_ended))
+
+    # ------------------------------------------------------------------
+    # Handlers to override
+    # ------------------------------------------------------------------
+    def on_relation_request(self, message: RelationRequest, network: "Scheduler") -> None:
+        """Open a consumer stream and begin computing (node-specific)."""
+        raise NotImplementedError
+
+    def on_tuple_request(self, message: TupleRequest, network: "Scheduler") -> None:
+        """Serve one "d" binding for a consumer stream (node-specific)."""
+        raise NotImplementedError
+
+    def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:
+        """Consume one answer tuple from a producer (node-specific)."""
+        raise NotImplementedError
+
+    def on_end(self, message: EndMessage, network: "Scheduler") -> None:
+        """Default: record the feeder's progress."""
+        stream = self.feeders[message.sender]
+        stream.last_upto_ended = max(stream.last_upto_ended, message.upto)
+
+
+# ----------------------------------------------------------------------
+# Shared helpers for adorned atoms
+# ----------------------------------------------------------------------
+
+def _non_e_positions(adorned: AdornedAtom) -> tuple[int, ...]:
+    return tuple(i for i, c in enumerate(adorned.adornment) if c != EXISTENTIAL)
+
+
+def _d_positions(adorned: AdornedAtom) -> tuple[int, ...]:
+    return adorned.dynamic_positions
+
+
+class _RowShape:
+    """Precomputed position bookkeeping for one adorned atom's tuple rows.
+
+    Rows on a stream carry values for the atom's non-"e" positions, in
+    position order; ``d_in_row`` locates the "d" positions inside such a row
+    so bindings can be projected without consulting the atom again.
+    """
+
+    def __init__(self, adorned: AdornedAtom) -> None:
+        self.adorned = adorned
+        self.non_e = _non_e_positions(adorned)
+        self.d_positions = _d_positions(adorned)
+        row_index = {pos: i for i, pos in enumerate(self.non_e)}
+        self.d_in_row = tuple(row_index[p] for p in self.d_positions)
+
+    def binding_of(self, row: tuple) -> tuple:
+        """Project a row to the values at the "d" positions."""
+        return tuple(row[i] for i in self.d_in_row)
+
+
+class GoalNodeProcess(NodeProcess):
+    """An expanded IDB goal node: the union of its rule children's relations.
+
+    Stores the answer relation, forwards only genuinely new tuples, serves
+    each successor the subset matching that successor's tuple requests, and
+    relays tuple requests down to every rule child.
+    """
+
+    def __init__(self, node_id: int, adorned: AdornedAtom) -> None:
+        super().__init__(node_id)
+        self.adorned = adorned
+        self.shape = _RowShape(adorned)
+        self.answers: set[tuple] = set()
+        self.answers_by_binding: dict[tuple, list[tuple]] = {}
+        self.bindings_seen: set[tuple] = set()
+        self.requests_propagated = False
+        self.row_sources: dict[tuple, int] = {}  # provenance: row -> first sender
+        # §3.1: "trivial goal nodes, with only one in-edge and one out-edge
+        # are exempt" from storing their temporary relation — with a single
+        # producer (which deduplicates its emissions) and a single consumer
+        # (whose requests are exactly the ones forwarded), storing buys
+        # nothing.  The engine sets this after wiring.
+        self.trivial_relay = False
+
+    # -- producer side -------------------------------------------------
+    def on_relation_request(self, message: RelationRequest, network: "Scheduler") -> None:
+        stream = self.consumers[message.sender]
+        stream.last_seq_received = max(stream.last_seq_received, 0)
+        if not self.requests_propagated:
+            self.requests_propagated = True
+            for child_id, feeder in self.feeders.items():
+                feeder.next_seq()  # sequence 0 = the relation request
+                network.send(
+                    RelationRequest(self.node_id, child_id, self.adorned.adornment)
+                )
+        if stream.wants_all:
+            for row in sorted(self.answers, key=repr):
+                self._send_row(stream, row, network)
+
+    def on_tuple_request(self, message: TupleRequest, network: "Scheduler") -> None:
+        stream = self.consumers[message.sender]
+        stream.last_seq_received = max(stream.last_seq_received, message.seq)
+        self.serve_binding(stream, message.binding, network)
+
+    def serve_binding(self, stream: ConsumerStream, binding: tuple, network: "Scheduler") -> None:
+        """Replay known matching answers; propagate a fresh binding downward."""
+        if binding not in stream.requested:
+            stream.requested.add(binding)
+            for row in self.answers_by_binding.get(binding, ()):
+                self._send_row(stream, row, network)
+        if binding not in self.bindings_seen:
+            self.bindings_seen.add(binding)
+            for child_id in self.feeders:
+                self.send_tuple_request(child_id, binding, network)
+
+    # -- consumer side ---------------------------------------------------
+    def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:
+        row = message.row
+        if self.trivial_relay:
+            # One producer, one consumer: the producer already deduplicated
+            # and every row answers a binding this consumer asked for.
+            if self.record_provenance:
+                self.row_sources.setdefault(row, message.sender)
+            (stream,) = self.consumers.values()
+            self._send_row(stream, row, network)
+            return
+        if row in self.answers:
+            return  # duplicate deletion — this is what lets loops terminate
+        self.answers.add(row)
+        self.tuples_stored += 1
+        if self.record_provenance:
+            self.row_sources[row] = message.sender
+        binding = self.shape.binding_of(row)
+        self.answers_by_binding.setdefault(binding, []).append(row)
+        for stream in self.consumers.values():
+            if stream.wants_all or binding in stream.requested:
+                self._send_row(stream, row, network)
+
+    def _send_row(self, stream: ConsumerStream, row: tuple, network: "Scheduler") -> None:
+        if row in stream.sent_rows:
+            return
+        stream.sent_rows.add(row)
+        network.send(TupleMessage(self.node_id, stream.consumer_id, row))
+
+
+class CyclicNodeProcess(NodeProcess):
+    """A variant-of-ancestor goal node: a selection on the ancestor's relation.
+
+    Forwards its parent's tuple requests to the ancestor and relays the
+    ancestor's matching answers back up.  Always inside a strong component,
+    so it emits no end messages of its own (the component's leader does).
+    """
+
+    def __init__(self, node_id: int, adorned: AdornedAtom, ancestor_id: int) -> None:
+        super().__init__(node_id)
+        self.adorned = adorned
+        self.shape = _RowShape(adorned)
+        self.ancestor_id = ancestor_id
+        self.rows: set[tuple] = set()
+
+    def on_relation_request(self, message: RelationRequest, network: "Scheduler") -> None:
+        stream = self.consumers[message.sender]
+        stream.last_seq_received = max(stream.last_seq_received, 0)
+        feeder = self.feeders[self.ancestor_id]
+        if feeder.last_seq_sent < 0:
+            feeder.next_seq()
+            network.send(
+                RelationRequest(self.node_id, self.ancestor_id, self.adorned.adornment)
+            )
+        if stream.wants_all:
+            for row in sorted(self.rows, key=repr):
+                self._send_row(stream, row, network)
+
+    def on_tuple_request(self, message: TupleRequest, network: "Scheduler") -> None:
+        stream = self.consumers[message.sender]
+        stream.last_seq_received = max(stream.last_seq_received, message.seq)
+        self.serve_binding(stream, message.binding, network)
+
+    def serve_binding(self, stream: ConsumerStream, binding: tuple, network: "Scheduler") -> None:
+        """Replay matching rows and forward the binding to the ancestor."""
+        if binding not in stream.requested:
+            stream.requested.add(binding)
+            for row in sorted(self.rows, key=repr):
+                if self.shape.binding_of(row) == binding:
+                    self._send_row(stream, row, network)
+        self.send_tuple_request(self.ancestor_id, binding, network)
+
+    def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:
+        row = message.row
+        if row in self.rows:
+            return
+        self.rows.add(row)
+        self.tuples_stored += 1
+        binding = self.shape.binding_of(row)
+        for stream in self.consumers.values():
+            if stream.wants_all or binding in stream.requested:
+                self._send_row(stream, row, network)
+
+    def _send_row(self, stream: ConsumerStream, row: tuple, network: "Scheduler") -> None:
+        if row in stream.sent_rows:
+            return
+        stream.sent_rows.add(row)
+        network.send(TupleMessage(self.node_id, stream.consumer_id, row))
+
+
+class EdbLeafProcess(NodeProcess):
+    """An EDB subgoal leaf: serves requests straight from the database.
+
+    A relation request with no "d" positions triggers one (filtered) scan; a
+    tuple request triggers an indexed retrieval on the "c"+"d" positions —
+    "a class 'd' argument functions as a semi-join operand".
+    """
+
+    def __init__(self, node_id: int, adorned: AdornedAtom, database: Database) -> None:
+        super().__init__(node_id)
+        self.adorned = adorned
+        self.shape = _RowShape(adorned)
+        self.database = database
+        atom = adorned.atom
+        self.constant_filter: dict[int, object] = {
+            i: term.value
+            for i, term in enumerate(atom.args)
+            if isinstance(term, Constant)
+        }
+        # Positions sharing a repeated variable must hold equal values.
+        groups: dict[Variable, list[int]] = {}
+        for i, term in enumerate(atom.args):
+            if isinstance(term, Variable):
+                groups.setdefault(term, []).append(i)
+        self.equal_groups = [tuple(v) for v in groups.values() if len(v) > 1]
+
+    # ------------------------------------------------------------------
+    def _matches(self, row: tuple) -> bool:
+        for pos, value in self.constant_filter.items():
+            if row[pos] != value:
+                return False
+        for group in self.equal_groups:
+            first = row[group[0]]
+            if any(row[p] != first for p in group[1:]):
+                return False
+        return True
+
+    def _emit(self, stream: ConsumerStream, rows: Iterable[tuple], network: "Scheduler") -> None:
+        for full_row in rows:
+            if not self._matches(full_row):
+                continue
+            row = tuple(full_row[i] for i in self.shape.non_e)
+            if row in stream.sent_rows:
+                continue
+            stream.sent_rows.add(row)
+            network.send(TupleMessage(self.node_id, stream.consumer_id, row))
+
+    # ------------------------------------------------------------------
+    def on_relation_request(self, message: RelationRequest, network: "Scheduler") -> None:
+        stream = self.consumers[message.sender]
+        stream.last_seq_received = max(stream.last_seq_received, 0)
+        if not self.shape.d_positions:
+            if self.constant_filter:
+                rows = self.database.lookup(self.adorned.predicate, self.constant_filter)
+            else:
+                rows = list(self.database.scan(self.adorned.predicate).rows)
+            self._emit(stream, sorted(rows, key=repr), network)
+        # maybe_send_ends fires from on_idle_check (no feeders: caught up).
+
+    def on_tuple_request(self, message: TupleRequest, network: "Scheduler") -> None:
+        stream = self.consumers[message.sender]
+        stream.last_seq_received = max(stream.last_seq_received, message.seq)
+        self.serve_binding(stream, message.binding, network)
+
+    def serve_binding(self, stream: ConsumerStream, binding: tuple, network: "Scheduler") -> None:
+        """Indexed retrieval for one "d" binding."""
+        bound = dict(self.constant_filter)
+        for pos, value in zip(self.shape.d_positions, binding):
+            if pos in bound and bound[pos] != value:
+                return  # inconsistent with the constant at this position
+            bound[pos] = value
+        rows = self.database.lookup(self.adorned.predicate, bound)
+        self._emit(stream, sorted(rows, key=repr), network)
+
+    def on_packaged_request(self, message: PackagedTupleRequest, network: "Scheduler") -> None:
+        """Serve a package; large packages use one scan (footnote 2).
+
+        "If an EDB relation r(X, Y) has no index on its second argument, then
+        tuple requests r(X, a), r(X, b), ..., presented separately require
+        the whole r relation to be scanned for each one.  If packaged, the
+        retrieval can be done in one scan."  Here: when the package holds
+        several bindings, one scan filtered against the binding set replaces
+        one retrieval per binding.
+        """
+        stream = self.consumers[message.sender]
+        stream.last_seq_received = max(stream.last_seq_received, message.seq)
+        if len(message.bindings) <= 1 or not self.shape.d_positions:
+            for binding in message.bindings:
+                self.serve_binding(stream, binding, network)
+            return
+        wanted = set(message.bindings)
+        relation = self.database.scan(self.adorned.predicate)
+        matching = [
+            row
+            for row in relation.rows
+            if tuple(row[p] for p in self.shape.d_positions) in wanted
+        ]
+        self._emit(stream, sorted(matching, key=repr), network)
+
+    def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:  # pragma: no cover
+        raise AssertionError("EDB leaves have no producers")
+
+
+class _Stage:
+    """One stage of a rule node's incremental multiway join pipeline.
+
+    Stage ``j`` (1-based) corresponds to the ``j``-th subgoal in SIP order.
+    ``env_vars`` is the cumulative variable schema after joining this stage;
+    ``envs`` the set of environments reached; indexes keyed by the values of
+    the variables shared with the *next* stage's subgoal are kept on both
+    sides so new envs and new tuples can each find their join partners.
+    """
+
+    __slots__ = (
+        "subgoal_index",
+        "adorned",
+        "shape",
+        "sub_vars",
+        "env_vars",
+        "envs",
+        "rows",
+        "shared_with_prev",
+        "prev_key_positions",
+        "row_key_positions",
+        "env_index",
+        "row_index",
+        "merge_plan",
+        "d_var_sources",
+        "row_source",
+    )
+
+    def __init__(self) -> None:
+        self.envs: set[tuple] = set()
+        self.rows: set[tuple] = set()
+        self.env_index: dict[tuple, list[tuple]] = {}
+        self.row_index: dict[tuple, list[tuple]] = {}
+        self.row_source: dict[tuple, tuple] = {}  # provenance: sub-env -> row
+
+
+class RuleNodeProcess(NodeProcess):
+    """A rule node: stores subgoal temporaries and joins incrementally.
+
+    The evaluation follows the SIP order ``o_1 .. o_k``: environments for the
+    prefix through ``o_j`` are materialized; a new environment at stage ``j``
+    issues tuple requests for the "d" arguments of ``o_{j+1}`` and joins with
+    the tuples already received for it; a new tuple at stage ``j+1`` joins
+    with the stage-``j`` environments.  "Since p is recursive, all steps are
+    interleaved" (Example 2.1) — the interleaving falls out of the message
+    loop.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        rule: Rule,
+        head: AdornedAtom,
+        parent_goal: AdornedAtom,
+        sip_order: Sequence[int],
+        adorned_body: Sequence[AdornedAtom],
+        child_ids: Sequence[int],
+    ) -> None:
+        super().__init__(node_id)
+        self.rule = rule
+        self.head = head
+        self.parent_shape = _RowShape(parent_goal)
+        self.sip_order = tuple(sip_order)
+        self.adorned_body = tuple(adorned_body)
+        self.child_ids = tuple(child_ids)  # aligned with rule.body positions
+        # child id -> stage numbers (1-based); coalesced graphs may serve two
+        # subgoals of one rule from a single shared goal node.
+        self.child_stage: dict[int, list[int]] = {}
+        self.sent_rows: set[tuple] = set()
+        self.request_started = False
+        self.join_lookups = 0  # statistic: index probes performed
+        self.envs_materialized = 0
+        self._stage0_envs: set[tuple] = set()
+        self._stage0_index: dict[tuple, list[tuple]] = {}
+        # Provenance: (stage, env) -> (previous-stage env, subgoal sub-env),
+        # and emitted head row -> the final env that produced it first.
+        self._env_parent: dict[tuple[int, tuple], tuple[tuple, tuple]] = {}
+        self._head_env: dict[tuple, Optional[tuple]] = {}
+
+        # ---- precompute stage plans -------------------------------------
+        head_bound = sorted(
+            {
+                t
+                for i in head.bound_positions
+                for t in [rule.head.args[i]]
+                if isinstance(t, Variable)
+            },
+            key=lambda v: v.name,
+        )
+        self.stage0_vars: tuple[Variable, ...] = tuple(head_bound)
+        self.stages: list[_Stage] = []
+        prev_vars: tuple[Variable, ...] = self.stage0_vars
+        for stage_number, subgoal_index in enumerate(self.sip_order, start=1):
+            stage = _Stage()
+            stage.subgoal_index = subgoal_index
+            stage.adorned = self.adorned_body[subgoal_index]
+            stage.shape = _RowShape(stage.adorned)
+            atom = stage.adorned.atom
+            # Distinct variables at non-"e" positions, in name order.
+            seen: dict[Variable, None] = {}
+            for pos in stage.shape.non_e:
+                term = atom.args[pos]
+                if isinstance(term, Variable):
+                    seen.setdefault(term, None)
+            stage.sub_vars = tuple(sorted(seen, key=lambda v: v.name))
+            shared = tuple(v for v in prev_vars if v in stage.sub_vars)
+            stage.shared_with_prev = shared
+            prev_pos = {v: i for i, v in enumerate(prev_vars)}
+            sub_pos = {v: i for i, v in enumerate(stage.sub_vars)}
+            stage.prev_key_positions = tuple(prev_pos[v] for v in shared)
+            stage.row_key_positions = tuple(sub_pos[v] for v in shared)
+            new_vars = tuple(v for v in stage.sub_vars if v not in prev_pos)
+            stage.env_vars = prev_vars + new_vars
+            # Merge plan: for each env var, where its value comes from.
+            plan: list[tuple[str, int]] = []
+            for v in prev_vars:
+                plan.append(("prev", prev_pos[v]))
+            for v in new_vars:
+                plan.append(("row", sub_pos[v]))
+            stage.merge_plan = tuple(plan)
+            # Tuple-request plan: the subgoal's "d" positions as (kind, payload).
+            d_sources: list[tuple[str, object]] = []
+            env_pos = {v: i for i, v in enumerate(prev_vars)}
+            for pos in stage.shape.d_positions:
+                term = atom.args[pos]
+                if isinstance(term, Constant):
+                    d_sources.append(("const", term.value))
+                else:
+                    if term not in env_pos:
+                        raise AssertionError(
+                            f"'d' variable {term} of {atom} not bound by stage {stage_number - 1}"
+                        )
+                    d_sources.append(("env", env_pos[term]))
+            stage.d_var_sources = tuple(d_sources)
+            self.stages.append(stage)
+            prev_vars = stage.env_vars
+            self.child_stage.setdefault(self.child_ids[subgoal_index], []).append(
+                stage_number
+            )
+
+        # Head-output plan: value source per parent non-"e" position.
+        final_pos = {v: i for i, v in enumerate(prev_vars)}
+        out_plan: list[tuple[str, object]] = []
+        for pos in self.parent_shape.non_e:
+            term = rule.head.args[pos]
+            if isinstance(term, Constant):
+                out_plan.append(("const", term.value))
+            else:
+                out_plan.append(("env", final_pos[term]))
+        self.head_out_plan = tuple(out_plan)
+
+        # Head-request plan: parent "d" positions -> constraints on stage0 env.
+        self.stage0_pos = {v: i for i, v in enumerate(self.stage0_vars)}
+        req_plan: list[tuple[str, object]] = []
+        for pos in self.parent_shape.d_positions:
+            term = rule.head.args[pos]
+            if isinstance(term, Constant):
+                req_plan.append(("const", term.value))
+            else:
+                req_plan.append(("var", self.stage0_pos[term]))
+        self.head_request_plan = tuple(req_plan)
+
+    # ------------------------------------------------------------------
+    # Producer side: requests from the parent goal node
+    # ------------------------------------------------------------------
+    def on_relation_request(self, message: RelationRequest, network: "Scheduler") -> None:
+        stream = self.consumers[message.sender]
+        stream.last_seq_received = max(stream.last_seq_received, 0)
+        if not self.request_started:
+            self.request_started = True
+            opened: set[int] = set()
+            for position, child_id in enumerate(self.child_ids):
+                if child_id in opened:
+                    continue  # shared node serving several subgoals: one stream
+                opened.add(child_id)
+                feeder = self.feeders[child_id]
+                feeder.next_seq()
+                adorned = self.adorned_body[position]
+                network.send(RelationRequest(self.node_id, child_id, adorned.adornment))
+        if not self.parent_shape.d_positions:
+            self._add_stage0_env((), network)
+
+    def on_tuple_request(self, message: TupleRequest, network: "Scheduler") -> None:
+        stream = self.consumers[message.sender]
+        stream.last_seq_received = max(stream.last_seq_received, message.seq)
+        self.serve_binding(stream, message.binding, network)
+
+    def serve_binding(self, stream: ConsumerStream, binding: tuple, network: "Scheduler") -> None:
+        """One head binding becomes one stage-0 environment."""
+        env = self._stage0_env_from_binding(binding)
+        if env is not None:
+            self._add_stage0_env(env, network)
+
+    def _stage0_env_from_binding(self, binding: tuple) -> Optional[tuple]:
+        """Turn a head tuple request into a stage-0 environment.
+
+        Returns None when the binding clashes with a head constant or with a
+        repeated head variable (the specialized rule simply contributes
+        nothing for that request).
+        """
+        values: list[Optional[object]] = [None] * len(self.stage0_vars)
+        filled = [False] * len(self.stage0_vars)
+        for (kind, payload), value in zip(self.head_request_plan, binding):
+            if kind == "const":
+                if payload != value:
+                    return None
+            else:
+                index = payload  # type: ignore[assignment]
+                if filled[index]:
+                    if values[index] != value:
+                        return None
+                else:
+                    values[index] = value
+                    filled[index] = True
+        if not all(filled):
+            # A stage-0 variable not covered by the request: impossible, since
+            # stage0_vars come exactly from the head's bound positions.
+            raise AssertionError("head request did not bind all stage-0 variables")
+        return tuple(values)
+
+    # ------------------------------------------------------------------
+    # Consumer side: tuples from subgoal children
+    # ------------------------------------------------------------------
+    def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:
+        for stage_number in self.child_stage[message.sender]:
+            self._tuple_into_stage(stage_number, message.row, network)
+
+    def _tuple_into_stage(self, stage_number: int, row: tuple, network: "Scheduler") -> None:
+        stage = self.stages[stage_number - 1]
+        env = self._row_to_subenv(stage, row)
+        if env is None or env in stage.rows:
+            return
+        stage.rows.add(env)
+        self.tuples_stored += 1
+        if self.record_provenance:
+            stage.row_source.setdefault(env, row)
+        key = tuple(env[i] for i in stage.row_key_positions)
+        stage.row_index.setdefault(key, []).append(env)
+        # Join the new tuple with the previous stage's environments.
+        if stage_number == 1:
+            prev_envs = self._stage0_envs_for_key(key, stage)
+        else:
+            prev = self.stages[stage_number - 2]
+            prev_envs = prev.env_index.get(key, [])
+        self.join_lookups += 1
+        for prev_env in list(prev_envs):
+            merged = self._merge(stage, prev_env, env)
+            self._add_env(stage_number, merged, network, source=(prev_env, env))
+
+    def _row_to_subenv(self, stage: _Stage, row: tuple) -> Optional[tuple]:
+        """Convert a child's row into values over ``stage.sub_vars``."""
+        atom = stage.adorned.atom
+        values: dict[Variable, object] = {}
+        for pos, value in zip(stage.shape.non_e, row):
+            term = atom.args[pos]
+            if isinstance(term, Constant):
+                if term.value != value:
+                    return None
+            else:
+                if term in values and values[term] != value:
+                    return None
+                values[term] = value
+        return tuple(values[v] for v in stage.sub_vars)
+
+    # ------------------------------------------------------------------
+    # Stage-0 environments (head bindings)
+    # ------------------------------------------------------------------
+    def _add_stage0_env(self, env: tuple, network: "Scheduler") -> None:
+        if env in self._stage0_envs:
+            return
+        self._stage0_envs.add(env)
+        self.envs_materialized += 1
+        if not self.stages:
+            # Bodiless rule: the head itself is the (single) answer.
+            self._emit_head(env, network)
+            return
+        first = self.stages[0]
+        key = tuple(env[i] for i in first.prev_key_positions)
+        self._stage0_index.setdefault(key, []).append(env)
+        self._request_next(1, env, network)
+        self.join_lookups += 1
+        for row_env in list(first.row_index.get(key, [])):
+            merged = self._merge(first, env, row_env)
+            self._add_env(1, merged, network, source=(env, row_env))
+
+    def _stage0_envs_for_key(self, key: tuple, stage: _Stage) -> list[tuple]:
+        return self._stage0_index.get(key, [])
+
+    # ------------------------------------------------------------------
+    # Env propagation
+    # ------------------------------------------------------------------
+    def _merge(self, stage: _Stage, prev_env: tuple, row_env: tuple) -> tuple:
+        values = []
+        for kind, index in stage.merge_plan:
+            values.append(prev_env[index] if kind == "prev" else row_env[index])
+        return tuple(values)
+
+    def _add_env(
+        self,
+        stage_number: int,
+        env: tuple,
+        network: "Scheduler",
+        source: Optional[tuple[tuple, tuple]] = None,
+    ) -> None:
+        stage = self.stages[stage_number - 1]
+        if env in stage.envs:
+            return
+        stage.envs.add(env)
+        self.envs_materialized += 1
+        if self.record_provenance and source is not None:
+            self._env_parent.setdefault((stage_number, env), source)
+        if stage_number == len(self.stages):
+            self._emit_head(env, network)
+            return
+        next_stage = self.stages[stage_number]
+        key = tuple(env[i] for i in next_stage.prev_key_positions)
+        stage.env_index.setdefault(key, []).append(env)
+        self._request_next(stage_number + 1, env, network)
+        self.join_lookups += 1
+        for row_env in list(next_stage.row_index.get(key, [])):
+            merged = self._merge(next_stage, env, row_env)
+            self._add_env(stage_number + 1, merged, network, source=(env, row_env))
+
+    def _request_next(self, stage_number: int, env: tuple, network: "Scheduler") -> None:
+        """Issue the tuple request env implies for the stage's subgoal."""
+        stage = self.stages[stage_number - 1]
+        if not stage.d_var_sources:
+            return  # the subgoal is served by its relation request alone
+        binding = tuple(
+            payload if kind == "const" else env[payload]  # type: ignore[index]
+            for kind, payload in stage.d_var_sources
+        )
+        self.send_tuple_request(self.child_ids[stage.subgoal_index], binding, network)
+
+    # ------------------------------------------------------------------
+    def _emit_head(self, env: tuple, network: "Scheduler") -> None:
+        row = tuple(
+            payload if kind == "const" else env[payload]  # type: ignore[index]
+            for kind, payload in self.head_out_plan
+        )
+        if row in self.sent_rows:
+            return
+        self.sent_rows.add(row)
+        if self.record_provenance:
+            self._head_env.setdefault(row, env if self.stages else None)
+        for stream in self.consumers.values():
+            network.send(TupleMessage(self.node_id, stream.consumer_id, row))
+
+    def derivation_children(
+        self, head_row: tuple
+    ) -> Optional[list[tuple[int, tuple]]]:
+        """Provenance: the child rows behind a head row, in body order.
+
+        Returns ``None`` when no derivation was recorded (provenance off or
+        foreign row); an empty list for bodiless rules.
+        """
+        if head_row not in self._head_env:
+            return None
+        env = self._head_env[head_row]
+        if env is None:
+            return []
+        out: list[tuple[int, tuple]] = []
+        for j in range(len(self.stages), 0, -1):
+            prev_env, sub_env = self._env_parent[(j, env)]
+            stage = self.stages[j - 1]
+            out.append((stage.subgoal_index, stage.row_source[sub_env]))
+            env = prev_env
+        out.sort(key=lambda pair: pair[0])
+        return out
+
+
+class DriverProcess(NodeProcess):
+    """The environment: poses the query and collects the answer stream."""
+
+    def __init__(self, root_id: int, adornment: tuple[str, ...]) -> None:
+        super().__init__(DRIVER_ID)
+        self.root_id = root_id
+        self.adornment = adornment
+        self.answers: set[tuple] = set()
+        self.completed = False
+        self.on_complete: Optional[Callable[[], None]] = None  # runtime hook
+        self.on_answer: Optional[Callable[[tuple], None]] = None  # streaming hook
+
+    def start(self, network: "Scheduler") -> None:
+        """Send the opening relation request to the top-level goal node."""
+        feeder = self.feeders[self.root_id]
+        feeder.next_seq()
+        network.send(RelationRequest(DRIVER_ID, self.root_id, self.adornment))
+
+    def on_relation_request(self, message: RelationRequest, network: "Scheduler") -> None:  # pragma: no cover
+        raise AssertionError("the driver receives no requests")
+
+    def on_tuple_request(self, message: TupleRequest, network: "Scheduler") -> None:  # pragma: no cover
+        raise AssertionError("the driver receives no requests")
+
+    def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:
+        if message.row not in self.answers:
+            self.answers.add(message.row)
+            if self.on_answer is not None:
+                self.on_answer(message.row)
+
+    def on_end(self, message: EndMessage, network: "Scheduler") -> None:
+        super().on_end(message, network)
+        self.completed = True
+        if self.on_complete is not None:
+            self.on_complete()
+
+    def maybe_send_ends(self, network: "Scheduler") -> None:
+        """The driver has no customers."""

@@ -1,0 +1,190 @@
+"""A deterministic discrete-event message scheduler.
+
+The paper's processes communicate only by messages; this scheduler owns the
+channels and delivers messages one at a time to node ``handle`` methods.  Two
+properties matter:
+
+* **FIFO channels** — each (sender, receiver) pair delivers in send order.
+  The end-message semantics relies on this ("tuples before the end"), as do
+  real message-queue substrates the paper appeals to.
+* **Deterministic but reorderable delivery** — by default messages are
+  delivered globally in send order; with a ``seed`` the scheduler assigns
+  random per-message latencies (still respecting channel FIFO) to exercise
+  the asynchrony the distributed termination protocol must survive.
+
+The scheduler also keeps the *global quiescence oracle* used by the tests to
+validate Theorem 3.1: it can see that no messages are in flight — something
+the distributed nodes themselves never can.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional, Protocol
+
+from .messages import COMPUTATION_TYPES, PROTOCOL_TYPES, Message
+
+__all__ = ["Process", "SchedulerStats", "Scheduler", "MessageBudgetExceeded"]
+
+
+class MessageBudgetExceeded(RuntimeError):
+    """Raised when a run exceeds its message budget (a bug guard)."""
+
+
+class Process(Protocol):
+    """What the scheduler requires of a node process."""
+
+    node_id: int
+
+    def handle(self, message: Message, network: "Scheduler") -> None:
+        """Process one delivered message, sending follow-ups via ``network``."""
+        ...
+
+    def on_idle_check(self, network: "Scheduler") -> None:
+        """Hook invoked after each delivery (leaders may start the protocol)."""
+        ...
+
+
+@dataclass
+class SchedulerStats:
+    """Message accounting for a run."""
+
+    delivered_total: int = 0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    by_receiver: dict[int, int] = field(default_factory=dict)
+    computation_messages: int = 0
+    protocol_messages: int = 0
+
+    def record(self, message: Message) -> None:
+        """Account one delivered message."""
+        self.delivered_total += 1
+        kind = message.kind()
+        self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+        self.by_receiver[message.receiver] = self.by_receiver.get(message.receiver, 0) + 1
+        if isinstance(message, COMPUTATION_TYPES):
+            self.computation_messages += 1
+        elif isinstance(message, PROTOCOL_TYPES):
+            self.protocol_messages += 1
+
+
+class Scheduler:
+    """Delivers messages to registered processes until the network drains.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (default) delivers in global send order; an integer seed
+        draws a random latency (1–``max_latency``) per message, subject to
+        per-channel FIFO.
+    max_messages:
+        Delivery budget; :class:`MessageBudgetExceeded` beyond it.
+    trace:
+        Optional callback invoked with every delivered message.
+    """
+
+    def __init__(
+        self,
+        seed: Optional[int] = None,
+        max_latency: int = 16,
+        max_messages: int = 5_000_000,
+        trace: Optional[Callable[[Message], None]] = None,
+    ) -> None:
+        self._processes: dict[int, Process] = {}
+        self._heap: list[tuple[int, int, Message]] = []
+        self._now = 0
+        self._send_seq = 0
+        self._channel_clock: dict[tuple[int, int], int] = {}
+        self._pending_per_node: dict[int, int] = {}
+        self._rng = random.Random(seed) if seed is not None else None
+        self._max_latency = max(1, max_latency)
+        self._max_messages = max_messages
+        self._trace = trace
+        self.stats = SchedulerStats()
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, process: Process) -> None:
+        """Add a process to the network (ids must be unique)."""
+        if process.node_id in self._processes:
+            raise ValueError(f"duplicate process id {process.node_id}")
+        self._processes[process.node_id] = process
+        self._pending_per_node.setdefault(process.node_id, 0)
+
+    def process(self, node_id: int) -> Process:
+        """Look up a registered process."""
+        return self._processes[node_id]
+
+    def processes(self) -> Iterable[Process]:
+        """All registered processes."""
+        return self._processes.values()
+
+    # ------------------------------------------------------------------
+    # Sending and delivery
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Enqueue a message for delivery (FIFO per channel)."""
+        if message.receiver not in self._processes:
+            raise KeyError(f"message to unknown process {message.receiver}: {message}")
+        channel = (message.sender, message.receiver)
+        if self._rng is None:
+            deliver_at = self._now + 1
+        else:
+            deliver_at = self._now + self._rng.randint(1, self._max_latency)
+        # FIFO: never deliver before the channel's previous message.
+        deliver_at = max(deliver_at, self._channel_clock.get(channel, 0) + 1)
+        self._channel_clock[channel] = deliver_at
+        self._send_seq += 1
+        heapq.heappush(self._heap, (deliver_at, self._send_seq, message))
+        self._pending_per_node[message.receiver] = (
+            self._pending_per_node.get(message.receiver, 0) + 1
+        )
+
+    def pending_for(self, node_id: int) -> int:
+        """Messages queued (undelivered) for a node — its inbox length.
+
+        A real process knows its own queue length; nodes use this only for
+        *their own* id inside ``empty_queues()``.
+        """
+        return self._pending_per_node.get(node_id, 0)
+
+    def in_flight(self) -> int:
+        """Global oracle: total undelivered messages (tests only)."""
+        return len(self._heap)
+
+    def run(self) -> SchedulerStats:
+        """Deliver messages until the network drains; return the statistics."""
+        while self._heap:
+            if self.stats.delivered_total >= self._max_messages:
+                raise MessageBudgetExceeded(
+                    f"exceeded {self._max_messages} delivered messages"
+                )
+            deliver_at, _, message = heapq.heappop(self._heap)
+            self._now = max(self._now, deliver_at)
+            self._pending_per_node[message.receiver] -= 1
+            self.stats.record(message)
+            if self._trace is not None:
+                self._trace(message)
+            receiver = self._processes[message.receiver]
+            receiver.handle(message, self)
+            # Post-delivery hook: Fig 2 attaches the protocol-start check to
+            # the moment a node finishes a unit of work.
+            receiver.on_idle_check(self)
+        return self.stats
+
+    def step(self) -> Optional[Message]:
+        """Deliver a single message (for fine-grained tests); None if drained."""
+        if not self._heap:
+            return None
+        deliver_at, _, message = heapq.heappop(self._heap)
+        self._now = max(self._now, deliver_at)
+        self._pending_per_node[message.receiver] -= 1
+        self.stats.record(message)
+        if self._trace is not None:
+            self._trace(message)
+        receiver = self._processes[message.receiver]
+        receiver.handle(message, self)
+        receiver.on_idle_check(self)
+        return message

@@ -1,0 +1,168 @@
+"""Relational algebra operators over :class:`~repro.relational.relation.Relation`.
+
+Rule nodes "combine their subgoal relations using join, select, and project"
+(Section 2.2).  The operators here are natural join, semijoin, cross product
+and friends, instrumented through an optional :class:`WorkMeter` so the
+benchmarks can report the join work each evaluation strategy performs — the
+quantity the Section 4.3 cost model estimates ("the cost of computing a join
+is proportional to the sum of the sizes of the operands and the size of the
+result").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .relation import Relation, Row
+
+__all__ = [
+    "WorkMeter",
+    "natural_join",
+    "semijoin",
+    "antijoin",
+    "cross_product",
+    "join_all",
+]
+
+
+@dataclass
+class WorkMeter:
+    """Accumulates the work performed by algebra operators.
+
+    Attributes mirror the cost model of Section 4.3: ``join_input_rows`` and
+    ``join_output_rows`` together are what "cost of computing a join is
+    proportional to"; ``tuples_materialized`` counts every row placed in an
+    intermediate relation, the quantity sideways information passing tries to
+    minimize.
+    """
+
+    joins: int = 0
+    join_input_rows: int = 0
+    join_output_rows: int = 0
+    semijoins: int = 0
+    tuples_materialized: int = 0
+    peak_intermediate: int = 0
+
+    def record_join(self, left: int, right: int, out: int) -> None:
+        """Account one join with operand sizes ``left``/``right`` and result ``out``."""
+        self.joins += 1
+        self.join_input_rows += left + right
+        self.join_output_rows += out
+        self.tuples_materialized += out
+        self.peak_intermediate = max(self.peak_intermediate, out)
+
+    def record_semijoin(self, left: int, right: int, out: int) -> None:
+        """Account one semijoin."""
+        self.semijoins += 1
+        self.join_input_rows += left + right
+        self.join_output_rows += out
+
+    @property
+    def total_join_cost(self) -> int:
+        """The Section 4.3 cost: sum of operand sizes plus result sizes."""
+        return self.join_input_rows + self.join_output_rows
+
+    def merged_with(self, other: "WorkMeter") -> "WorkMeter":
+        """A new meter summing this one and ``other`` (peak takes the max)."""
+        return WorkMeter(
+            joins=self.joins + other.joins,
+            join_input_rows=self.join_input_rows + other.join_input_rows,
+            join_output_rows=self.join_output_rows + other.join_output_rows,
+            semijoins=self.semijoins + other.semijoins,
+            tuples_materialized=self.tuples_materialized + other.tuples_materialized,
+            peak_intermediate=max(self.peak_intermediate, other.peak_intermediate),
+        )
+
+
+def _shared_columns(left: Relation, right: Relation) -> list[str]:
+    return [c for c in left.columns if c in right.columns]
+
+
+def natural_join(left: Relation, right: Relation, meter: WorkMeter | None = None) -> Relation:
+    """Natural join on all shared column names (hash join).
+
+    With no shared columns this degrades to the cross product, as usual.  The
+    smaller operand is indexed; output columns are ``left.columns`` followed
+    by the right-only columns.
+    """
+    shared = _shared_columns(left, right)
+    right_only = [c for c in right.columns if c not in shared]
+    out_columns = list(left.columns) + right_only
+    right_only_pos = right.positions(right_only)
+
+    if not shared:
+        rows = [
+            l + tuple(r[i] for i in right_only_pos)
+            for l in left
+            for r in right
+        ]
+    else:
+        index = right.index(shared)
+        left_pos = left.positions(shared)
+        rows = []
+        for l in left:
+            key = tuple(l[i] for i in left_pos)
+            for r in index.get(key, ()):
+                rows.append(l + tuple(r[i] for i in right_only_pos))
+    result = Relation(out_columns, rows)
+    if meter is not None:
+        meter.record_join(len(left), len(right), len(result))
+    return result
+
+
+def semijoin(left: Relation, right: Relation, meter: WorkMeter | None = None) -> Relation:
+    """Semijoin: rows of ``left`` that join with at least one row of ``right``.
+
+    This is the operational meaning of a class "d" argument: "a class 'd'
+    argument functions as a semi-join operand" (Section 1.2), restricting an
+    intermediate relation to potentially useful values.
+    """
+    shared = _shared_columns(left, right)
+    if not shared:
+        result = left if len(right) else Relation(left.columns)
+    else:
+        keys = set(right.project(shared).rows)
+        left_pos = left.positions(shared)
+        result = Relation(
+            left.columns,
+            (l for l in left if tuple(l[i] for i in left_pos) in keys),
+        )
+    if meter is not None:
+        meter.record_semijoin(len(left), len(right), len(result))
+    return result
+
+
+def antijoin(left: Relation, right: Relation) -> Relation:
+    """Rows of ``left`` that join with *no* row of ``right``."""
+    shared = _shared_columns(left, right)
+    if not shared:
+        return Relation(left.columns) if len(right) else left
+    keys = set(right.project(shared).rows)
+    left_pos = left.positions(shared)
+    return Relation(
+        left.columns,
+        (l for l in left if tuple(l[i] for i in left_pos) not in keys),
+    )
+
+
+def cross_product(left: Relation, right: Relation, meter: WorkMeter | None = None) -> Relation:
+    """Cartesian product; column names must be disjoint."""
+    overlap = _shared_columns(left, right)
+    if overlap:
+        raise ValueError(f"cross product requires disjoint schemas; shared: {overlap}")
+    return natural_join(left, right, meter)
+
+
+def join_all(relations: Sequence[Relation], meter: WorkMeter | None = None) -> Relation:
+    """Left-deep natural join of a sequence of relations, in the given order.
+
+    The order matters for intermediate sizes — exactly the effect the
+    monotone flow property (Section 4) is about — so callers choose it.
+    """
+    if not relations:
+        raise ValueError("join_all requires at least one relation")
+    result = relations[0]
+    for rel in relations[1:]:
+        result = natural_join(result, rel, meter)
+    return result

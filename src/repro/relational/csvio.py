@@ -1,0 +1,88 @@
+"""Loading EDB relations from delimited files.
+
+A directory of ``<predicate>.csv`` / ``<predicate>.tsv`` files becomes the
+extensional database: one file per relation, one row per fact.  This is the
+"conventional relational database" interface of Section 1 for the command
+line (``repro-datalog run rules.dl --data facts/``).
+
+Values are parsed as integers when they look like integers, floats when they
+look like floats, and strings otherwise (strip whitespace).  An optional
+header row is skipped when ``header=True``.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, Optional
+
+from ..core.atoms import Atom
+from ..core.terms import Constant
+from .database import Database
+
+__all__ = ["parse_value", "load_relation", "load_directory", "facts_from_directory"]
+
+
+def parse_value(text: str) -> object:
+    """Coerce a CSV cell: int if integral, float if numeric, else stripped str."""
+    text = text.strip()
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def load_relation(path: str, header: bool = False) -> list[tuple]:
+    """Load one delimited file into a list of value tuples.
+
+    The delimiter is inferred from the extension (``.tsv`` → tab, else
+    comma).  Blank lines are skipped; ragged rows raise ``ValueError``.
+    """
+    delimiter = "\t" if path.endswith(".tsv") else ","
+    rows: list[tuple] = []
+    arity: Optional[int] = None
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        for index, row in enumerate(reader):
+            if header and index == 0:
+                continue
+            if not row or all(not cell.strip() for cell in row):
+                continue
+            values = tuple(parse_value(cell) for cell in row)
+            if arity is None:
+                arity = len(values)
+            elif len(values) != arity:
+                raise ValueError(
+                    f"{path}:{index + 1}: expected {arity} columns, got {len(values)}"
+                )
+            rows.append(values)
+    return rows
+
+
+def load_directory(directory: str, header: bool = False) -> dict[str, list[tuple]]:
+    """Load every ``*.csv`` / ``*.tsv`` file in a directory.
+
+    The predicate name is the file's stem; e.g. ``par.csv`` populates the
+    EDB predicate ``par``.
+    """
+    tables: dict[str, list[tuple]] = {}
+    for name in sorted(os.listdir(directory)):
+        stem, ext = os.path.splitext(name)
+        if ext not in (".csv", ".tsv"):
+            continue
+        tables[stem] = load_relation(os.path.join(directory, name), header=header)
+    return tables
+
+
+def facts_from_directory(directory: str, header: bool = False) -> list[Atom]:
+    """Directory → ground atoms, ready for ``Program.with_facts``."""
+    facts: list[Atom] = []
+    for predicate, rows in load_directory(directory, header=header).items():
+        for row in rows:
+            facts.append(Atom(predicate, tuple(Constant(v) for v in row)))
+    return facts

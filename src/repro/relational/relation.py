@@ -1,0 +1,181 @@
+"""In-memory relations with named columns and hash indexes.
+
+Each node of the rule/goal graph "performs a relational computation"
+(Section 2.2): predicate nodes union their children's relations, rule nodes
+combine subgoal relations with join, select, and project.  This module is
+that relational substrate — a compact, set-based implementation with
+memoized hash indexes so that the semijoin-style restriction driven by class
+"d" arguments is cheap.
+
+Relations are *immutable by convention*: every operation returns a new
+:class:`Relation`.  (Mutable accumulation inside engine nodes uses plain
+``set`` objects and converts at the edges.)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+__all__ = ["Relation", "Row"]
+
+#: One tuple of a relation — plain Python tuples of hashable values.
+Row = tuple
+
+
+class Relation:
+    """A named-column set of tuples.
+
+    Parameters
+    ----------
+    columns:
+        Distinct column names, defining the schema and tuple positions.
+    rows:
+        Iterable of tuples, each with exactly ``len(columns)`` entries.
+    """
+
+    __slots__ = ("columns", "_rows", "_indexes")
+
+    def __init__(self, columns: Sequence[str], rows: Iterable[Row] = ()) -> None:
+        cols = tuple(columns)
+        if len(set(cols)) != len(cols):
+            raise ValueError(f"duplicate column names in {cols}")
+        self.columns: tuple[str, ...] = cols
+        materialized = set(map(tuple, rows))
+        for row in materialized:
+            if len(row) != len(cols):
+                raise ValueError(f"row {row} does not match schema {cols}")
+        self._rows: frozenset[Row] = frozenset(materialized)
+        self._indexes: dict[tuple[int, ...], dict[Row, list[Row]]] = {}
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of columns."""
+        return len(self.columns)
+
+    @property
+    def rows(self) -> frozenset[Row]:
+        """The tuple set (frozen)."""
+        return self._rows
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Row) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.columns == other.columns and self._rows == other._rows
+
+    def __hash__(self) -> int:
+        return hash((self.columns, self._rows))
+
+    def __repr__(self) -> str:
+        preview = ", ".join(map(str, sorted(self._rows, key=repr)[:4]))
+        suffix = ", ..." if len(self._rows) > 4 else ""
+        return f"Relation({self.columns}, {{{preview}{suffix}}})"
+
+    def is_empty(self) -> bool:
+        """True iff the relation holds no tuples."""
+        return not self._rows
+
+    # ------------------------------------------------------------------
+    # Schema helpers
+    # ------------------------------------------------------------------
+    def position(self, column: str) -> int:
+        """Index of ``column`` in the schema (raises ``ValueError`` if absent)."""
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise ValueError(f"no column {column!r} in schema {self.columns}") from None
+
+    def positions(self, columns: Sequence[str]) -> tuple[int, ...]:
+        """Indices of several columns, in the given order."""
+        return tuple(self.position(c) for c in columns)
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def index(self, columns: Sequence[str]) -> Mapping[Row, list[Row]]:
+        """A hash index: key tuple over ``columns`` -> rows having that key.
+
+        Indexes are built lazily and memoized; since relations are immutable
+        the cache never invalidates.  The paper's footnote on "packaged"
+        tuple requests observes an index over an EDB relation can be built in
+        one scan — this is that one scan.
+        """
+        pos = self.positions(columns)
+        cached = self._indexes.get(pos)
+        if cached is None:
+            cached = {}
+            for row in self._rows:
+                key = tuple(row[i] for i in pos)
+                cached.setdefault(key, []).append(row)
+            self._indexes[pos] = cached
+        return cached
+
+    def lookup(self, columns: Sequence[str], key: Row) -> list[Row]:
+        """Rows whose ``columns`` projection equals ``key`` (via the index)."""
+        return self.index(columns).get(tuple(key), [])
+
+    # ------------------------------------------------------------------
+    # Core operations (select / project / rename / union / difference)
+    # ------------------------------------------------------------------
+    def select_eq(self, bindings: Mapping[str, object]) -> "Relation":
+        """Selection by column-value equality, using an index when possible."""
+        if not bindings:
+            return self
+        cols = tuple(sorted(bindings))
+        key = tuple(bindings[c] for c in cols)
+        return Relation(self.columns, self.lookup(cols, key))
+
+    def select(self, predicate: Callable[[Row], bool]) -> "Relation":
+        """Selection by an arbitrary row predicate (full scan)."""
+        return Relation(self.columns, (r for r in self._rows if predicate(r)))
+
+    def project(self, columns: Sequence[str]) -> "Relation":
+        """Projection with duplicate elimination (set semantics)."""
+        pos = self.positions(columns)
+        return Relation(columns, (tuple(r[i] for i in pos) for r in self._rows))
+
+    def rename(self, mapping: Mapping[str, str]) -> "Relation":
+        """Rename columns; unmentioned columns keep their names."""
+        new_cols = tuple(mapping.get(c, c) for c in self.columns)
+        return Relation(new_cols, self._rows)
+
+    def union(self, other: "Relation") -> "Relation":
+        """Set union; schemas must match exactly."""
+        if self.columns != other.columns:
+            raise ValueError(f"union schema mismatch: {self.columns} vs {other.columns}")
+        return Relation(self.columns, self._rows | other._rows)
+
+    def difference(self, other: "Relation") -> "Relation":
+        """Set difference; schemas must match exactly."""
+        if self.columns != other.columns:
+            raise ValueError(f"difference schema mismatch: {self.columns} vs {other.columns}")
+        return Relation(self.columns, self._rows - other._rows)
+
+    def distinct_values(self, column: str) -> set[object]:
+        """The active domain of one column."""
+        pos = self.position(column)
+        return {r[pos] for r in self._rows}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, columns: Sequence[str]) -> "Relation":
+        """An empty relation over the given schema."""
+        return cls(columns, ())
+
+    @classmethod
+    def from_pairs(cls, columns: Sequence[str], pairs: Iterable[Sequence[object]]) -> "Relation":
+        """Build a relation, coercing each row to a tuple."""
+        return cls(columns, (tuple(p) for p in pairs))

@@ -1,0 +1,152 @@
+"""A SQLite-backed extensional database.
+
+Section 1: "the EDB may be viewed as a conventional relational database."
+This adapter makes that literal — the facts live in SQLite tables and the
+EDB leaf processes answer their tuple requests with indexed SQL lookups,
+while the rest of the engine is unchanged (pass the adapter to
+``MessagePassingEngine(database=...)``).
+
+One table per predicate, columns ``a0..a{k-1}``; an index per column is
+created so class-"d" restrictions translate to indexed WHERE clauses — the
+semijoin role of "d" arguments, executed by the database.  The adapter
+exposes the same access-counting surface as the in-memory
+:class:`~repro.relational.database.Database`, so all benchmarks work
+against either backend.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from ..core.atoms import Atom
+from ..core.terms import Constant
+from .database import columns_for
+from .relation import Relation
+
+__all__ = ["SqliteDatabase"]
+
+
+class SqliteDatabase:
+    """Drop-in EDB backend over a ``sqlite3`` connection."""
+
+    def __init__(self, connection: sqlite3.Connection) -> None:
+        self.connection = connection
+        self.scans = 0
+        self.indexed_lookups = 0
+        self.rows_retrieved = 0
+        self._arities: dict[str, int] = {}
+        self._introspect()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_facts(cls, facts: Iterable[Atom], path: str = ":memory:") -> "SqliteDatabase":
+        """Create (or populate) a SQLite database from ground atoms."""
+        grouped: dict[str, list[tuple]] = {}
+        for fact in facts:
+            grouped.setdefault(fact.predicate, []).append(fact.ground_tuple())
+        return cls.from_tables(grouped, path=path)
+
+    @classmethod
+    def from_tables(
+        cls, tables: Mapping[str, Iterable[Sequence[object]]], path: str = ":memory:"
+    ) -> "SqliteDatabase":
+        """Create tables ``{predicate: rows}`` with per-column indexes."""
+        connection = sqlite3.connect(path)
+        cursor = connection.cursor()
+        for predicate in sorted(tables):
+            rows = [tuple(r) for r in tables[predicate]]
+            arity = len(rows[0]) if rows else 0
+            columns = ", ".join(f"a{i}" for i in range(arity)) or "a0"
+            cursor.execute(f'CREATE TABLE IF NOT EXISTS "{predicate}" ({columns})')
+            if rows:
+                placeholders = ", ".join("?" * arity)
+                cursor.executemany(
+                    f'INSERT INTO "{predicate}" VALUES ({placeholders})', rows
+                )
+            for i in range(arity):
+                cursor.execute(
+                    f'CREATE INDEX IF NOT EXISTS "idx_{predicate}_{i}" '
+                    f'ON "{predicate}" (a{i})'
+                )
+        connection.commit()
+        return cls(connection)
+
+    def _introspect(self) -> None:
+        cursor = self.connection.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table'"
+        )
+        for (table,) in cursor.fetchall():
+            info = self.connection.execute(f'PRAGMA table_info("{table}")').fetchall()
+            self._arities[table] = len(info)
+
+    # ------------------------------------------------------------------
+    # The Database access surface
+    # ------------------------------------------------------------------
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self._arities
+
+    def predicates(self) -> list[str]:
+        """Sorted table (predicate) names."""
+        return sorted(self._arities)
+
+    def relation(self, predicate: str) -> Relation:
+        """The full relation as an in-memory snapshot (no counters)."""
+        if predicate not in self._arities:
+            return Relation(())
+        rows = self.connection.execute(f'SELECT * FROM "{predicate}"').fetchall()
+        return Relation(columns_for(self._arities[predicate]), rows)
+
+    def relation_or_empty(self, predicate: str, arity: int) -> Relation:
+        """The relation, or an empty one of the given arity."""
+        if predicate not in self._arities:
+            return Relation(columns_for(arity))
+        return self.relation(predicate)
+
+    def scan(self, predicate: str) -> Relation:
+        """Full scan (counted)."""
+        self.scans += 1
+        relation = self.relation(predicate)
+        self.rows_retrieved += len(relation)
+        return relation
+
+    def lookup(self, predicate: str, bound: Mapping[int, object]) -> list[tuple]:
+        """Indexed retrieval: rows whose positions match ``bound`` values."""
+        if predicate not in self._arities:
+            return []
+        self.indexed_lookups += 1
+        if not bound:
+            rows = self.connection.execute(f'SELECT * FROM "{predicate}"').fetchall()
+        else:
+            where = " AND ".join(f"a{i} = ?" for i in sorted(bound))
+            values = [bound[i] for i in sorted(bound)]
+            rows = self.connection.execute(
+                f'SELECT * FROM "{predicate}" WHERE {where}', values
+            ).fetchall()
+        rows = [tuple(r) for r in rows]
+        self.rows_retrieved += len(rows)
+        return rows
+
+    def facts(self) -> Iterator[Atom]:
+        """Iterate all stored facts as ground atoms."""
+        for predicate in self.predicates():
+            for row in self.relation(predicate).rows:
+                yield Atom(predicate, tuple(Constant(v) for v in row))
+
+    def total_rows(self) -> int:
+        """Total number of facts across all tables."""
+        total = 0
+        for predicate in self._arities:
+            (count,) = self.connection.execute(
+                f'SELECT COUNT(*) FROM "{predicate}"'
+            ).fetchone()
+            total += count
+        return total
+
+    def reset_counters(self) -> None:
+        """Zero the access counters."""
+        self.scans = 0
+        self.indexed_lookups = 0
+        self.rows_retrieved = 0

@@ -1,0 +1,13 @@
+"""Concurrent runtimes for the message network (asyncio, multiprocessing)."""
+
+from .asyncio_engine import AsyncNetwork, AsyncQueryResult, evaluate_async, run_async
+from .multiprocessing_engine import (
+    MpNetwork,
+    MpQueryResult,
+    evaluate_multiprocessing,
+)
+
+__all__ = [
+    "AsyncNetwork", "AsyncQueryResult", "evaluate_async", "run_async",
+    "MpNetwork", "MpQueryResult", "evaluate_multiprocessing",
+]

@@ -1,0 +1,146 @@
+"""A convenience session API: one knowledge base, many queries.
+
+The paper's IDB is split into the *permanent* IDB and per-query rules
+(Section 1): the PIDB and EDB persist while queries come and go.
+:class:`Session` mirrors that: construct it once with rules and facts, then
+call :meth:`query` with goal atoms.  Each query builds its own
+information-passing rule/goal graph (binding patterns depend on the query's
+constants) but shares the parsed program and the loaded EDB.
+
+>>> from repro.session import Session
+>>> s = Session('''
+...     anc(X, Y) <- par(X, Y).
+...     anc(X, Y) <- par(X, U), anc(U, Y).
+...     par(ann, bob).  par(bob, cal).
+... ''')
+>>> sorted(s.query("anc(ann, Z)"))
+[('bob',), ('cal',)]
+>>> s.ask("anc(ann, cal)")
+True
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+from .core.atoms import Atom
+from .core.parser import _Parser, _tokenize, parse_program, query_to_rule
+from .core.program import Program
+from .core.rulegoal import SipFactory
+from .core.rules import GOAL_PREDICATE, Rule
+from .core.sips import greedy_sip
+from .network.engine import QueryResult, evaluate
+
+__all__ = ["Session"]
+
+
+def _parse_query_atoms(query: Union[str, Atom, Sequence[Atom]]) -> list[Atom]:
+    if isinstance(query, Atom):
+        return [query]
+    if isinstance(query, str):
+        parser = _Parser(_tokenize(query.rstrip(". \n") + "."))
+        return parser.atom_list()
+    return list(query)
+
+
+class Session:
+    """A permanent IDB + EDB against which queries are evaluated on demand."""
+
+    def __init__(
+        self,
+        source: Union[str, Program],
+        sip_factory: SipFactory = greedy_sip,
+        coalesce: bool = False,
+        package_requests: bool = False,
+        provenance: bool = False,
+    ) -> None:
+        if isinstance(source, Program):
+            program = source
+        else:
+            program = parse_program(source)
+        # Strip any goal rules: the session supplies queries itself.
+        self._rules = tuple(
+            r for r in program.rules if r.head.predicate != GOAL_PREDICATE
+        )
+        self._facts = tuple(program.facts)
+        self.sip_factory = sip_factory
+        self.coalesce = coalesce
+        self.package_requests = package_requests
+        self.provenance = provenance
+        self.last_result: Optional[QueryResult] = None
+        self._last_engine = None
+
+    # ------------------------------------------------------------------
+    def program_for(self, query: Union[str, Atom, Sequence[Atom]]) -> Program:
+        """The program (PIDB + EDB + desugared query) a query induces."""
+        atoms = _parse_query_atoms(query)
+        rules = list(self._rules)
+        rules.append(query_to_rule(atoms))
+        return Program(rules, self._facts)
+
+    def query(
+        self, query: Union[str, Atom, Sequence[Atom]], seed: Optional[int] = None
+    ) -> set[tuple]:
+        """Evaluate; answers are tuples over the query's free variables.
+
+        Variable order follows first occurrence in the query, exactly as the
+        ``?-`` syntax.  The full :class:`QueryResult` (messages, protocol
+        statistics, the graph) is kept in :attr:`last_result`.
+        """
+        from .network.engine import MessagePassingEngine
+
+        engine = MessagePassingEngine(
+            self.program_for(query),
+            sip_factory=self.sip_factory,
+            seed=seed,
+            coalesce=self.coalesce,
+            package_requests=self.package_requests,
+            provenance=self.provenance,
+        )
+        result = engine.run()
+        self.last_result = result
+        self._last_engine = engine
+        return result.answers
+
+    def ask(self, query: Union[str, Atom, Sequence[Atom]]) -> bool:
+        """Boolean query: is the (possibly non-ground) query satisfiable?"""
+        return bool(self.query(query))
+
+    def explain(self, row: tuple):
+        """Proof tree for an answer of the *last* query (needs provenance).
+
+        Construct the session with ``provenance=True``; returns a
+        :class:`~repro.network.provenance.Derivation`.
+        """
+        if self._last_engine is None:
+            raise RuntimeError("no query has been evaluated yet")
+        return self._last_engine.explain(row)
+
+    def add_facts(self, facts: Iterable[Atom]) -> None:
+        """Extend the EDB (subsequent queries see the new facts)."""
+        self._facts = self._facts + tuple(facts)
+
+    def add_rules(self, source: Union[str, Iterable[Rule]]) -> None:
+        """Extend the permanent IDB with more rules."""
+        if isinstance(source, str):
+            parsed = parse_program(source, validate=False)
+            new_rules: tuple[Rule, ...] = tuple(parsed.rules)
+            if parsed.facts:
+                self._facts = self._facts + tuple(parsed.facts)
+        else:
+            new_rules = tuple(source)
+        self._rules = self._rules + tuple(
+            r for r in new_rules if r.head.predicate != GOAL_PREDICATE
+        )
+        # Re-validate the combined program eagerly for a clear error site.
+        Program(self._rules, self._facts)
+
+    @property
+    def rules(self) -> tuple[Rule, ...]:
+        """The permanent IDB."""
+        return self._rules
+
+    @property
+    def facts(self) -> tuple[Atom, ...]:
+        """The extensional database."""
+        return self._facts

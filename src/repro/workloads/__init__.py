@@ -1,0 +1,40 @@
+"""Workloads: the paper's example programs and synthetic EDB generators."""
+
+from .generators import (
+    bom_tables,
+    chain_edges,
+    cycle_edges,
+    cylinder_edges,
+    facts_from_tables,
+    grid_edges,
+    layered_dag_edges,
+    p1_tables,
+    pair_table,
+    random_digraph_edges,
+    tree_parent_edges,
+)
+from .programs import (
+    P1_TEXT,
+    bill_of_materials_program,
+    adorned_head_df,
+    ancestor_program,
+    left_recursive_tc_program,
+    mutual_recursion_program,
+    nonlinear_tc_program,
+    nonrecursive_join_program,
+    program_p1,
+    rule_r1,
+    rule_r2,
+    rule_r3,
+    same_generation_program,
+)
+
+__all__ = [
+    "chain_edges", "cycle_edges", "cylinder_edges", "tree_parent_edges", "random_digraph_edges",
+    "layered_dag_edges", "grid_edges", "pair_table", "facts_from_tables",
+    "p1_tables", "bom_tables", "bill_of_materials_program",
+    "P1_TEXT", "program_p1", "rule_r1", "rule_r2", "rule_r3",
+    "adorned_head_df", "ancestor_program", "nonlinear_tc_program",
+    "left_recursive_tc_program", "same_generation_program",
+    "mutual_recursion_program", "nonrecursive_join_program",
+]

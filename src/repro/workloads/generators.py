@@ -1,0 +1,206 @@
+"""Deterministic EDB generators for the experiments.
+
+All generators take an explicit ``seed`` where randomness is involved and
+return plain fact dictionaries ``{predicate: [rows]}`` suitable for
+:meth:`repro.relational.database.Database.from_tuples` or for grafting onto a
+:class:`~repro.core.program.Program` via :func:`facts_from_tables`.
+
+The shapes cover the regimes the paper's arguments distinguish:
+
+* *chains/cycles* — long derivation paths, stressing the termination
+  protocol's repeated end-request waves;
+* *trees* — ancestor/same-generation style genealogies;
+* *random digraphs* — Erdős–Rényi style, for crossover sweeps between
+  sideways-restricted and full bottom-up evaluation;
+* *grids and layered DAGs* — many short interleaved derivations.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Mapping, Sequence
+
+from ..core.atoms import Atom
+from ..core.terms import Constant
+
+__all__ = [
+    "chain_edges",
+    "cycle_edges",
+    "tree_parent_edges",
+    "random_digraph_edges",
+    "layered_dag_edges",
+    "grid_edges",
+    "pair_table",
+    "facts_from_tables",
+    "p1_tables",
+]
+
+
+def chain_edges(n: int, stride: int = 1) -> list[tuple[int, int]]:
+    """Edges of a simple path ``0 -> 1 -> ... -> n-1`` (optionally strided)."""
+    return [(i, i + stride) for i in range(0, n - stride, stride)]
+
+
+def cycle_edges(n: int) -> list[tuple[int, int]]:
+    """Edges of a directed cycle on ``n`` vertices."""
+    return [(i, (i + 1) % n) for i in range(n)]
+
+
+def tree_parent_edges(depth: int, branching: int = 2) -> list[tuple[int, int]]:
+    """``par(child, parent)`` pairs of a complete tree (root = 0).
+
+    Vertices are numbered level by level; suitable for the ancestor and
+    same-generation programs (note the child-first column order).
+    """
+    edges: list[tuple[int, int]] = []
+    next_id = 1
+    frontier = [0]
+    for _ in range(depth):
+        new_frontier: list[int] = []
+        for parent in frontier:
+            for _ in range(branching):
+                child = next_id
+                next_id += 1
+                edges.append((child, parent))
+                new_frontier.append(child)
+        frontier = new_frontier
+    return edges
+
+
+def random_digraph_edges(
+    n: int, edge_count: int, seed: int, self_loops: bool = False
+) -> list[tuple[int, int]]:
+    """``edge_count`` distinct edges sampled uniformly over ``n`` vertices."""
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    limit = n * (n - 1) + (n if self_loops else 0)
+    edge_count = min(edge_count, limit)
+    while len(edges) < edge_count:
+        a = rng.randrange(n)
+        b = rng.randrange(n)
+        if a == b and not self_loops:
+            continue
+        edges.add((a, b))
+    return sorted(edges)
+
+
+def layered_dag_edges(
+    layers: int, width: int, fanout: int, seed: int
+) -> list[tuple[int, int]]:
+    """A layered DAG: each vertex connects to ``fanout`` in the next layer.
+
+    Vertex ``layer * width + slot`` identifies each node.
+    """
+    rng = random.Random(seed)
+    edges: set[tuple[int, int]] = set()
+    for layer in range(layers - 1):
+        for slot in range(width):
+            source = layer * width + slot
+            for _ in range(fanout):
+                target = (layer + 1) * width + rng.randrange(width)
+                edges.add((source, target))
+    return sorted(edges)
+
+
+def grid_edges(rows: int, cols: int) -> list[tuple[int, int]]:
+    """Right/down edges of a rows x cols grid (vertex = r*cols + c)."""
+    edges: list[tuple[int, int]] = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                edges.append((v, v + 1))
+            if r + 1 < rows:
+                edges.append((v, v + cols))
+    return edges
+
+
+def cylinder_edges(rings: int, ring_size: int) -> list[tuple[int, int]]:
+    """A cylinder: stacked directed rings plus downward rungs.
+
+    Each ring is a directed cycle of ``ring_size`` vertices; every vertex
+    also points to the corresponding vertex of the next ring.  Combines the
+    termination-stressing cycles of rings with the depth of a chain.
+    Vertex = ``ring * ring_size + slot``.
+    """
+    edges: list[tuple[int, int]] = []
+    for ring in range(rings):
+        base = ring * ring_size
+        for slot in range(ring_size):
+            edges.append((base + slot, base + (slot + 1) % ring_size))
+            if ring + 1 < rings:
+                edges.append((base + slot, base + ring_size + slot))
+    return edges
+
+
+def pair_table(
+    left_domain: int,
+    right_domain: int,
+    count: int,
+    seed: int,
+    left_offset: int = 0,
+    right_offset: int = 0,
+) -> list[tuple[int, int]]:
+    """``count`` distinct random pairs over two integer domains."""
+    rng = random.Random(seed)
+    pairs: set[tuple[int, int]] = set()
+    count = min(count, left_domain * right_domain)
+    while len(pairs) < count:
+        pairs.add(
+            (left_offset + rng.randrange(left_domain), right_offset + rng.randrange(right_domain))
+        )
+    return sorted(pairs)
+
+
+def bom_tables(depth: int, fanout: int, shared: int, seed: int) -> dict[str, list[tuple]]:
+    """A bill-of-materials ``uses`` DAG: assemblies reuse shared subparts.
+
+    Level-0 is the root assembly ``widget``; each part at level *l* uses
+    ``fanout`` parts at level *l+1*, drawn from a pool so that subassemblies
+    are shared (``shared`` pool entries per level) — the sharing is what
+    makes naive part explosion rediscover subtrees and what duplicate
+    deletion in the engine collapses.
+    """
+    rng = random.Random(seed)
+    uses: set[tuple] = set()
+    level_parts = ["widget"]
+    for level in range(depth):
+        pool = [f"p{level + 1}_{i}" for i in range(max(shared, fanout))]
+        for part in level_parts:
+            for choice in rng.sample(pool, min(fanout, len(pool))):
+                uses.add((part, choice))
+        level_parts = pool
+    return {"uses": sorted(uses)}
+
+
+def facts_from_tables(tables: Mapping[str, Iterable[Sequence[object]]]) -> list[Atom]:
+    """Turn ``{predicate: rows}`` into ground atoms for a Program's EDB."""
+    facts: list[Atom] = []
+    for predicate in sorted(tables):
+        for row in tables[predicate]:
+            facts.append(Atom(predicate, tuple(Constant(v) for v in row)))
+    return facts
+
+
+def p1_tables(n: int, q_fraction: float, seed: int) -> dict[str, list[tuple]]:
+    """An EDB for program P1: ``r`` a random digraph, ``q`` a sparser one.
+
+    ``r`` gets roughly ``2n`` edges over ``n`` vertices named ``a``-prefixed
+    so the query constant ``a`` (vertex ``a0``… alias) exists; vertex 0 is
+    renamed to the constant ``a`` to serve as the query entry point.
+    """
+    rng = random.Random(seed)
+
+    def name(v: int) -> object:
+        return "a" if v == 0 else v
+
+    r_edges = random_digraph_edges(n, 2 * n, seed)
+    q_count = max(1, int(len(r_edges) * q_fraction))
+    q_edges = random_digraph_edges(n, q_count, seed + 1)
+    # Guarantee the query constant has at least one outgoing r edge.
+    if not any(a == 0 for a, _ in r_edges):
+        r_edges.append((0, rng.randrange(1, max(2, n))))
+    return {
+        "r": sorted({(name(a), name(b)) for a, b in r_edges}, key=repr),
+        "q": sorted({(name(a), name(b)) for a, b in q_edges}, key=repr),
+    }

@@ -1,0 +1,176 @@
+"""Canonical programs from the paper, plus classic deductive-database suites.
+
+* :func:`program_p1` — Example 2.1's program P1 (nonlinear transitive-style
+  recursion through an intermediate ``q`` relation), the running example of
+  the whole paper and the subject of Fig 1.
+* :func:`rule_r1` / :func:`rule_r2` / :func:`rule_r3` — Example 4.1's rules
+  used to illustrate the monotone flow property (Figs 3 and 4).
+* Ancestor, nonlinear transitive closure, same-generation, and a
+  left-recursive variant — the standard recursion shapes referenced in
+  Sections 1.1 and 3 (linear vs. nonlinear recursion, left recursion
+  termination).
+"""
+
+from __future__ import annotations
+
+from ..core.adornment import AdornedAtom, DYNAMIC, FREE
+from ..core.atoms import Atom
+from ..core.parser import parse_program, parse_rule
+from ..core.program import Program
+from ..core.rules import Rule
+
+__all__ = [
+    "program_p1",
+    "P1_TEXT",
+    "rule_r1",
+    "rule_r2",
+    "rule_r3",
+    "adorned_head_df",
+    "ancestor_program",
+    "nonlinear_tc_program",
+    "left_recursive_tc_program",
+    "same_generation_program",
+    "mutual_recursion_program",
+    "nonrecursive_join_program",
+]
+
+#: Example 2.1's program P1, verbatim (modulo arrow spelling).
+P1_TEXT = """
+goal(Z) <- p(a, Z).
+p(X, Y) <- p(X, U), q(U, V), p(V, Y).
+p(X, Y) <- r(X, Y).
+"""
+
+
+def program_p1(constant: object = "a") -> Program:
+    """Example 2.1: EDB relations ``r`` and ``q``, IDB predicate ``p``.
+
+    ``constant`` is the user-entered constant of the query ``p(a, Z)``.
+    """
+    text = P1_TEXT if constant == "a" else P1_TEXT.replace("p(a, Z)", f"p({constant}, Z)")
+    return parse_program(text)
+
+
+def rule_r1() -> Rule:
+    """Example 4.1, rule R1: ``p(X,Z) <- a(X,Y), b(Y,U), c(U,Z)`` (monotone)."""
+    return parse_rule("p(X, Z) <- a(X, Y), b(Y, U), c(U, Z).")
+
+
+def rule_r2() -> Rule:
+    """Example 4.1, rule R2 (monotone; hypergraph in Fig 3)::
+
+        p(X,Z) <- a(X,Y,V), b(Y,U), c(V,T), d(T), e(U,Z).
+
+    Information flows from X to both Y and V; extending to U (via b) or to T
+    (via c) are independent and can run in parallel.
+    """
+    return parse_rule("p(X, Z) <- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).")
+
+
+def rule_r3() -> Rule:
+    """Example 4.1, rule R3 (not monotone; hypergraph in Fig 4)::
+
+        p(X,Z) <- a(X,Y,V), b(Y,W,U), c(V,W,T), d(T), e(U,Z).
+
+    The cycle involving Y, V, and W means evaluating b and c in parallel
+    risks "computing two large relations that are nearly unjoinable due to
+    mismatches on W".
+    """
+    return parse_rule("p(X, Z) <- a(X, Y, V), b(Y, W, U), c(V, W, T), d(T), e(U, Z).")
+
+
+def adorned_head_df(rule: Rule) -> AdornedAtom:
+    """Example 4.1's binding pattern: first head argument "d", second "f"."""
+    if rule.head.arity != 2:
+        raise ValueError("adorned_head_df expects a binary head")
+    return AdornedAtom(rule.head, (DYNAMIC, FREE))
+
+
+def ancestor_program(root: object = "ann") -> Program:
+    """Linear-recursive ancestor over an EDB ``par`` (parent) relation."""
+    return parse_program(
+        f"""
+        goal(Z) <- anc({root}, Z).
+        anc(X, Y) <- par(X, Y).
+        anc(X, Y) <- par(X, U), anc(U, Y).
+        """
+    )
+
+
+def nonlinear_tc_program(source: object = 0) -> Program:
+    """Nonlinear (divide-and-conquer) transitive closure: t = e ∪ t∘t.
+
+    "Nonlinear recursion frequently arises in divide-and-conquer algorithms"
+    (Section 1.2); this is the canonical instance.
+    """
+    return parse_program(
+        f"""
+        goal(Z) <- t({source}, Z).
+        t(X, Y) <- e(X, Y).
+        t(X, Y) <- t(X, U), t(U, Y).
+        """
+    )
+
+
+def left_recursive_tc_program(source: object = 0) -> Program:
+    """Left-recursive transitive closure — loops forever in Prolog.
+
+    "The method is certain to terminate, avoiding the well-known 'left
+    recursion' problems of strictly top-down methods" (Section 1.2).
+    """
+    return parse_program(
+        f"""
+        goal(Z) <- t({source}, Z).
+        t(X, Y) <- t(X, U), e(U, Y).
+        t(X, Y) <- e(X, Y).
+        """
+    )
+
+
+def same_generation_program(person: object = 0) -> Program:
+    """The classic same-generation program over ``par`` (nonlinear)."""
+    return parse_program(
+        f"""
+        goal(Z) <- sg({person}, Z).
+        sg(X, Y) <- par(X, P), par(Y, P).
+        sg(X, Y) <- par(X, U), sg(U, V), par(Y, V).
+        """
+    )
+
+
+def mutual_recursion_program(source: object = 0) -> Program:
+    """Two mutually recursive predicates (odd/even path lengths)."""
+    return parse_program(
+        f"""
+        goal(Z) <- oddp({source}, Z).
+        oddp(X, Y) <- e(X, Y).
+        oddp(X, Y) <- e(X, U), evenp(U, Y).
+        evenp(X, Y) <- e(X, U), oddp(U, Y).
+        """
+    )
+
+
+def nonrecursive_join_program() -> Program:
+    """A nonrecursive three-way join chain (the Reiter [Rei78] regime)."""
+    return parse_program(
+        """
+        goal(X, Z) <- path3(X, Z).
+        path3(X, Z) <- a(X, Y), b(Y, U), c(U, Z).
+        """
+    )
+
+
+def bill_of_materials_program(assembly: object = "widget") -> Program:
+    """Part explosion over a bill of materials — a deductive-DB classic.
+
+    ``uses(A, P)`` records that assembly A directly contains part P;
+    ``contains`` is its transitive closure, asked for one assembly.  The
+    recursion is the divide-and-conquer (nonlinear) shape of Section 1.2.
+    """
+    return parse_program(
+        f"""
+        goal(P) <- contains({assembly}, P).
+        contains(A, P) <- uses(A, P).
+        contains(A, P) <- contains(A, S), contains(S, P).
+        """
+    )

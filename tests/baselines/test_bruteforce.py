@@ -1,0 +1,58 @@
+"""Unit tests for the brute-force ground-instantiation baseline (§1.1)."""
+
+import pytest
+
+from repro.baselines import bruteforce, naive
+from repro.core.parser import parse_program
+from repro.workloads import chain_edges
+
+from tests.helpers import with_tables
+
+
+def tc_program(n):
+    return with_tables(
+        parse_program(
+            """
+            goal(X, Y) <- t(X, Y).
+            t(X, Y) <- e(X, Y).
+            t(X, Y) <- t(X, U), e(U, Y).
+            """
+        ),
+        {"e": chain_edges(n)},
+    )
+
+
+class TestCorrectness:
+    def test_agrees_with_oracle(self):
+        program = tc_program(5)
+        assert bruteforce.evaluate(program).facts == naive.evaluate(program).facts
+
+    def test_constants_from_rules_included(self):
+        program = parse_program(
+            "goal(X) <- p(X). p(k) <- e(k). e(k)."
+        )
+        result = bruteforce.evaluate(program)
+        assert result.answers() == {("k",)}
+
+    def test_empty_edb(self):
+        program = parse_program("goal(X) <- e(X).")
+        assert bruteforce.evaluate(program).answers() == set()
+
+
+class TestCostGrowth:
+    def test_ground_instance_count_formula(self):
+        program = tc_program(4)  # constants 0..3
+        n = len(program.constants())
+        # goal rule: 2 vars; t<-e: 2 vars; t<-t,e: 3 vars.
+        assert bruteforce.ground_instance_count(program) == n**2 + n**2 + n**3
+
+    def test_instances_grow_as_n_to_the_t(self):
+        small = bruteforce.evaluate(tc_program(4))
+        large = bruteforce.evaluate(tc_program(8))
+        # Dominant term is n^3: doubling n should ~8x the instances.
+        ratio = large.ground_instances / small.ground_instances
+        assert 6 <= ratio <= 10
+
+    def test_budget_guard(self):
+        with pytest.raises(RuntimeError):
+            bruteforce.evaluate(tc_program(30), max_instances=1000)

@@ -1,0 +1,83 @@
+"""Direct tests for the shared backtracking matcher."""
+
+import pytest
+
+from repro.baselines.common import apply_bindings, enumerate_matches
+from repro.core.atoms import atom
+from repro.core.parser import parse_rule
+from repro.core.terms import Variable
+
+X, Y, U = Variable("X"), Variable("Y"), Variable("U")
+
+
+class TestEnumerateMatches:
+    def setup_method(self):
+        self.facts = {
+            "e": {(1, 2), (2, 3), (1, 3)},
+            "f": {(3, "z")},
+        }
+
+    def test_single_subgoal(self):
+        body = (atom("e", X, Y),)
+        envs = list(enumerate_matches(body, self.facts))
+        assert len(envs) == 3
+
+    def test_join_across_subgoals(self):
+        body = (atom("e", X, Y), atom("f", Y, U))
+        envs = list(enumerate_matches(body, self.facts))
+        assert len(envs) == 2  # (1,3,z) and (2,3,z)
+        assert all(env[U] == "z" for env in envs)
+
+    def test_constant_filter(self):
+        body = (atom("e", 1, Y),)
+        envs = list(enumerate_matches(body, self.facts))
+        assert {env[Y] for env in envs} == {2, 3}
+
+    def test_repeated_variable(self):
+        facts = {"g": {(1, 1), (1, 2)}}
+        envs = list(enumerate_matches((atom("g", X, X),), facts))
+        assert len(envs) == 1 and envs[0][X] == 1
+
+    def test_empty_body_yields_once(self):
+        envs = list(enumerate_matches((), self.facts))
+        assert envs == [{}]
+
+    def test_restrict_first_limits_one_position(self):
+        body = (atom("e", X, Y), atom("f", Y, U))
+        envs = list(
+            enumerate_matches(body, self.facts, start=0, restrict_first={(1, 3)})
+        )
+        assert len(envs) == 1 and envs[0][X] == 1
+
+    def test_start_reorders_evaluation(self):
+        body = (atom("e", X, Y), atom("f", Y, U))
+        # Starting from subgoal 1 with a restriction must still be complete.
+        envs = list(
+            enumerate_matches(body, self.facts, start=1, restrict_first={(3, "z")})
+        )
+        assert len(envs) == 2
+
+    def test_initial_bindings_respected(self):
+        body = (atom("e", X, Y),)
+        envs = list(enumerate_matches(body, self.facts, bindings={X: 1}))
+        assert {env[Y] for env in envs} == {2, 3}
+
+    def test_arity_mismatch_rows_skipped(self):
+        facts = {"e": {(1, 2), (1, 2, 3)}}
+        envs = list(enumerate_matches((atom("e", X, Y),), facts))
+        assert len(envs) == 1
+
+    def test_unknown_predicate_yields_nothing(self):
+        assert list(enumerate_matches((atom("zzz", X),), self.facts)) == []
+
+
+class TestApplyBindings:
+    def test_grounds_atom(self):
+        row = apply_bindings(atom("p", X, "k", Y), {X: 1, Y: 2})
+        assert row == (1, "k", 2)
+
+    def test_incomplete_bindings_give_none(self):
+        assert apply_bindings(atom("p", X, Y), {X: 1}) is None
+
+    def test_ground_atom_needs_no_bindings(self):
+        assert apply_bindings(atom("p", "a", 7), {}) == ("a", 7)

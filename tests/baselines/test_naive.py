@@ -1,0 +1,90 @@
+"""Unit tests for the naive bottom-up oracle."""
+
+from repro.baselines import naive
+from repro.core.parser import parse_program
+from repro.workloads import chain_edges, program_p1
+
+from tests.helpers import with_tables
+
+
+class TestFixpoint:
+    def test_nonrecursive(self):
+        program = parse_program(
+            "goal(X, Z) <- a(X, Y), b(Y, Z). a(1, 2). b(2, 3)."
+        )
+        result = naive.evaluate(program)
+        assert result.answers() == {(1, 3)}
+
+    def test_transitive_closure(self):
+        program = with_tables(
+            parse_program(
+                """
+                goal(X, Y) <- t(X, Y).
+                t(X, Y) <- e(X, Y).
+                t(X, Y) <- e(X, U), t(U, Y).
+                """
+            ),
+            {"e": chain_edges(5)},
+        )
+        result = naive.evaluate(program)
+        expected = {(i, j) for i in range(5) for j in range(i + 1, 5)}
+        assert result.answers() == expected
+
+    def test_edb_facts_included_in_model(self):
+        program = parse_program("goal(X) <- e(X). e(1).")
+        model = naive.minimum_model(program)
+        assert model["e"] == {(1,)}
+
+    def test_iterations_count_chain_depth(self):
+        # A k-chain linear closure needs about k iterations to converge.
+        program = with_tables(
+            parse_program(
+                """
+                goal(Y) <- t(0, Y).
+                t(X, Y) <- e(X, Y).
+                t(X, Y) <- t(X, U), e(U, Y).
+                """
+            ),
+            {"e": chain_edges(8)},
+        )
+        result = naive.evaluate(program)
+        assert result.iterations >= 7
+
+    def test_derivations_exceed_facts_for_recursion(self):
+        # Naive evaluation rediscovers old facts every round.
+        program = with_tables(
+            parse_program(
+                """
+                goal(X, Y) <- t(X, Y).
+                t(X, Y) <- e(X, Y).
+                t(X, Y) <- t(X, U), e(U, Y).
+                """
+            ),
+            {"e": chain_edges(6)},
+        )
+        result = naive.evaluate(program)
+        assert result.derivations > result.idb_tuples
+
+    def test_empty_program(self):
+        program = parse_program("goal(X) <- e(X).")
+        assert naive.goal_answers(program) == set()
+
+    def test_cyclic_data_terminates(self):
+        program = with_tables(
+            parse_program(
+                """
+                goal(X, Y) <- t(X, Y).
+                t(X, Y) <- e(X, Y).
+                t(X, Y) <- t(X, U), e(U, Y).
+                """
+            ),
+            {"e": [(0, 1), (1, 2), (2, 0)]},
+        )
+        result = naive.evaluate(program)
+        assert result.answers() == {(i, j) for i in range(3) for j in range(3)}
+
+    def test_idb_tuple_count(self):
+        program = parse_program("goal(X) <- e(X). e(1). e(2).")
+        result = naive.evaluate(program)
+        # goal(1), goal(2) — the only IDB tuples.
+        assert result.idb_tuples == 2

@@ -1,0 +1,100 @@
+"""Unit tests for the tabled top-down baseline (QSQR-style)."""
+
+import pytest
+
+from repro.baselines import naive, topdown
+from repro.core.parser import parse_program
+from repro.workloads import (
+    chain_edges,
+    left_recursive_tc_program,
+    nonlinear_tc_program,
+    program_p1,
+    random_digraph_edges,
+)
+
+from tests.helpers import with_tables
+
+
+class TestCorrectness:
+    def test_simple_join(self):
+        program = parse_program(
+            "goal(X, Z) <- a(X, Y), b(Y, Z). a(1, 2). b(2, 3)."
+        )
+        assert topdown.evaluate(program).answers() == {(1, 3)}
+
+    def test_right_recursion(self):
+        program = with_tables(
+            parse_program(
+                """
+                goal(Z) <- t(0, Z).
+                t(X, Y) <- e(X, Y).
+                t(X, Y) <- e(X, U), t(U, Y).
+                """
+            ),
+            {"e": chain_edges(7)},
+        )
+        assert topdown.evaluate(program).answers() == naive.goal_answers(program)
+
+    def test_left_recursion_terminates(self):
+        # Plain Prolog loops here; tabling must not (Section 1.2's point).
+        program = with_tables(left_recursive_tc_program(0), {"e": chain_edges(7)})
+        assert topdown.evaluate(program).answers() == naive.goal_answers(program)
+
+    def test_nonlinear_recursion(self):
+        edges = random_digraph_edges(8, 18, seed=11)
+        program = with_tables(nonlinear_tc_program(edges[0][0]), {"e": edges})
+        assert topdown.evaluate(program).answers() == naive.goal_answers(program)
+
+    def test_p1(self):
+        program = with_tables(
+            program_p1(), {"r": [("a", 1), (1, 2), (2, 3)], "q": [(1, 2), (2, 3), (3, 1)]}
+        )
+        assert topdown.evaluate(program).answers() == naive.goal_answers(program)
+
+    def test_cyclic_data(self):
+        program = with_tables(
+            left_recursive_tc_program(0), {"e": [(0, 1), (1, 0)]}
+        )
+        assert topdown.evaluate(program).answers() == {(0,), (1,)}
+
+
+class TestRelevance:
+    def test_tables_keyed_by_call_pattern(self):
+        program = with_tables(
+            parse_program(
+                """
+                goal(Z) <- t(0, Z).
+                t(X, Y) <- e(X, Y).
+                t(X, Y) <- e(X, U), t(U, Y).
+                """
+            ),
+            {"e": chain_edges(6)},
+        )
+        result = topdown.evaluate(program)
+        patterns = {pattern for (pred, pattern) in result.tables if pred == "t"}
+        # Every t call has its first argument bound.
+        assert all(p[0] is not None for p in patterns)
+
+    def test_relevant_tuples_smaller_than_full_model(self):
+        # Querying from one vertex of a two-component graph should not
+        # materialize the other component's closure.
+        edges = chain_edges(6) + [(100 + i, 101 + i) for i in range(6)]
+        program = with_tables(
+            parse_program(
+                """
+                goal(Z) <- t(0, Z).
+                t(X, Y) <- e(X, Y).
+                t(X, Y) <- e(X, U), t(U, Y).
+                """
+            ),
+            {"e": edges},
+        )
+        result = topdown.evaluate(program)
+        full_model = naive.evaluate(program).idb_tuples
+        assert result.relevant_tuples() < full_model
+
+    def test_passes_bounded(self):
+        program = with_tables(left_recursive_tc_program(0), {"e": chain_edges(5)})
+        result = topdown.evaluate(program)
+        assert result.passes < 100
+        assert result.rule_applications > 0

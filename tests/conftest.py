@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.program import Program
+from repro.workloads import (
+    ancestor_program,
+    chain_edges,
+    nonlinear_tc_program,
+    program_p1,
+    random_digraph_edges,
+)
+
+from tests.helpers import oracle_answers, with_tables
+
+
+@pytest.fixture
+def p1_small() -> Program:
+    """Program P1 over a small hand-built EDB with a reachable cycle."""
+    return with_tables(
+        program_p1(),
+        {"r": [("a", 1), (1, 2), (2, 3)], "q": [(1, 2), (2, 3), (3, 1)]},
+    )
+
+
+@pytest.fixture
+def ancestor_chain() -> Program:
+    """Linear ancestor over a 12-element chain."""
+    return with_tables(ancestor_program(0), {"par": chain_edges(12)})
+
+
+@pytest.fixture
+def tc_random() -> Program:
+    """Nonlinear transitive closure over a random 15-vertex digraph."""
+    edges = random_digraph_edges(15, 40, seed=2)
+    return with_tables(nonlinear_tc_program(edges[0][0]), {"e": edges})

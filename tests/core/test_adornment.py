@@ -1,0 +1,116 @@
+"""Unit tests for the four binding classes and adorned atoms."""
+
+import pytest
+
+from repro.core.adornment import (
+    CONSTANT,
+    DYNAMIC,
+    EXISTENTIAL,
+    FREE,
+    AdornedAtom,
+    head_bound_variables,
+    initial_goal_adornment,
+)
+from repro.core.atoms import atom
+from repro.core.terms import Variable
+
+X, Y, Z = Variable("X"), Variable("Y"), Variable("Z")
+
+
+class TestConstruction:
+    def test_valid(self):
+        a = AdornedAtom(atom("p", "a", X), (CONSTANT, FREE))
+        assert a.adornment == ("c", "f")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            AdornedAtom(atom("p", X), ("f", "f"))
+
+    def test_constant_requires_c(self):
+        with pytest.raises(ValueError):
+            AdornedAtom(atom("p", "a"), ("f",))
+
+    def test_c_requires_constant(self):
+        with pytest.raises(ValueError):
+            AdornedAtom(atom("p", X), ("c",))
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ValueError):
+            AdornedAtom(atom("p", X), ("x",))
+
+    def test_str_superscripts(self):
+        a = AdornedAtom(atom("p", "a", Z), (CONSTANT, FREE))
+        assert str(a) == "p(a^c, Z^f)"
+
+
+class TestPositions:
+    def setup_method(self):
+        self.a = AdornedAtom(
+            atom("p", "k", X, Y, Z), (CONSTANT, DYNAMIC, EXISTENTIAL, FREE)
+        )
+
+    def test_bound_positions(self):
+        assert self.a.bound_positions == (0, 1)
+
+    def test_dynamic_positions(self):
+        assert self.a.dynamic_positions == (1,)
+
+    def test_free_positions(self):
+        assert self.a.free_positions == (3,)
+
+    def test_existential_positions(self):
+        assert self.a.existential_positions == (2,)
+
+    def test_output_positions_exclude_c_and_e(self):
+        assert self.a.output_positions == (1, 3)
+
+    def test_bound_and_free_variables(self):
+        assert self.a.bound_variables() == {X}
+        assert self.a.free_variables() == {Z}
+
+
+class TestVariantSignature:
+    def test_variants_share_signature(self):
+        a = AdornedAtom(atom("p", "a", X), (CONSTANT, FREE))
+        b = AdornedAtom(atom("p", "a", Z), (CONSTANT, FREE))
+        assert a.variant_signature() == b.variant_signature()
+
+    def test_different_constant_differs(self):
+        a = AdornedAtom(atom("p", "a", X), (CONSTANT, FREE))
+        b = AdornedAtom(atom("p", "b", X), (CONSTANT, FREE))
+        assert a.variant_signature() != b.variant_signature()
+
+    def test_different_classes_differ(self):
+        # Fig 1: p(a^c, Z^f) cannot serve p(V^d, Z^f) — classes must match.
+        a = AdornedAtom(atom("p", X, Y), (DYNAMIC, FREE))
+        b = AdornedAtom(atom("p", X, Y), (FREE, FREE))
+        assert a.variant_signature() != b.variant_signature()
+
+    def test_repetition_pattern_in_signature(self):
+        a = AdornedAtom(atom("p", X, X, Z), (FREE, FREE, FREE))
+        b = AdornedAtom(atom("p", X, Y, Z), (FREE, FREE, FREE))
+        assert a.variant_signature() != b.variant_signature()
+
+    def test_theorem21_pattern_case(self):
+        V = Variable("V")
+        a = AdornedAtom(atom("p", X, X, Z), (FREE, FREE, FREE))
+        b = AdornedAtom(atom("p", V, V, V), (FREE, FREE, FREE))
+        assert a.variant_signature() != b.variant_signature()
+
+
+class TestInitialGoal:
+    def test_constants_c_variables_f(self):
+        a = initial_goal_adornment(atom("p", "a", Z))
+        assert a.adornment == (CONSTANT, FREE)
+
+    def test_existential_marking(self):
+        a = initial_goal_adornment(atom("p", X, Y), existential=[Y])
+        assert a.adornment == (FREE, EXISTENTIAL)
+
+    def test_head_bound_variables(self):
+        a = AdornedAtom(atom("p", X, Y), (DYNAMIC, FREE))
+        assert head_bound_variables(a) == {X}
+
+    def test_head_bound_ignores_free(self):
+        a = initial_goal_adornment(atom("p", X, Y))
+        assert head_bound_variables(a) == set()

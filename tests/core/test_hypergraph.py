@@ -1,0 +1,141 @@
+"""Unit tests for hypergraphs, GYO reduction, and qual trees (Section 4.1)."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph, QualTree
+
+
+class TestGyoReduction:
+    def test_single_edge_is_acyclic(self):
+        assert Hypergraph({"a": {"X", "Y"}}).is_acyclic()
+
+    def test_empty_edge_is_acyclic(self):
+        assert Hypergraph({"a": set()}).is_acyclic()
+
+    def test_chain_is_acyclic(self):
+        h = Hypergraph({"a": {"X", "Y"}, "b": {"Y", "Z"}, "c": {"Z", "W"}})
+        assert h.is_acyclic()
+
+    def test_triangle_is_cyclic(self):
+        # The classic 3-cycle: pairwise overlapping binary edges.
+        h = Hypergraph({"a": {"X", "Y"}, "b": {"Y", "Z"}, "c": {"Z", "X"}})
+        assert not h.is_acyclic()
+
+    def test_triangle_with_covering_edge_is_acyclic(self):
+        # Adding {X,Y,Z} absorbs the cycle (α-acyclicity is not hereditary).
+        h = Hypergraph(
+            {
+                "a": {"X", "Y"},
+                "b": {"Y", "Z"},
+                "c": {"Z", "X"},
+                "big": {"X", "Y", "Z"},
+            }
+        )
+        assert h.is_acyclic()
+
+    def test_star_is_acyclic(self):
+        h = Hypergraph({"hub": {"X", "Y", "Z"}, "a": {"X"}, "b": {"Y"}, "c": {"Z"}})
+        assert h.is_acyclic()
+
+    def test_duplicate_vertex_sets_allowed(self):
+        h = Hypergraph({"a": {"X", "Y"}, "b": {"X", "Y"}})
+        assert h.is_acyclic()
+
+    def test_residual_of_cyclic_graph_names_the_core(self):
+        h = Hypergraph(
+            {"a": {"X", "Y"}, "b": {"Y", "Z"}, "c": {"Z", "X"}, "d": {"X", "W"}}
+        )
+        result = h.gyo_reduction()
+        assert not result.acyclic
+        assert result.cyclic_core_vertices() == {"X", "Y", "Z"}
+
+    def test_disconnected_components(self):
+        # Two disjoint edges: rule 1 empties both, rule 2 merges — acyclic.
+        h = Hypergraph({"a": {"X"}, "b": {"Y"}})
+        assert h.is_acyclic()
+
+    def test_reduction_deterministic(self):
+        h = Hypergraph({"a": {"X", "Y"}, "b": {"Y", "Z"}, "c": {"Z", "W"}})
+        r1 = h.gyo_reduction()
+        r2 = Hypergraph({"a": {"X", "Y"}, "b": {"Y", "Z"}, "c": {"Z", "W"}}).gyo_reduction()
+        assert r1.tree_edges == r2.tree_edges
+
+    def test_qual_tree_refused_for_cyclic(self):
+        h = Hypergraph({"a": {"X", "Y"}, "b": {"Y", "Z"}, "c": {"Z", "X"}})
+        with pytest.raises(ValueError):
+            h.gyo_reduction().qual_tree("a")
+
+    def test_vertices(self):
+        h = Hypergraph({"a": {"X", "Y"}, "b": {"Z"}})
+        assert h.vertices() == {"X", "Y", "Z"}
+
+
+def chain_tree() -> QualTree:
+    h = Hypergraph({"head": {"X"}, "a": {"X", "Y"}, "b": {"Y", "Z"}})
+    return h.gyo_reduction().qual_tree("head")
+
+
+class TestQualTree:
+    def test_is_tree(self):
+        assert chain_tree().is_tree()
+
+    def test_parent_map_rooted_at_head(self):
+        parents = chain_tree().parent_map()
+        assert parents["a"] == "head"
+        assert parents["b"] == "a"
+        assert "head" not in parents
+
+    def test_children_map(self):
+        children = chain_tree().children_map()
+        assert children["head"] == ["a"]
+        assert children["a"] == ["b"]
+        assert children["b"] == []
+
+    def test_path(self):
+        tree = chain_tree()
+        assert tree.path("head", "b") == ["head", "a", "b"]
+        assert tree.path("b", "b") == ["b"]
+
+    def test_leaves_exclude_root(self):
+        assert chain_tree().leaves() == ["b"]
+
+    def test_qual_tree_property_holds_for_gyo_output(self):
+        assert chain_tree().satisfies_qual_tree_property()
+
+    def test_qual_tree_property_violation_detected(self):
+        # Hand-build a tree where Y skips a node on the a—c path.
+        nodes = {
+            "a": frozenset({"X", "Y"}),
+            "b": frozenset({"X"}),
+            "c": frozenset({"Y"}),
+        }
+        adjacency = {"a": {"b"}, "b": {"a", "c"}, "c": {"b"}}
+        tree = QualTree(nodes, adjacency, "a")
+        assert not tree.satisfies_qual_tree_property()
+
+    def test_unknown_root_rejected(self):
+        with pytest.raises(ValueError):
+            QualTree({"a": frozenset()}, {"a": set()}, "zzz")
+
+    def test_disconnected_is_not_tree(self):
+        nodes = {"a": frozenset({"X"}), "b": frozenset({"Y"}), "c": frozenset({"Z"})}
+        tree = QualTree(nodes, {"a": {"b"}, "b": {"a"}, "c": set()}, "a")
+        assert not tree.is_tree()
+
+    def test_gyo_qual_trees_always_satisfy_property(self):
+        # A bushier example: R2's hypergraph shape.
+        h = Hypergraph(
+            {
+                "head": {"X"},
+                "a": {"X", "Y", "V"},
+                "b": {"Y", "U"},
+                "c": {"V", "T"},
+                "d": {"T"},
+                "e": {"U", "Z"},
+            }
+        )
+        result = h.gyo_reduction()
+        assert result.acyclic
+        tree = result.qual_tree("head")
+        assert tree.is_tree()
+        assert tree.satisfies_qual_tree_property()

@@ -1,0 +1,245 @@
+"""Unit tests for the monotone flow property, qual-tree SIPs, and Theorem 4.2
+composition — Example 4.1 (Figs 3 & 4), Example 4.2, and Fig 5."""
+
+import pytest
+
+from repro.core.adornment import AdornedAtom, DYNAMIC, FREE
+from repro.core.monotone import (
+    HEAD_LABEL,
+    compose_qual_trees,
+    evaluation_hypergraph,
+    extend_adorned,
+    extend_rule,
+    has_monotone_flow,
+    qual_tree_sip,
+    recursive_leaf_subgoals,
+    rule_qual_tree,
+    subgoal_label,
+)
+from repro.core.parser import parse_rule
+from repro.core.sips import adorn_body, is_greedy
+from repro.core.terms import FreshVariables, Variable
+from repro.workloads import adorned_head_df, rule_r1, rule_r2, rule_r3
+
+
+class TestEvaluationHypergraph:
+    def test_head_edge_is_bound_variables_only(self):
+        rule = rule_r1()
+        h = evaluation_hypergraph(rule, adorned_head_df(rule))
+        assert h.edges[HEAD_LABEL] == frozenset({Variable("X")})
+
+    def test_subgoal_edges_hold_all_their_variables(self):
+        rule = rule_r2()
+        h = evaluation_hypergraph(rule, adorned_head_df(rule))
+        assert h.edges[subgoal_label(0)] == frozenset(
+            {Variable("X"), Variable("Y"), Variable("V")}
+        )
+
+    def test_constants_are_not_vertices(self):
+        rule = parse_rule("p(X, Z) <- a(X, k), b(k, Z).")
+        h = evaluation_hypergraph(rule, adorned_head_df(rule))
+        assert h.vertices() == {Variable("X"), Variable("Z")}
+
+    def test_mismatched_head_rejected(self):
+        rule = rule_r1()
+        other = parse_rule("p(A, B) <- a(A, B).")
+        with pytest.raises(ValueError):
+            evaluation_hypergraph(rule, adorned_head_df(other))
+
+
+class TestExample41:
+    """R1 and R2 have the monotone flow property; R3 does not."""
+
+    def test_r1_monotone(self):
+        assert has_monotone_flow(rule_r1(), adorned_head_df(rule_r1()))
+
+    def test_r2_monotone_fig3(self):
+        assert has_monotone_flow(rule_r2(), adorned_head_df(rule_r2()))
+
+    def test_r3_not_monotone_fig4(self):
+        assert not has_monotone_flow(rule_r3(), adorned_head_df(rule_r3()))
+
+    def test_r3_cycle_involves_y_v_w(self):
+        rule = rule_r3()
+        result = evaluation_hypergraph(rule, adorned_head_df(rule)).gyo_reduction()
+        assert not result.acyclic
+        core = {v.name for v in result.cyclic_core_vertices()}
+        assert core == {"Y", "V", "W"}
+
+    def test_r3_has_no_qual_tree(self):
+        assert rule_qual_tree(rule_r3(), adorned_head_df(rule_r3())) is None
+        assert qual_tree_sip(rule_r3(), adorned_head_df(rule_r3())) is None
+
+    def test_binding_pattern_matters(self):
+        # With BOTH head arguments free, even R1's hypergraph gains an empty
+        # head edge but stays acyclic; with both bound it is acyclic too —
+        # while a genuinely cyclic body stays cyclic for every pattern.
+        rule = rule_r3()
+        both_free = AdornedAtom(rule.head, (FREE, FREE))
+        assert not has_monotone_flow(rule, both_free)
+
+
+class TestExample42:
+    """The qual tree of R2 with p(X^d, Z^f) and its induced greedy SIP."""
+
+    def setup_method(self):
+        self.rule = rule_r2()
+        self.head = adorned_head_df(self.rule)
+        self.tree = rule_qual_tree(self.rule, self.head)
+
+    def test_tree_shape(self):
+        # head - a; a - b, a - c; b - e; c - d  (Example 4.2's picture).
+        parents = self.tree.parent_map()
+        assert parents[subgoal_label(0)] == HEAD_LABEL  # a under the head
+        assert parents[subgoal_label(1)] == subgoal_label(0)  # b under a
+        assert parents[subgoal_label(2)] == subgoal_label(0)  # c under a
+        assert parents[subgoal_label(3)] == subgoal_label(2)  # d under c
+        assert parents[subgoal_label(4)] == subgoal_label(1)  # e under b
+
+    def test_tree_satisfies_property(self):
+        assert self.tree.satisfies_qual_tree_property()
+
+    def test_directed_tree_gives_greedy_sip(self):
+        # Theorem 4.1 for the worked example.
+        sip = qual_tree_sip(self.rule, self.head)
+        assert sip is not None
+        assert is_greedy(sip)
+
+    def test_sip_adornments_follow_the_flow(self):
+        sip = qual_tree_sip(self.rule, self.head)
+        adorned = adorn_body(sip)
+        # a(X^d,Y^f,V^f), b(Y^d,U^f), c(V^d,T^f), d(T^d), e(U^d,Z^f).
+        assert [a.adornment_string() for a in adorned] == [
+            "dff",
+            "df",
+            "df",
+            "d",
+            "df",
+        ]
+
+    def test_independent_branches_do_not_bind_each_other(self):
+        sip = qual_tree_sip(self.rule, self.head)
+        # b and c are in different branches: no arc between them.
+        for arc in sip.arcs:
+            assert {arc.source, arc.target} != {1, 2}
+
+
+class TestExtendRule:
+    def test_resolution_replaces_subgoal_in_place(self):
+        upper = parse_rule("p(X, Z) <- a(X, Y), q(Y, Z).")
+        lower = parse_rule("q(S, T) <- b(S, W), c(W, T).")
+        ext = extend_rule(upper, 1, lower)
+        assert [s.predicate for s in ext.rule.body] == ["a", "b", "c"]
+        assert ext.rule.head.predicate == "p"
+
+    def test_unification_applied(self):
+        upper = parse_rule("p(X, Z) <- q(X, Z).")
+        lower = parse_rule("q(a, T) <- b(T).")
+        ext = extend_rule(upper, 0, lower)
+        # X must have been bound to the constant a.
+        from repro.core.terms import Constant
+
+        assert ext.rule.head.args[0] == Constant("a")
+
+    def test_non_unifiable_raises(self):
+        upper = parse_rule("p(X) <- q(a, X).")
+        lower = parse_rule("q(b, T) <- c(T).")
+        with pytest.raises(ValueError):
+            extend_rule(upper, 0, lower)
+
+    def test_index_maps(self):
+        upper = parse_rule("p(X, Z) <- a(X, Y), q(Y, Z), d(Z).")
+        lower = parse_rule("q(S, T) <- b(S, W), c(W, T).")
+        ext = extend_rule(upper, 1, lower)
+        assert ext.extended_index(0) == 0
+        assert ext.extended_index(2) == 3
+        assert ext.lower_extended_index(0) == 1
+        assert ext.lower_extended_index(1) == 2
+        with pytest.raises(ValueError):
+            ext.extended_index(1)
+
+    def test_variables_renamed_apart(self):
+        upper = parse_rule("p(X, Z) <- q(X, Z).")
+        lower = parse_rule("q(X, Z) <- b(X, W), c(W, Z).")  # clashing names
+        ext = extend_rule(upper, 0, lower)
+        # W must not collide with upper's variables; the body joins properly.
+        assert len(ext.rule.body) == 2
+        assert ext.rule.is_safe()
+
+
+class TestTheorem42:
+    """Qual trees compose under resolution on a leaf subgoal (Fig 5)."""
+
+    def test_chain_composition(self):
+        upper = parse_rule("p(X, Z) <- a(X, Y), q(Y, Z).")
+        lower = parse_rule("q(S, T) <- b(S, W), c(W, T).")
+        head = adorned_head_df(upper)
+        ext, tree = compose_qual_trees(upper, head, 1, lower)
+        assert tree.is_tree()
+        assert tree.satisfies_qual_tree_property()
+
+    def test_composed_tree_matches_extended_hypergraph(self):
+        upper = parse_rule("p(X, Z) <- a(X, Y), q(Y, Z).")
+        lower = parse_rule("q(S, T) <- b(S, W), c(W, T).")
+        ext, tree = compose_qual_trees(upper, adorned_head_df(upper), 1, lower)
+        hyper = evaluation_hypergraph(ext.rule, ext.head)
+        assert dict(tree.nodes) == dict(hyper.edges)
+
+    def test_recursive_self_composition(self):
+        # The interesting case of §4.2: resolve a rule's recursive subgoal
+        # with (a copy of) the rule itself.
+        rule = parse_rule("p(X, Z) <- a(X, Y), p(Y, Z).")
+        head = adorned_head_df(rule)
+        ext, tree = compose_qual_trees(rule, head, 1, rule)
+        assert tree.satisfies_qual_tree_property()
+        assert [s.predicate for s in ext.rule.body] == ["a", "a", "p"]
+        # The extension still has the monotone flow property...
+        assert has_monotone_flow(ext.rule, ext.head)
+        # ...and its recursive subgoal is again a qual tree leaf, so the
+        # property transmits to ALL recursive extensions.
+        assert recursive_leaf_subgoals(ext.rule, ext.head) == [2]
+
+    def test_non_leaf_subgoal_rejected(self):
+        # In R2's tree, subgoal a (g0) is internal.
+        rule = rule_r2()
+        lower = parse_rule("a(S, T, U) <- x(S, T), y(T, U).")
+        with pytest.raises(ValueError):
+            compose_qual_trees(rule, adorned_head_df(rule), 0, lower)
+
+    def test_cyclic_upper_rejected(self):
+        lower = parse_rule("e(S, T) <- x(S, T).")
+        with pytest.raises(ValueError):
+            compose_qual_trees(rule_r3(), adorned_head_df(rule_r3()), 4, lower)
+
+    def test_cyclic_lower_rejected(self):
+        upper = parse_rule("p(X, Z) <- a(X, Y), q(Y, Z).")
+        cyclic_lower = parse_rule(
+            "q(S, T) <- u(S, B), v(B, C), w(C, S), x(S, T)."
+        )
+        # u/v/w form a cycle on S, B, C under head q(S^d, T^f).
+        with pytest.raises(ValueError):
+            compose_qual_trees(upper, adorned_head_df(upper), 1, cyclic_lower)
+
+    def test_composition_with_branching_lower(self):
+        upper = parse_rule("p(X, Z) <- a(X, Y), q(Y, Z).")
+        lower = rule_r2().substitute({})  # R2 defines p; rename predicate q
+        from repro.core.atoms import Atom
+        from repro.core.rules import Rule
+
+        lower = Rule(Atom("q", lower.head.args), lower.body)
+        ext, tree = compose_qual_trees(upper, adorned_head_df(upper), 1, lower)
+        assert tree.is_tree()
+        assert tree.satisfies_qual_tree_property()
+        assert len(ext.rule.body) == 1 + 5
+
+
+class TestRecursiveLeafSubgoals:
+    def test_linear_tail_recursion(self):
+        rule = parse_rule("p(X, Z) <- a(X, Y), p(Y, Z).")
+        assert recursive_leaf_subgoals(rule, adorned_head_df(rule)) == [1]
+
+    def test_non_monotone_has_none(self):
+        assert recursive_leaf_subgoals(rule_r3(), adorned_head_df(rule_r3())) == []
+
+    def test_nonrecursive_rule_has_none(self):
+        assert recursive_leaf_subgoals(rule_r1(), adorned_head_df(rule_r1())) == []

@@ -1,0 +1,118 @@
+"""Unit tests for the statistics-driven SIP optimizer (§3.1 extension)."""
+
+import pytest
+
+from repro.baselines import naive
+from repro.core.adornment import AdornedAtom, DYNAMIC, FREE
+from repro.core.optimizer import CardinalityModel, EdbStatistics, statistics_sip
+from repro.core.parser import parse_program, parse_rule
+from repro.core.sips import greedy_sip
+from repro.network.engine import evaluate
+from repro.relational.database import Database
+from repro.workloads import facts_from_tables
+
+
+def make_stats(tables):
+    return EdbStatistics.from_database(Database.from_tuples(tables))
+
+
+class TestEdbStatistics:
+    def test_cardinality_and_distinct(self):
+        stats = make_stats({"e": [(1, 2), (1, 3), (2, 3)]})
+        assert stats.cardinality("e") == 3
+        assert stats.distinct("e", 0) == 2
+        assert stats.distinct("e", 1) == 2
+
+    def test_defaults_for_unknown_predicate(self):
+        stats = EdbStatistics(default_cardinality=77, default_distinct=9)
+        assert stats.cardinality("idb_pred") == 77
+        assert stats.distinct("idb_pred", 0) == 9
+
+    def test_distinct_floor_is_one(self):
+        stats = make_stats({"e": []})
+        assert stats.distinct("e", 0) >= 1
+
+    def test_position_out_of_range_uses_default(self):
+        stats = make_stats({"e": [(1,)]})
+        assert stats.distinct("e", 5) == stats.default_distinct
+
+
+class TestCardinalityModel:
+    def test_bound_positions_increase_selectivity(self):
+        stats = make_stats({"e": [(i, i % 3) for i in range(30)]})
+        model = CardinalityModel(stats)
+        rule = parse_rule("p(X, Y) <- e(X, Y).")
+        from repro.core.terms import Variable
+
+        X = Variable("X")
+        free = model.subgoal_rows_per_binding(rule.body[0], set())
+        bound = model.subgoal_rows_per_binding(rule.body[0], {X})
+        assert bound < free
+
+    def test_best_order_prefers_small_selective_relations(self):
+        # tiny has 2 rows; big has 500: with X bound in both, tiny first.
+        tables = {
+            "tiny": [(0, 1), (1, 2)],
+            "big": [(i % 20, i) for i in range(500)],
+        }
+        model = CardinalityModel(make_stats(tables))
+        rule = parse_rule("p(X, Z) <- big(X, U), tiny(X, W), out(W, U, Z).")
+        head = AdornedAtom(rule.head, (DYNAMIC, FREE))
+        order = model.best_order(rule, head)
+        assert order.index(1) < order.index(0)  # tiny before big
+
+    def test_empty_body(self):
+        model = CardinalityModel(make_stats({}))
+        rule = parse_rule("p(a, b).")
+        assert model.best_order(rule, AdornedAtom(rule.head, ("c", "c"))) == ()
+
+    def test_wide_rule_uses_greedy_fallback(self):
+        subgoals = ", ".join(f"e{i}(X, Y{i})" for i in range(9))
+        rule = parse_rule(f"p(X, Z) <- {subgoals}, last(Y0, Z).")
+        model = CardinalityModel(make_stats({}))
+        head = AdornedAtom(rule.head, (DYNAMIC, FREE))
+        order = model.best_order(rule, head, exhaustive_limit=7)
+        assert sorted(order) == list(range(10))
+
+
+class TestStatisticsSipEndToEnd:
+    def build(self):
+        # `probe` is tiny and sharply restricts Y; greedy's structural score
+        # ties probe and hay (1 bound argument each) and picks hay (leftmost).
+        text = """
+        goal(Z) <- p(k0, Z).
+        p(X, Z) <- hay(X, Y), probe(X, Y), out(Y, Z).
+        """
+        hay = [(f"k{i % 3}", f"y{i}") for i in range(300)]
+        probe = [("k0", "y5"), ("k1", "y6")]
+        out = [(f"y{i}", f"z{i}") for i in range(300)]
+        tables = {"hay": hay, "probe": probe, "out": out}
+        program = parse_program(text).with_facts(facts_from_tables(tables))
+        return program, tables
+
+    def test_same_answers_as_greedy(self):
+        program, tables = self.build()
+        stats = make_stats(tables)
+        expected = naive.goal_answers(program)
+        assert evaluate(program, sip_factory=statistics_sip(stats)).answers == expected
+        assert evaluate(program).answers == expected
+
+    def test_statistics_strategy_does_less_work(self):
+        program, tables = self.build()
+        stats = make_stats(tables)
+        informed = evaluate(program, sip_factory=statistics_sip(stats))
+        structural = evaluate(program)
+        assert informed.tuples_stored < structural.tuples_stored
+        assert informed.db_rows_retrieved < structural.db_rows_retrieved
+
+    def test_recursive_programs_still_correct(self):
+        from repro.workloads import nonlinear_tc_program, random_digraph_edges
+
+        edges = random_digraph_edges(10, 28, seed=9) + [(0, 1)]
+        program = nonlinear_tc_program(0).with_facts(
+            facts_from_tables({"e": edges})
+        )
+        stats = make_stats({"e": edges})
+        result = evaluate(program, sip_factory=statistics_sip(stats))
+        assert result.answers == naive.goal_answers(program)
+        assert result.protocol_violations == []

@@ -1,0 +1,144 @@
+"""Unit tests for the Prolog-style parser."""
+
+import pytest
+
+from repro.core.parser import (
+    ParseError,
+    parse_atom,
+    parse_program,
+    parse_rule,
+    parse_term,
+    query_to_rule,
+)
+from repro.core.rules import GOAL_PREDICATE
+from repro.core.terms import Constant, Variable
+
+
+class TestTerms:
+    def test_variable(self):
+        assert parse_term("X") == Variable("X")
+        assert parse_term("_tmp") == Variable("_tmp")
+
+    def test_lowercase_constant(self):
+        assert parse_term("ann") == Constant("ann")
+
+    def test_integer(self):
+        assert parse_term("42") == Constant(42)
+        assert parse_term("-7") == Constant(-7)
+
+    def test_quoted_strings(self):
+        assert parse_term("'New York'") == Constant("New York")
+        assert parse_term('"O\'Hare"') == Constant("O'Hare")
+
+    def test_escaped_quote(self):
+        assert parse_term(r"'it\'s'") == Constant("it's")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_term("X Y")
+
+
+class TestAtoms:
+    def test_simple(self):
+        a = parse_atom("p(X, a, 3)")
+        assert a.predicate == "p"
+        assert a.args == (Variable("X"), Constant("a"), Constant(3))
+
+    def test_zero_arity(self):
+        assert parse_atom("flag").arity == 0
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("P(x)")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(X, Y")
+
+    def test_missing_comma(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(X Y)")
+
+
+class TestRules:
+    def test_both_arrows(self):
+        r1 = parse_rule("p(X) <- e(X).")
+        r2 = parse_rule("p(X) :- e(X).")
+        assert r1 == r2
+
+    def test_fact(self):
+        r = parse_rule("e(a, b).")
+        assert r.is_fact and r.head.is_ground()
+
+    def test_multi_subgoal(self):
+        r = parse_rule("p(X, Y) <- p(X, U), q(U, V), p(V, Y).")
+        assert len(r.body) == 3
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(X) <- e(X)")
+
+    def test_error_reports_position(self):
+        with pytest.raises(ParseError) as err:
+            parse_program("p(X) <- e(X).\nq(&).")
+        assert err.value.line == 2
+
+
+class TestPrograms:
+    def test_p1_from_paper(self):
+        program = parse_program(
+            """
+            % Example 2.1
+            goal(Z) <- p(a, Z).
+            p(X, Y) <- p(X, U), q(U, V), p(V, Y).
+            p(X, Y) <- r(X, Y).
+            r(a, b).  q(b, c).
+            """
+        )
+        assert len(program.rules) == 3
+        assert len(program.facts) == 2
+        assert program.edb_predicates >= {"r", "q"}
+        assert program.idb_predicates == {GOAL_PREDICATE, "p"}
+
+    def test_comments_both_styles(self):
+        program = parse_program("# one\n% two\ne(a, b).")
+        assert len(program.facts) == 1
+
+    def test_query_desugaring(self):
+        program = parse_program(
+            """
+            p(X, Y) <- e(X, Y).
+            e(a, b).
+            ?- p(a, Z).
+            """
+        )
+        (query,) = program.query_rules
+        assert query.head.predicate == GOAL_PREDICATE
+        assert query.head.args == (Variable("Z"),)
+
+    def test_query_variable_order_is_first_occurrence(self):
+        rule = query_to_rule(
+            [parse_atom("p(Y, X)"), parse_atom("q(X, W)")]
+        )
+        assert [v.name for v in rule.head.args] == ["Y", "X", "W"]
+
+    def test_ground_unit_clause_for_idb_predicate(self):
+        # p has rules, so p(a, b). must become an IDB unit rule, not an EDB fact.
+        program = parse_program(
+            """
+            goal(X) <- p(a, X).
+            p(X, Y) <- e(X, Y).
+            p(a, b).
+            e(b, c).
+            """
+        )
+        assert all(f.predicate != "p" for f in program.facts)
+        assert len(program.rules_for("p")) == 2
+
+    def test_empty_program(self):
+        program = parse_program("")
+        assert program.rules == () and program.facts == ()
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("p(X) <- e(X). $$")

@@ -1,0 +1,96 @@
+"""Unit tests for rules: safety, variables, renaming, singletons."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.parser import parse_rule
+from repro.core.rules import Rule
+from repro.core.terms import FreshVariables, Variable
+
+X, Y, Z, U = (Variable(n) for n in "XYZU")
+
+
+class TestBasics:
+    def test_fact(self):
+        r = Rule(atom("p", "a", "b"))
+        assert r.is_fact
+        assert str(r) == "p(a, b)."
+
+    def test_str_rule(self):
+        r = parse_rule("p(X, Y) <- e(X, Y).")
+        assert str(r) == "p(X, Y) <- e(X, Y)."
+
+    def test_variables(self):
+        r = parse_rule("p(X, Y) <- e(X, U), f(U, Y).")
+        assert r.variables() == {X, Y, U}
+        assert r.body_variables() == {X, U, Y}
+
+    def test_predicates(self):
+        r = parse_rule("p(X, Y) <- e(X, U), f(U, Y).")
+        assert r.predicates() == {"p", "e", "f"}
+        assert r.body_predicates() == {"e", "f"}
+
+    def test_rejects_non_atoms(self):
+        with pytest.raises(TypeError):
+            Rule("p(X)")  # type: ignore[arg-type]
+
+
+class TestSafety:
+    def test_safe_rule(self):
+        assert parse_rule("p(X, Y) <- e(X, Y).").is_safe()
+
+    def test_unsafe_head_variable(self):
+        assert not parse_rule("p(X, Y) <- e(X, X).").is_safe()
+
+    def test_ground_fact_is_safe(self):
+        assert Rule(atom("p", "a")).is_safe()
+
+    def test_nonground_fact_is_unsafe(self):
+        assert not Rule(atom("p", X)).is_safe()
+
+
+class TestSingletons:
+    def test_singleton_detection(self):
+        # U occurs once; X, Y occur in head and body.
+        r = parse_rule("p(X, Y) <- e(X, Y, U).")
+        assert r.singleton_variables() == {Variable("U")}
+
+    def test_join_variable_not_singleton(self):
+        r = parse_rule("p(X, Y) <- e(X, U), f(U, Y).")
+        assert r.singleton_variables() == set()
+
+    def test_head_variable_not_singleton_when_in_body(self):
+        r = parse_rule("p(X) <- e(X).")
+        assert r.singleton_variables() == set()
+
+    def test_repeated_within_one_atom_not_singleton(self):
+        r = parse_rule("p(X) <- e(X), f(U, U).")
+        assert r.singleton_variables() == set()
+
+
+class TestRenameApart:
+    def test_all_new_variables(self):
+        r = parse_rule("p(X, Y) <- e(X, U), p(U, Y).")
+        fresh = FreshVariables()
+        renamed = r.rename_apart(fresh)
+        assert renamed.variables().isdisjoint(r.variables())
+
+    def test_sharing_preserved(self):
+        r = parse_rule("p(X, Y) <- e(X, U), p(U, Y).")
+        renamed = r.rename_apart(FreshVariables())
+        # U links body atoms 0 and 1 before and after renaming.
+        assert renamed.body[0].args[1] == renamed.body[1].args[0]
+        assert renamed.head.args[0] == renamed.body[0].args[0]
+
+    def test_substitute(self):
+        r = parse_rule("p(X, Y) <- e(X, Y).")
+        from repro.core.terms import Constant
+
+        out = r.substitute({X: Constant(1)})
+        assert out.head == atom("p", 1, Y)
+        assert out.body[0] == atom("e", 1, Y)
+
+    def test_rules_hashable(self):
+        a = parse_rule("p(X) <- e(X).")
+        b = parse_rule("p(X) <- e(X).")
+        assert len({a, b}) == 1

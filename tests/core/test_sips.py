@@ -1,0 +1,171 @@
+"""Unit tests for SIP strategies: greedy, left-to-right, all-free, adornment."""
+
+import pytest
+
+from repro.core.adornment import AdornedAtom, CONSTANT, DYNAMIC, EXISTENTIAL, FREE
+from repro.core.parser import parse_rule
+from repro.core.sips import (
+    HEAD,
+    SipArc,
+    SipStrategy,
+    adorn_body,
+    all_free_sip,
+    greedy_sip,
+    is_greedy,
+    left_to_right_sip,
+    sip_from_order,
+)
+from repro.core.terms import Variable
+
+X, Y, Z, U, V = (Variable(n) for n in "XYZUV")
+
+
+def df_head(rule):
+    """Adorn a binary head (d, f) — Example 4.1's binding pattern."""
+    return AdornedAtom(rule.head, (DYNAMIC, FREE))
+
+
+class TestGreedyOnPaperExample:
+    """Example 2.1's recursive rule: p(X,Y) <- p(X,U), q(U,V), p(V,Y)."""
+
+    def setup_method(self):
+        self.rule = parse_rule("p(X, Y) <- p(X, U), q(U, V), p(V, Y).")
+        self.head = df_head(self.rule)
+        self.sip = greedy_sip(self.rule, self.head)
+
+    def test_order_matches_figure_1(self):
+        # "p(X,U) -> q(U,V) -> p(V,Y)" — left to right here.
+        assert self.sip.order == (0, 1, 2)
+
+    def test_adornments_match_figure_1(self):
+        adorned = adorn_body(self.sip)
+        assert [a.adornment_string() for a in adorned] == ["df", "df", "df"]
+
+    def test_arcs_carry_the_flow(self):
+        # U flows from subgoal 0 to subgoal 1; V from 1 to 2; X from the head.
+        arcs = {(a.source, a.target): set(a.variables) for a in self.sip.arcs}
+        assert arcs[(HEAD, 0)] == {X}
+        assert arcs[(0, 1)] == {U}
+        assert arcs[(1, 2)] == {V}
+
+    def test_greedy_check(self):
+        assert is_greedy(self.sip)
+
+
+class TestGreedyChoices:
+    def test_prefers_bound_subgoal_regardless_of_position(self):
+        # With X bound, c(X, U) has 1 bound argument vs 0 for the others.
+        rule = parse_rule("p(X, Z) <- a(U, W), b(W, Z), c(X, U).")
+        sip = greedy_sip(rule, df_head(rule))
+        assert sip.order == (2, 0, 1)
+
+    def test_leftmost_tie_break(self):
+        rule = parse_rule("p(X, Z) <- a(X, U), b(X, Z), c(U, Z).")
+        sip = greedy_sip(rule, df_head(rule))
+        assert sip.order[0] == 0  # a and b tie at 1 bound arg; leftmost wins
+
+    def test_constants_count_as_bound(self):
+        rule = parse_rule("p(X, Z) <- a(U, Z), b(k, m, U).")
+        sip = greedy_sip(rule, df_head(rule))
+        # b has two constants bound (2) vs a's 0 (X doesn't occur in a).
+        assert sip.order[0] == 1
+
+    def test_greedy_is_always_greedy(self):
+        for text in [
+            "p(X, Z) <- a(X, Y), b(Y, U), c(U, Z).",
+            "p(X, Z) <- a(X, Y, V), b(Y, U), c(V, T), d(T), e(U, Z).",
+            "p(X, Z) <- a(X, Y, V), b(Y, W, U), c(V, W, T), d(T), e(U, Z).",
+        ]:
+            rule = parse_rule(text)
+            assert is_greedy(greedy_sip(rule, df_head(rule))), text
+
+    def test_left_to_right_not_always_greedy(self):
+        rule = parse_rule("p(X, Z) <- a(U, W), b(W, Z), c(X, U).")
+        assert not is_greedy(left_to_right_sip(rule, df_head(rule)))
+
+
+class TestAdornBody:
+    def test_constant_is_c(self):
+        rule = parse_rule("p(X, Z) <- a(k, X, Z).")
+        adorned = adorn_body(greedy_sip(rule, df_head(rule)))
+        assert adorned[0].adornment == (CONSTANT, DYNAMIC, FREE)
+
+    def test_singleton_is_existential(self):
+        rule = parse_rule("p(X, Z) <- a(X, Z, W).")
+        adorned = adorn_body(greedy_sip(rule, df_head(rule)))
+        assert adorned[0].adornment == (DYNAMIC, FREE, EXISTENTIAL)
+
+    def test_head_existential_propagates_to_single_occurrence(self):
+        rule = parse_rule("p(X, Y) <- a(X, Y).")
+        head = AdornedAtom(rule.head, (DYNAMIC, EXISTENTIAL))
+        adorned = adorn_body(greedy_sip(rule, head))
+        assert adorned[0].adornment == (DYNAMIC, EXISTENTIAL)
+
+    def test_head_existential_join_variable_stays_join(self):
+        # Y is existential in the head but joins two subgoals: its value is
+        # still needed internally, so the producer occurrence is "f".
+        rule = parse_rule("p(X, Y) <- a(X, Y), b(Y).")
+        head = AdornedAtom(rule.head, (DYNAMIC, EXISTENTIAL))
+        adorned = adorn_body(greedy_sip(rule, head))
+        assert adorned[0].adornment == (DYNAMIC, FREE)
+        assert adorned[1].adornment == (DYNAMIC,)
+
+    def test_all_free_has_no_sideways_bindings(self):
+        rule = parse_rule("p(X, Z) <- a(X, Y), b(Y, U), c(U, Z).")
+        adorned = adorn_body(all_free_sip(rule, df_head(rule)))
+        # Only head bindings apply: X is d in a; every join variable stays f.
+        assert [a.adornment_string() for a in adorned] == ["df", "ff", "ff"]
+
+    def test_free_head_variable_becomes_d_downstream(self):
+        # Z is a head "f" variable occurring in two subgoals: the second
+        # occurrence receives bindings from the first (see the qual-tree SIP
+        # discussion — head-f variables are not pinned to "f" everywhere).
+        rule = parse_rule("p(X, Z) <- a(X, Z), b(Z, X).")
+        adorned = adorn_body(greedy_sip(rule, df_head(rule)))
+        assert adorned[0].adornment == (DYNAMIC, FREE)
+        assert adorned[1].adornment == (DYNAMIC, DYNAMIC)
+
+
+class TestStrategyValidation:
+    def test_order_must_be_permutation(self):
+        rule = parse_rule("p(X, Z) <- a(X, Z).")
+        with pytest.raises(ValueError):
+            SipStrategy(rule, df_head(rule), (), (0, 0))
+
+    def test_arcs_must_agree_with_order(self):
+        rule = parse_rule("p(X, Z) <- a(X, U), b(U, Z).")
+        arc = SipArc(1, 0, frozenset({U}))
+        with pytest.raises(ValueError):
+            SipStrategy(rule, df_head(rule), (arc,), (0, 1))
+
+    def test_sip_graph_acyclic(self):
+        rule = parse_rule("p(X, Z) <- a(X, U), b(U, Z).")
+        sip = greedy_sip(rule, df_head(rule))
+        assert sip.is_acyclic()
+
+    def test_bound_variables_at(self):
+        rule = parse_rule("p(X, Z) <- a(X, U), b(U, Z).")
+        sip = greedy_sip(rule, df_head(rule))
+        assert sip.bound_variables_at(1) == {U}
+
+    def test_empty_body(self):
+        rule = parse_rule("p(a, b).")
+        sip = greedy_sip(rule, AdornedAtom(rule.head, (CONSTANT, CONSTANT)))
+        assert sip.order == ()
+        assert adorn_body(sip) == []
+
+
+class TestSipFromOrder:
+    def test_custom_order(self):
+        rule = parse_rule("p(X, Z) <- a(X, U), b(U, Z).")
+        sip = sip_from_order(rule, df_head(rule), [1, 0])
+        adorned = adorn_body(sip)
+        # b evaluated first: U free there, then a gets U dynamically.
+        assert adorned[1].adornment == (FREE, FREE)
+        assert adorned[0].adornment == (DYNAMIC, DYNAMIC)
+
+    def test_arc_sources_are_producers(self):
+        rule = parse_rule("p(X, Z) <- a(X, U), b(U, V), c(V, Z).")
+        sip = sip_from_order(rule, df_head(rule), [0, 1, 2])
+        sources = {a.target: a.source for a in sip.arcs if a.target == 2}
+        assert sources[2] == 1  # V produced by subgoal 1

@@ -1,0 +1,94 @@
+"""Unit tests for terms: variables, constants, fresh-variable factories."""
+
+import pytest
+
+from repro.core.terms import Constant, FreshVariables, Variable, term_from_value
+
+
+class TestVariable:
+    def test_equality_by_name(self):
+        assert Variable("X") == Variable("X")
+        assert Variable("X") != Variable("Y")
+
+    def test_hashable(self):
+        assert len({Variable("X"), Variable("X"), Variable("Y")}) == 2
+
+    def test_str(self):
+        assert str(Variable("Ans0")) == "Ans0"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Variable("")
+
+    def test_repr_roundtrip_info(self):
+        assert "X" in repr(Variable("X"))
+
+
+class TestConstant:
+    def test_equality_by_value(self):
+        assert Constant(1) == Constant(1)
+        assert Constant(1) != Constant(2)
+
+    def test_value_type_matters(self):
+        assert Constant(1) != Constant("1")
+
+    def test_distinct_from_variable(self):
+        assert Constant("X") != Variable("X")
+
+    def test_hashable(self):
+        assert len({Constant("a"), Constant("a"), Constant("b")}) == 2
+
+    def test_str(self):
+        assert str(Constant("ann")) == "ann"
+        assert str(Constant(42)) == "42"
+
+
+class TestTermFromValue:
+    def test_passthrough_variable(self):
+        v = Variable("X")
+        assert term_from_value(v) is v
+
+    def test_passthrough_constant(self):
+        c = Constant(3)
+        assert term_from_value(c) is c
+
+    def test_wraps_raw_values(self):
+        assert term_from_value(7) == Constant(7)
+        assert term_from_value("abc") == Constant("abc")
+
+    def test_uppercase_string_stays_constant(self):
+        # Strings that look like variables are still constants.
+        assert term_from_value("X") == Constant("X")
+
+
+class TestFreshVariables:
+    def test_fresh_are_distinct(self):
+        factory = FreshVariables()
+        names = {factory.fresh().name for _ in range(100)}
+        assert len(names) == 100
+
+    def test_hint_preserved(self):
+        factory = FreshVariables()
+        v = factory.fresh("X")
+        assert v.name.startswith("X#")
+
+    def test_hint_strips_prior_suffix(self):
+        factory = FreshVariables()
+        first = factory.fresh("X")
+        second = factory.fresh(first.name)
+        assert second.name.startswith("X#")
+        assert second != first
+
+    def test_rename_all_is_deterministic(self):
+        variables = {Variable("B"), Variable("A"), Variable("C")}
+        r1 = FreshVariables().rename_all(variables)
+        r2 = FreshVariables().rename_all(variables)
+        assert {v.name for v in r1} == {"A", "B", "C"}
+        assert [r1[Variable(n)].name for n in "ABC"] == [
+            r2[Variable(n)].name for n in "ABC"
+        ]
+
+    def test_rename_all_injective(self):
+        factory = FreshVariables()
+        renaming = factory.rename_all([Variable("X"), Variable("Y")])
+        assert len(set(renaming.values())) == 2

@@ -1,0 +1,157 @@
+"""Unit tests for unification, matching, variants, and renaming apart."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.core.terms import Constant, FreshVariables, Variable
+from repro.core.unify import (
+    Substitution,
+    is_variant,
+    match,
+    rename_apart,
+    unify,
+    variant_renaming,
+)
+
+X, Y, Z, U, V = (Variable(n) for n in "XYZUV")
+
+
+class TestSubstitution:
+    def test_resolve_unbound(self):
+        assert Substitution().resolve(X) == X
+
+    def test_bind_and_apply(self):
+        s = Substitution()
+        s.bind(X, Constant(1))
+        assert s.apply(atom("p", X, Y)) == atom("p", 1, Y)
+
+    def test_bind_keeps_solved_form(self):
+        s = Substitution()
+        s.bind(X, Y)
+        s.bind(Y, Constant(3))
+        # X must now resolve to 3, not to Y.
+        assert s.resolve(X) == Constant(3)
+
+    def test_bind_self_is_noop(self):
+        s = Substitution()
+        s.bind(X, X)
+        assert len(s) == 0
+
+    def test_is_renaming(self):
+        assert Substitution({X: Y, Z: U}).is_renaming()
+        assert not Substitution({X: Y, Z: Y}).is_renaming()  # not injective
+        assert not Substitution({X: Constant(1)}).is_renaming()
+
+    def test_equality(self):
+        assert Substitution({X: Y}) == Substitution({X: Y})
+        assert Substitution({X: Y}) != Substitution({X: Z})
+
+
+class TestUnify:
+    def test_identical_atoms(self):
+        s = unify(atom("p", X, Y), atom("p", X, Y))
+        assert s is not None and len(s) == 0
+
+    def test_variable_against_constant(self):
+        s = unify(atom("p", X), atom("p", "a"))
+        assert s is not None and s.resolve(X) == Constant("a")
+
+    def test_constant_clash(self):
+        assert unify(atom("p", "a"), atom("p", "b")) is None
+
+    def test_predicate_mismatch(self):
+        assert unify(atom("p", X), atom("q", X)) is None
+
+    def test_arity_mismatch(self):
+        assert unify(atom("p", X), atom("p", X, Y)) is None
+
+    def test_variable_chains(self):
+        # p(X, X) with p(Y, a): X and Y both become a.
+        s = unify(atom("p", X, X), atom("p", Y, "a"))
+        assert s is not None
+        assert s.resolve(X) == Constant("a")
+        assert s.resolve(Y) == Constant("a")
+
+    def test_repeated_variable_clash(self):
+        assert unify(atom("p", X, X), atom("p", "a", "b")) is None
+
+    def test_mgu_makes_atoms_equal(self):
+        a = atom("p", X, Y, "c")
+        b = atom("p", "a", Z, Z)
+        s = unify(a, b)
+        assert s is not None
+        assert s.apply(a) == s.apply(b)
+
+    def test_result_is_most_general(self):
+        # Unifying p(X, Y) with p(U, V) should not introduce constants.
+        s = unify(atom("p", X, Y), atom("p", U, V))
+        assert s is not None and s.is_renaming()
+
+
+class TestVariants:
+    def test_renamed_is_variant(self):
+        assert is_variant(atom("p", X, Y), atom("p", U, V))
+
+    def test_repeated_pattern_must_match(self):
+        assert not is_variant(atom("p", X, X), atom("p", U, V))
+        assert is_variant(atom("p", X, X), atom("p", V, V))
+
+    def test_constants_must_match_exactly(self):
+        assert is_variant(atom("p", "a", X), atom("p", "a", Y))
+        assert not is_variant(atom("p", "a", X), atom("p", "b", Y))
+
+    def test_variable_vs_constant_not_variant(self):
+        assert not is_variant(atom("p", X), atom("p", "a"))
+
+    def test_variant_renaming_is_bijection(self):
+        renaming = variant_renaming(atom("p", X, Y, X), atom("p", U, V, U))
+        assert renaming == {X: U, Y: V}
+
+    def test_non_injective_rejected(self):
+        # p(X, Y) -> p(U, U) maps two variables onto one.
+        assert variant_renaming(atom("p", X, Y), atom("p", U, U)) is None
+
+    def test_variant_is_symmetric(self):
+        a, b = atom("p", X, Y, "k"), atom("p", V, Z, "k")
+        assert is_variant(a, b) and is_variant(b, a)
+
+
+class TestMatch:
+    def test_simple_match(self):
+        s = match(atom("e", X, Y), atom("e", 1, 2))
+        assert s is not None
+        assert s.resolve(X) == Constant(1) and s.resolve(Y) == Constant(2)
+
+    def test_constant_positions_checked(self):
+        assert match(atom("e", "a", X), atom("e", "b", 2)) is None
+        assert match(atom("e", "a", X), atom("e", "a", 2)) is not None
+
+    def test_repeated_variables_checked(self):
+        assert match(atom("e", X, X), atom("e", 1, 2)) is None
+        assert match(atom("e", X, X), atom("e", 1, 1)) is not None
+
+    def test_predicate_and_arity(self):
+        assert match(atom("e", X), atom("f", 1)) is None
+        assert match(atom("e", X), atom("e", 1, 2)) is None
+
+
+class TestRenameApart:
+    def test_fresh_variables_everywhere(self):
+        fresh = FreshVariables()
+        atoms, renaming = rename_apart([atom("p", X, Y), atom("q", Y, Z)], fresh)
+        new_vars = set()
+        for a in atoms:
+            new_vars |= a.variable_set()
+        assert new_vars.isdisjoint({X, Y, Z})
+        assert len(renaming) == 3
+
+    def test_shared_variables_stay_shared(self):
+        fresh = FreshVariables()
+        atoms, _ = rename_apart([atom("p", X, Y), atom("q", Y)], fresh)
+        # The Y occurrences must map to the same fresh variable.
+        assert atoms[0].args[1] == atoms[1].args[0]
+
+    def test_structure_preserved(self):
+        fresh = FreshVariables()
+        atoms, _ = rename_apart([atom("p", X, "a", X)], fresh)
+        assert atoms[0].repetition_pattern() == atom("p", X, "a", X).repetition_pattern()

@@ -1,0 +1,17 @@
+"""Importable helper functions shared across test modules."""
+
+from __future__ import annotations
+
+from repro.baselines import naive
+from repro.core.program import Program
+from repro.workloads import facts_from_tables
+
+
+def with_tables(program: Program, tables: dict) -> Program:
+    """Attach ``{predicate: rows}`` tables to a program as its EDB."""
+    return program.with_facts(facts_from_tables(tables))
+
+
+def oracle_answers(program: Program) -> set[tuple]:
+    """The reference answer set (naive minimum-model evaluation)."""
+    return naive.goal_answers(program)

@@ -1,0 +1,107 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "anc.dl"
+    path.write_text(
+        """
+        goal(Z) <- anc(ann, Z).
+        anc(X, Y) <- par(X, Y).
+        anc(X, Y) <- par(X, U), anc(U, Y).
+        par(ann, bob).  par(bob, cal).  par(cal, dee).
+        """
+    )
+    return str(path)
+
+
+class TestRun:
+    def test_prints_answers(self, program_file, capsys):
+        assert main(["run", program_file]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert sorted(out) == ["bob", "cal", "dee"]
+
+    def test_stats_to_stderr(self, program_file, capsys):
+        main(["run", program_file, "--stats"])
+        captured = capsys.readouterr()
+        assert "messages" in captured.err
+        assert "messages" not in captured.out
+
+    def test_query_override(self, program_file, capsys):
+        main(["run", program_file, "--query", "anc(bob, Z)"])
+        out = capsys.readouterr().out.strip().splitlines()
+        assert sorted(out) == ["cal", "dee"]
+
+    def test_sip_choice(self, program_file, capsys):
+        main(["run", program_file, "--sip", "all-free"])
+        out = capsys.readouterr().out.strip().splitlines()
+        assert sorted(out) == ["bob", "cal", "dee"]
+
+    def test_seeded_delivery(self, program_file, capsys):
+        main(["run", program_file, "--seed", "9"])
+        out = capsys.readouterr().out.strip().splitlines()
+        assert sorted(out) == ["bob", "cal", "dee"]
+
+    def test_coalesce_and_package_flags(self, program_file, capsys):
+        main(["run", program_file, "--coalesce", "--package"])
+        out = capsys.readouterr().out.strip().splitlines()
+        assert sorted(out) == ["bob", "cal", "dee"]
+
+
+class TestGraph:
+    def test_prints_rule_goal_graph(self, program_file, capsys):
+        assert main(["graph", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "anc(" in out
+        assert "cycle from" in out
+        assert "strong component" in out
+
+    def test_dot_output(self, program_file, capsys):
+        assert main(["graph", program_file, "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph") and out.rstrip().endswith("}")
+
+    def test_coalesced_graph(self, program_file, capsys):
+        assert main(["graph", program_file, "--coalesce"]) == 0
+        assert "shared node" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_prints_message_trace(self, program_file, capsys):
+        assert main(["trace", program_file, "--limit", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "relation request" in out
+        assert "answers" in out
+
+    def test_no_protocol_flag(self, program_file, capsys):
+        main(["trace", program_file, "--no-protocol"])
+        out = capsys.readouterr().out
+        assert "end request" not in out
+
+
+class TestAnalyze:
+    def test_report_printed(self, program_file, capsys):
+        assert main(["analyze", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "PREDICATES" in out
+        assert "linear recursive" in out
+        assert "monotone flow: YES" in out
+
+    def test_analyze_with_query_override(self, program_file, capsys):
+        main(["analyze", program_file, "--query", "anc(X, dee)"])
+        out = capsys.readouterr().out
+        assert "anc" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_sip_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", program_file, "--sip", "bogus"])

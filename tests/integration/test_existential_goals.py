@@ -1,0 +1,66 @@
+"""End-to-end tests of class "e" at the top level.
+
+Section 2.2: a goal ``p(X^f, Y^e)`` "can be satisfied by producing one tuple
+for each unique X even though there may be many Y values that go with a
+given X" — the existential class buys projection early, and its values are
+never transmitted.
+"""
+
+import pytest
+
+from repro.core.adornment import initial_goal_adornment
+from repro.core.atoms import atom
+from repro.core.parser import parse_program
+from repro.core.terms import Variable
+from repro.network.engine import MessagePassingEngine, evaluate
+from repro.workloads import facts_from_tables
+
+X, Y = Variable("X"), Variable("Y")
+
+
+def build_program():
+    # p(X, Y): X has few values, each with many Y partners.
+    rows = [(f"x{i % 3}", f"y{j}") for i in range(3) for j in range(20)]
+    return parse_program(
+        """
+        goal(X, Y) <- p(X, Y).
+        p(X, Y) <- e(X, Y).
+        """
+    ).with_facts(facts_from_tables({"e": rows}))
+
+
+class TestExistentialGoal:
+    def test_one_tuple_per_unique_x(self):
+        program = build_program()
+        goal = initial_goal_adornment(atom("goal", X, Y), existential=[Y])
+        result = evaluate(program, query_goal=goal)
+        # Answers carry only the non-existential column.
+        assert result.answers == {("x0",), ("x1",), ("x2",)}
+
+    def test_fewer_tuples_transmitted_than_full_query(self):
+        program = build_program()
+        goal_e = initial_goal_adornment(atom("goal", X, Y), existential=[Y])
+        goal_f = initial_goal_adornment(atom("goal", X, Y))
+        existential = evaluate(program, query_goal=goal_e)
+        full = evaluate(program, query_goal=goal_f)
+        assert len(full.answers) == 60
+        assert len(existential.answers) == 3
+        # "possibly permitting greater efficiency": fewer tuple messages.
+        assert (
+            existential.stats.by_kind.get("TupleMessage", 0)
+            < full.stats.by_kind.get("TupleMessage", 0)
+        )
+
+    def test_existential_correctness_with_recursion(self):
+        program = parse_program(
+            """
+            goal(X, Y) <- t(X, Y).
+            t(X, Y) <- e(X, Y).
+            t(X, Y) <- e(X, U), t(U, Y).
+            """
+        ).with_facts(facts_from_tables({"e": [(0, 1), (1, 2), (2, 3)]}))
+        goal = initial_goal_adornment(atom("goal", X, Y), existential=[Y])
+        result = evaluate(program, query_goal=goal)
+        # Sources that reach anything: 0, 1, 2.
+        assert result.answers == {(0,), (1,), (2,)}
+        assert result.completed

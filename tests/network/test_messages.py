@@ -1,0 +1,62 @@
+"""Unit tests for the message vocabulary."""
+
+from repro.network.messages import (
+    COMPUTATION_TYPES,
+    PROTOCOL_TYPES,
+    ComponentDone,
+    EndConfirmed,
+    EndMessage,
+    EndNegative,
+    EndNudge,
+    EndRequest,
+    RelationRequest,
+    TupleMessage,
+    TupleRequest,
+)
+
+
+class TestMessageShape:
+    def test_kind_tags(self):
+        assert TupleMessage(0, 1, (1,)).kind() == "TupleMessage"
+        assert EndRequest(0, 1, 3).kind() == "EndRequest"
+
+    def test_messages_are_immutable_and_hashable(self):
+        a = TupleRequest(0, 1, (5,), 2)
+        b = TupleRequest(0, 1, (5,), 2)
+        assert a == b and len({a, b}) == 1
+
+    def test_relation_request_carries_adornment(self):
+        # "identifies the classes of the arguments" (Section 3.1)
+        msg = RelationRequest(0, 1, ("c", "d", "f"))
+        assert msg.adornment == ("c", "d", "f")
+
+    def test_tuple_request_binding_and_seq(self):
+        msg = TupleRequest(3, 4, ("a", 7), 12)
+        assert msg.binding == ("a", 7) and msg.seq == 12
+
+    def test_end_carries_upto(self):
+        assert EndMessage(0, 1, 5).upto == 5
+
+
+class TestTypePartitions:
+    def test_partition_is_disjoint_and_complete(self):
+        assert not set(COMPUTATION_TYPES) & set(PROTOCOL_TYPES)
+        from repro.network.messages import PackagedTupleRequest
+
+        all_types = {
+            RelationRequest,
+            TupleRequest,
+            PackagedTupleRequest,
+            TupleMessage,
+            EndMessage,
+            EndRequest,
+            EndNegative,
+            EndConfirmed,
+            ComponentDone,
+            EndNudge,
+        }
+        assert set(COMPUTATION_TYPES) | set(PROTOCOL_TYPES) == all_types
+
+    def test_protocol_round_ids(self):
+        for cls in (EndRequest, EndNegative, EndConfirmed):
+            assert cls(0, 1, 9).round_id == 9

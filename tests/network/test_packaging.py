@@ -1,0 +1,101 @@
+"""Tests for packaged tuple requests (footnote 2 of Section 3.1)."""
+
+import pytest
+
+from repro.baselines import naive
+from repro.core.parser import parse_program
+from repro.network.engine import MessagePassingEngine, evaluate
+from repro.network.messages import PackagedTupleRequest, TupleRequest
+from repro.workloads import (
+    chain_edges,
+    cycle_edges,
+    facts_from_tables,
+    nonlinear_tc_program,
+    program_p1,
+)
+
+from tests.helpers import oracle_answers, with_tables
+
+
+def fanout_program(width: int = 32):
+    src = [("k", f"y{i}") for i in range(width)]
+    dst = [(f"y{i}", f"z{i}") for i in range(width)]
+    return parse_program(
+        "goal(Z) <- p(k, Z). p(X, Z) <- src(X, Y), dst(Y, Z)."
+    ).with_facts(facts_from_tables({"src": src, "dst": dst}))
+
+
+class TestPackagingCorrectness:
+    @pytest.mark.parametrize("seed", [None, 4, 19])
+    def test_p1(self, p1_small, seed):
+        result = evaluate(p1_small, package_requests=True, seed=seed)
+        assert result.answers == oracle_answers(p1_small)
+        assert result.completed
+        assert result.protocol_violations == []
+
+    def test_recursive_cycles(self):
+        program = with_tables(nonlinear_tc_program(0), {"e": cycle_edges(7)})
+        result = evaluate(program, package_requests=True)
+        assert result.answers == oracle_answers(program)
+
+    def test_combined_with_coalescing(self, p1_small):
+        result = evaluate(p1_small, package_requests=True, coalesce=True)
+        assert result.answers == oracle_answers(p1_small)
+        assert result.protocol_violations == []
+
+    def test_fanout(self):
+        program = fanout_program()
+        assert (
+            evaluate(program, package_requests=True).answers
+            == oracle_answers(program)
+        )
+
+
+class TestPackagingMechanics:
+    def test_packages_actually_form(self):
+        program = fanout_program(16)
+        result = evaluate(program, package_requests=True)
+        assert result.stats.by_kind.get("PackagedTupleRequest", 0) >= 1
+
+    def test_fanout_collapses_to_one_package(self):
+        program = fanout_program(64)
+        plain = evaluate(program)
+        packed = evaluate(program, package_requests=True)
+        assert plain.stats.by_kind.get("TupleRequest", 0) >= 64
+        assert packed.stats.by_kind.get("PackagedTupleRequest", 0) <= 3
+
+    def test_large_package_served_by_one_scan(self):
+        program = fanout_program(64)
+        packed = evaluate(program, package_requests=True)
+        assert packed.db_scans >= 1
+        assert packed.db_indexed_lookups <= 2
+
+    def test_sequence_accounting_covers_packages(self):
+        # Every feeder stream must still be caught up at the end.
+        engine = MessagePassingEngine(fanout_program(), package_requests=True)
+        engine.run()
+        for process in engine.processes.values():
+            for stream in process.feeders.values():
+                if stream.is_feeder:
+                    assert stream.caught_up
+
+    def test_no_packages_when_disabled(self, p1_small):
+        result = evaluate(p1_small)
+        assert result.stats.by_kind.get("PackagedTupleRequest", 0) == 0
+
+    def test_buffer_blocks_idleness(self):
+        # A node holding buffered requests must not report empty queues.
+        from repro.network.nodes import GoalNodeProcess
+        from repro.core.adornment import AdornedAtom
+        from repro.core.atoms import atom
+        from repro.core.terms import Variable
+
+        node = GoalNodeProcess(1, AdornedAtom(atom("p", Variable("X")), ("d",)))
+        node.package_requests = True
+        node._request_buffer[2] = [(1,)]
+
+        class FakeNet:
+            def pending_for(self, node_id):
+                return 0
+
+        assert not node.empty_queues(FakeNet())

@@ -1,0 +1,127 @@
+"""Tests for answer provenance (proof trees)."""
+
+import pytest
+
+from repro.core.parser import parse_program
+from repro.network.engine import MessagePassingEngine
+from repro.network.provenance import Derivation, ProvenanceError
+from repro.session import Session
+from repro.workloads import chain_edges, cycle_edges, facts_from_tables, program_p1
+
+from tests.helpers import with_tables
+
+
+def run_with_provenance(program, **kwargs):
+    engine = MessagePassingEngine(program, provenance=True, **kwargs)
+    result = engine.run()
+    return engine, result
+
+
+def edb_facts(program):
+    return {f"{f.predicate}({', '.join(str(v) for v in f.ground_tuple())})"
+            for f in program.facts}
+
+
+class TestProofTrees:
+    def test_base_case_is_one_fact(self):
+        program = parse_program(
+            "goal(Z) <- p(a, Z). p(X, Y) <- r(X, Y). r(a, b)."
+        )
+        engine, result = run_with_provenance(program)
+        derivation = engine.explain(("b",))
+        assert derivation.kind == "rule"
+        assert derivation.facts() == ["r(a, b)"]
+        assert derivation.depth() == 3  # goal rule -> p rule -> fact
+
+    def test_recursive_derivation_through_cycle_edges(self, p1_small):
+        engine, result = run_with_provenance(p1_small)
+        for row in result.answers:
+            derivation = engine.explain(row)
+            assert derivation.atom == f"goal({row[0]})"
+            assert derivation.depth() >= 3
+
+    def test_all_leaves_are_real_edb_facts(self, p1_small):
+        engine, result = run_with_provenance(p1_small)
+        valid = edb_facts(p1_small)
+        for row in result.answers:
+            for leaf in engine.explain(row).facts():
+                assert leaf in valid
+
+    def test_deep_chain_derivation_depth_scales(self):
+        program = with_tables(
+            parse_program(
+                """
+                goal(Z) <- t(0, Z).
+                t(X, Y) <- e(X, Y).
+                t(X, Y) <- e(X, U), t(U, Y).
+                """
+            ),
+            {"e": chain_edges(10)},
+        )
+        engine, result = run_with_provenance(program)
+        deepest = max(engine.explain(row).depth() for row in result.answers)
+        assert deepest >= 10
+
+    def test_cyclic_data_well_founded(self):
+        # Recursion over a data cycle: proofs must still bottom out.
+        program = with_tables(
+            parse_program(
+                """
+                goal(Z) <- t(0, Z).
+                t(X, Y) <- e(X, Y).
+                t(X, Y) <- t(X, U), t(U, Y).
+                """
+            ),
+            {"e": cycle_edges(5)},
+        )
+        engine, result = run_with_provenance(program)
+        for row in result.answers:
+            derivation = engine.explain(row)
+            assert all(leaf.startswith("e(") for leaf in derivation.facts())
+
+    def test_render_is_indented_tree(self, p1_small):
+        engine, result = run_with_provenance(p1_small)
+        text = engine.explain(sorted(result.answers)[0]).render()
+        assert "[EDB fact]" in text
+        assert "[by " in text
+        assert text.splitlines()[0].startswith("goal(")
+
+    def test_coalesced_mode_supported(self, p1_small):
+        engine, result = run_with_provenance(p1_small, coalesce=True)
+        for row in result.answers:
+            assert engine.explain(row).facts()
+
+
+class TestErrors:
+    def test_requires_flag(self, p1_small):
+        engine = MessagePassingEngine(p1_small)
+        engine.run()
+        with pytest.raises(ProvenanceError):
+            engine.explain(("1",))
+
+    def test_non_answer_rejected(self, p1_small):
+        engine, result = run_with_provenance(p1_small)
+        with pytest.raises(ProvenanceError):
+            engine.explain(("nonsense",))
+
+
+class TestSessionExplain:
+    def test_explain_last_query(self):
+        session = Session(
+            """
+            anc(X, Y) <- par(X, Y).
+            anc(X, Y) <- par(X, U), anc(U, Y).
+            par(ann, bob).  par(bob, cal).
+            """,
+            provenance=True,
+        )
+        answers = session.query("anc(ann, Z)")
+        assert ("cal",) in answers
+        derivation = session.explain(("cal",))
+        assert "par(ann, bob)" in derivation.facts()
+        assert "par(bob, cal)" in derivation.facts()
+
+    def test_explain_before_query_raises(self):
+        session = Session("p(X) <- e(X). e(1).", provenance=True)
+        with pytest.raises(RuntimeError):
+            session.explain((1,))

@@ -1,0 +1,81 @@
+"""Tests for the message-trace utility."""
+
+from repro.network.engine import MessagePassingEngine
+from repro.network.messages import EndRequest, TupleMessage
+from repro.network.tracing import MessageTrace
+
+from tests.helpers import with_tables
+from repro.workloads import program_p1
+
+
+def run_traced(program, **trace_kwargs):
+    trace = MessageTrace(**trace_kwargs)
+    engine = MessagePassingEngine(program, trace=trace)
+    result = engine.run()
+    return trace, engine, result
+
+
+class TestMessageTrace:
+    def test_records_every_message_by_default(self, p1_small):
+        trace, engine, result = run_traced(p1_small)
+        assert len(trace.messages) == result.total_messages
+        assert trace.dropped == 0
+
+    def test_limit_caps_and_counts_dropped(self, p1_small):
+        trace, engine, result = run_traced(p1_small, limit=10)
+        assert len(trace.messages) == 10
+        assert trace.dropped == result.total_messages - 10
+        assert "further messages" in trace.render(engine.graph)
+
+    def test_protocol_filter(self, p1_small):
+        trace, engine, _ = run_traced(p1_small, include_protocol=False)
+        assert not any(isinstance(m, EndRequest) for m in trace.messages)
+        assert any(isinstance(m, TupleMessage) for m in trace.messages)
+
+    def test_render_with_graph_labels(self, p1_small):
+        trace, engine, _ = run_traced(p1_small, limit=50)
+        text = trace.render(engine.graph)
+        assert "p(" in text
+        assert "driver" in text
+        assert "relation request" in text
+
+    def test_render_without_graph_uses_ids(self, p1_small):
+        trace, engine, _ = run_traced(p1_small, limit=5)
+        text = trace.render()
+        assert "p(" not in text.split("\n")[0]
+
+    def test_all_message_kinds_describable(self, p1_small):
+        trace, engine, _ = run_traced(p1_small)
+        text = trace.render(engine.graph)
+        for marker in ("tuple", "end", "relation request"):
+            assert marker in text
+
+
+class TestActivityTimeline:
+    def test_rows_per_receiver_plus_protocol(self, p1_small):
+        trace, engine, result = run_traced(p1_small)
+        text = trace.activity_timeline(engine.graph, buckets=40)
+        assert "[protocol]" in text
+        assert "driver" in text
+        # Every line is a fixed-width sparkline between pipes.
+        bars = [l for l in text.splitlines() if "|" in l]
+        widths = {l.split("|")[1] for l in bars}
+        assert len({len(w) for w in widths}) == 1
+
+    def test_protocol_bursts_after_computation(self, p1_small):
+        trace, engine, _ = run_traced(p1_small)
+        text = trace.activity_timeline(engine.graph, buckets=20)
+        protocol_line = next(l for l in text.splitlines() if "[protocol]" in l)
+        spark = protocol_line.split("|")[1]
+        # Protocol activity reaches the final bucket (the concluding waves).
+        assert spark.rstrip(" ")[-1] != " "
+
+    def test_empty_trace(self):
+        from repro.network.tracing import MessageTrace
+
+        assert "no messages" in MessageTrace().activity_timeline()
+
+    def test_buckets_clamped(self, p1_small):
+        trace, engine, _ = run_traced(p1_small, limit=5)
+        text = trace.activity_timeline(engine.graph, buckets=500)
+        assert "|" in text

@@ -1,0 +1,73 @@
+"""Property-based tests for GYO reduction and qual trees (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.hypergraph import Hypergraph
+
+vertices = st.sampled_from(list("VWXYZABC"))
+
+
+@st.composite
+def hypergraphs(draw, max_edges=6, max_edge_size=4):
+    n = draw(st.integers(1, max_edges))
+    edges = {}
+    for i in range(n):
+        size = draw(st.integers(0, max_edge_size))
+        edges[f"h{i}"] = frozenset(draw(vertices) for _ in range(size))
+    return Hypergraph(edges)
+
+
+class TestGyoProperties:
+    @settings(max_examples=150)
+    @given(hypergraphs())
+    def test_reduction_is_deterministic(self, h):
+        a = h.gyo_reduction()
+        b = Hypergraph(dict(h.edges)).gyo_reduction()
+        assert a.acyclic == b.acyclic and a.tree_edges == b.tree_edges
+
+    @settings(max_examples=150)
+    @given(hypergraphs())
+    def test_acyclic_iff_residual_empty(self, h):
+        result = h.gyo_reduction()
+        if result.acyclic:
+            assert len(result.residual) == 1
+            assert not next(iter(result.residual.values()))
+        else:
+            assert result.cyclic_core_vertices()
+
+    @settings(max_examples=150)
+    @given(hypergraphs())
+    def test_covering_edge_makes_acyclic(self, h):
+        # Adding a hyperedge containing every vertex always yields an
+        # acyclic hypergraph (it absorbs everything).
+        edges = dict(h.edges)
+        edges["cover"] = frozenset(h.vertices())
+        assert Hypergraph(edges).is_acyclic()
+
+    @settings(max_examples=150)
+    @given(hypergraphs())
+    def test_qual_tree_property_whenever_acyclic(self, h):
+        result = h.gyo_reduction()
+        if not result.acyclic:
+            return
+        root = sorted(h.edges, key=str)[0]
+        tree = result.qual_tree(root)
+        assert tree.is_tree()
+        assert tree.satisfies_qual_tree_property()
+
+    @settings(max_examples=150)
+    @given(hypergraphs())
+    def test_tree_edge_count(self, h):
+        result = h.gyo_reduction()
+        if result.acyclic:
+            assert len(result.tree_edges) == len(h.edges) - 1
+
+    @settings(max_examples=100)
+    @given(hypergraphs(max_edges=4))
+    def test_duplicating_an_edge_preserves_acyclicity(self, h):
+        result = h.is_acyclic()
+        edges = dict(h.edges)
+        first = sorted(edges, key=str)[0]
+        edges["dup"] = edges[first]
+        assert Hypergraph(edges).is_acyclic() == result

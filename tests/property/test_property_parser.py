@@ -1,0 +1,65 @@
+"""Property-based round-trip tests for the parser and printers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.parser import parse_program, parse_rule
+from repro.core.program import Program
+from repro.core.rules import Rule
+from repro.core.terms import Constant, Variable
+
+variables = st.sampled_from([Variable(n) for n in ("X", "Y", "Z", "Uv", "W2")])
+constants = st.sampled_from(
+    [Constant("a"), Constant("bob"), Constant(0), Constant(42), Constant(-3)]
+)
+terms = st.one_of(variables, constants)
+predicates = st.sampled_from(["p", "q", "edge", "r2"])
+
+
+@st.composite
+def atoms(draw, allow_nullary=True):
+    arity = draw(st.integers(0 if allow_nullary else 1, 3))
+    return Atom(draw(predicates), tuple(draw(terms) for _ in range(arity)))
+
+
+@st.composite
+def safe_rules(draw):
+    body = tuple(draw(atoms()) for _ in range(draw(st.integers(1, 3))))
+    body_vars = sorted(
+        {v for a in body for v in a.variable_set()}, key=lambda v: v.name
+    )
+    head_arity = draw(st.integers(0, min(3, len(body_vars)) if body_vars else 0))
+    head_args = tuple(body_vars[:head_arity])
+    return Rule(Atom("h", head_args), body)
+
+
+class TestRoundTrips:
+    @settings(max_examples=200)
+    @given(safe_rules())
+    def test_rule_print_parse_roundtrip(self, rule):
+        assert parse_rule(str(rule)) == rule
+
+    @settings(max_examples=100)
+    @given(st.lists(safe_rules(), min_size=1, max_size=5))
+    def test_program_roundtrip(self, rules):
+        # h-heads only; no facts. Print and reparse the whole program.
+        program = Program(rules, [], validate=False)
+        reparsed = parse_program(str(program), validate=False)
+        assert set(reparsed.rules) == set(rules)
+
+    @settings(max_examples=200)
+    @given(atoms(allow_nullary=False))
+    def test_ground_fact_roundtrip(self, atom_):
+        if not atom_.is_ground():
+            return
+        program = parse_program(f"{atom_}.", validate=False)
+        assert list(program.facts) == [atom_]
+
+    @settings(max_examples=200)
+    @given(safe_rules())
+    def test_parse_is_stable(self, rule):
+        # parse(print(parse(print(r)))) == parse(print(r))
+        once = parse_rule(str(rule))
+        twice = parse_rule(str(once))
+        assert once == twice

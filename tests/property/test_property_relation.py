@@ -1,0 +1,102 @@
+"""Property-based tests for the relational algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.algebra import antijoin, natural_join, semijoin
+from repro.relational.relation import Relation
+
+values = st.integers(0, 5)
+
+
+@st.composite
+def relations(draw, columns):
+    n = draw(st.integers(0, 12))
+    rows = [tuple(draw(values) for _ in columns) for _ in range(n)]
+    return Relation(columns, rows)
+
+
+AB = ("a", "b")
+BC = ("b", "c")
+
+
+class TestJoinLaws:
+    @settings(max_examples=100)
+    @given(relations(AB), relations(BC))
+    def test_join_commutes_up_to_column_order(self, r, s):
+        left = natural_join(r, s)
+        right = natural_join(s, r)
+        cols = ("a", "b", "c")
+        assert left.project(cols) == right.project(cols)
+
+    @settings(max_examples=100)
+    @given(relations(AB), relations(BC), relations(("c", "d")))
+    def test_join_associates(self, r, s, t):
+        cols = ("a", "b", "c", "d")
+        one = natural_join(natural_join(r, s), t).project(cols)
+        two = natural_join(r, natural_join(s, t)).project(cols)
+        assert one == two
+
+    @settings(max_examples=100)
+    @given(relations(AB))
+    def test_self_join_is_identity(self, r):
+        assert natural_join(r, r) == r
+
+    @settings(max_examples=100)
+    @given(relations(AB), relations(BC))
+    def test_join_rows_come_from_operands(self, r, s):
+        out = natural_join(r, s)
+        assert set(out.project(AB).rows) <= set(r.rows)
+        assert set(out.project(BC).rows) <= set(s.rows)
+
+
+class TestSemijoinLaws:
+    @settings(max_examples=100)
+    @given(relations(AB), relations(BC))
+    def test_semijoin_is_join_projection(self, r, s):
+        assert semijoin(r, s) == natural_join(r, s).project(AB)
+
+    @settings(max_examples=100)
+    @given(relations(AB), relations(BC))
+    def test_semijoin_shrinks(self, r, s):
+        assert set(semijoin(r, s).rows) <= set(r.rows)
+
+    @settings(max_examples=100)
+    @given(relations(AB), relations(BC))
+    def test_semijoin_idempotent(self, r, s):
+        once = semijoin(r, s)
+        assert semijoin(once, s) == once
+
+    @settings(max_examples=100)
+    @given(relations(AB), relations(BC))
+    def test_semi_plus_anti_partition(self, r, s):
+        kept = set(semijoin(r, s).rows)
+        dropped = set(antijoin(r, s).rows)
+        assert kept | dropped == set(r.rows)
+        assert not (kept & dropped)
+
+    @settings(max_examples=100)
+    @given(relations(AB), relations(BC))
+    def test_semijoin_preserves_join_result(self, r, s):
+        # Pruning dangling tuples never changes the join — the soundness of
+        # sideways information passing in relational terms.
+        assert natural_join(semijoin(r, s), s) == natural_join(r, s)
+
+
+class TestProjectionLaws:
+    @settings(max_examples=100)
+    @given(relations(AB))
+    def test_projection_idempotent(self, r):
+        assert r.project(("a",)).project(("a",)) == r.project(("a",))
+
+    @settings(max_examples=100)
+    @given(relations(AB))
+    def test_full_projection_is_identity(self, r):
+        assert r.project(AB) == r
+
+    @settings(max_examples=100)
+    @given(relations(AB), relations(AB))
+    def test_union_upper_bounds_operands(self, r, s):
+        u = r.union(s)
+        assert set(r.rows) <= set(u.rows) and set(s.rows) <= set(u.rows)
+        assert len(u) <= len(r) + len(s)

@@ -1,0 +1,113 @@
+"""Property-based tests for SIP strategies and Theorem 4.1 (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.adornment import AdornedAtom, DYNAMIC, FREE
+from repro.core.atoms import Atom
+from repro.core.monotone import has_monotone_flow, qual_tree_sip, rule_qual_tree
+from repro.core.rules import Rule
+from repro.core.sips import (
+    adorn_body,
+    all_free_sip,
+    bound_score,
+    greedy_sip,
+    is_greedy,
+    left_to_right_sip,
+    sip_from_order,
+)
+from repro.core.terms import Variable
+
+VARS = [Variable(f"V{i}") for i in range(8)]
+
+
+@st.composite
+def safe_rules(draw, max_subgoals=5):
+    """Random connected, safe, constant-free rules with binary/ternary atoms."""
+    n = draw(st.integers(1, max_subgoals))
+    produced = [VARS[0]]
+    body = []
+    for i in range(n):
+        shared = draw(st.sampled_from(produced))
+        fresh = VARS[(i + 1) % len(VARS)]
+        args = [shared, fresh]
+        if draw(st.booleans()):
+            args.append(draw(st.sampled_from(produced)))
+        body.append(Atom(f"e{i}", tuple(args)))
+        if fresh not in produced:
+            produced.append(fresh)
+    head = Rule(Atom("p", (VARS[0], produced[-1])), tuple(body))
+    return head
+
+
+def df(rule: Rule) -> AdornedAtom:
+    return AdornedAtom(rule.head, (DYNAMIC, FREE))
+
+
+class TestStrategyProperties:
+    @settings(max_examples=200)
+    @given(safe_rules())
+    def test_greedy_is_greedy(self, rule):
+        assert is_greedy(greedy_sip(rule, df(rule)))
+
+    @settings(max_examples=200)
+    @given(safe_rules())
+    def test_theorem_41(self, rule):
+        head = df(rule)
+        if not has_monotone_flow(rule, head):
+            return
+        sip = qual_tree_sip(rule, head)
+        assert sip is not None
+        assert is_greedy(sip)
+
+    @settings(max_examples=200)
+    @given(safe_rules())
+    def test_every_strategy_is_acyclic(self, rule):
+        head = df(rule)
+        for factory in (greedy_sip, left_to_right_sip, all_free_sip):
+            assert factory(rule, head).is_acyclic()
+
+    @settings(max_examples=200)
+    @given(safe_rules())
+    def test_adornment_classes_are_consistent(self, rule):
+        # Whatever the strategy: constants are c, head-bound or fed vars are
+        # d, singletons e, and producers f — and every subgoal's "d" variable
+        # is bound by the head or an earlier subgoal in the order.
+        head = df(rule)
+        for factory in (greedy_sip, left_to_right_sip):
+            sip = factory(rule, head)
+            adorned = adorn_body(sip)
+            bound = {rule.head.args[0]}
+            for index in sip.order:
+                sub = adorned[index]
+                for pos in sub.dynamic_positions:
+                    term = sub.atom.args[pos]
+                    assert term in bound, f"{term} not yet bound at {sub}"
+                bound |= sub.atom.variable_set()
+
+    @settings(max_examples=200)
+    @given(safe_rules(), st.randoms(use_true_random=False))
+    def test_sip_from_any_order_is_valid(self, rule, rng):
+        order = list(range(len(rule.body)))
+        rng.shuffle(order)
+        sip = sip_from_order(rule, df(rule), order)
+        assert sip.order == tuple(order)
+        adorn_body(sip)  # must not raise
+
+    @settings(max_examples=200)
+    @given(safe_rules())
+    def test_bound_score_monotone_in_bound_set(self, rule):
+        head = df(rule)
+        subgoal = rule.body[0]
+        small = bound_score(subgoal, set())
+        large = bound_score(subgoal, subgoal.variable_set())
+        assert small <= large
+
+    @settings(max_examples=150)
+    @given(safe_rules())
+    def test_qual_tree_property_always_holds_when_monotone(self, rule):
+        head = df(rule)
+        tree = rule_qual_tree(rule, head)
+        if tree is not None:
+            assert tree.satisfies_qual_tree_property()
+            assert tree.is_tree()

@@ -1,0 +1,91 @@
+"""Property-based tests for unification and variants (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.terms import Constant, FreshVariables, Variable
+from repro.core.unify import is_variant, match, rename_apart, unify
+
+variables = st.sampled_from([Variable(n) for n in "XYZUVW"])
+constants = st.sampled_from([Constant(v) for v in ("a", "b", 1, 2)])
+terms = st.one_of(variables, constants)
+predicates = st.sampled_from(["p", "q"])
+
+
+@st.composite
+def atoms(draw, min_arity=0, max_arity=4):
+    predicate = draw(predicates)
+    arity = draw(st.integers(min_arity, max_arity))
+    return Atom(predicate, tuple(draw(terms) for _ in range(arity)))
+
+
+@st.composite
+def ground_atoms(draw, min_arity=0, max_arity=4):
+    predicate = draw(predicates)
+    arity = draw(st.integers(min_arity, max_arity))
+    return Atom(predicate, tuple(draw(constants) for _ in range(arity)))
+
+
+class TestUnifyProperties:
+    @settings(max_examples=200)
+    @given(atoms(), atoms())
+    def test_mgu_is_a_unifier(self, a, b):
+        subst = unify(a, b)
+        if subst is not None:
+            assert subst.apply(a) == subst.apply(b)
+
+    @settings(max_examples=200)
+    @given(atoms(), atoms())
+    def test_unify_symmetric_in_success(self, a, b):
+        assert (unify(a, b) is None) == (unify(b, a) is None)
+
+    @settings(max_examples=100)
+    @given(atoms())
+    def test_self_unification_is_empty(self, a):
+        subst = unify(a, a)
+        assert subst is not None and len(subst) == 0
+
+    @settings(max_examples=200)
+    @given(atoms())
+    def test_rename_apart_gives_variant(self, a):
+        renamed, _ = rename_apart([a], FreshVariables())
+        assert is_variant(a, renamed[0])
+
+    @settings(max_examples=200)
+    @given(atoms(), atoms())
+    def test_variants_unify_with_renaming(self, a, b):
+        if is_variant(a, b):
+            subst = unify(a, b)
+            assert subst is not None
+            assert all(isinstance(t, Variable) for _, t in subst.items())
+
+    @settings(max_examples=200)
+    @given(atoms())
+    def test_variant_reflexive(self, a):
+        assert is_variant(a, a)
+
+    @settings(max_examples=200)
+    @given(atoms(), atoms())
+    def test_variant_symmetric(self, a, b):
+        assert is_variant(a, b) == is_variant(b, a)
+
+
+class TestMatchProperties:
+    @settings(max_examples=200)
+    @given(atoms(), ground_atoms())
+    def test_match_grounds_pattern_to_fact(self, pattern, fact):
+        subst = match(pattern, fact)
+        if subst is not None:
+            assert subst.apply(pattern) == fact
+
+    @settings(max_examples=200)
+    @given(ground_atoms())
+    def test_ground_atom_matches_itself(self, fact):
+        assert match(fact, fact) is not None
+
+    @settings(max_examples=200)
+    @given(atoms(), ground_atoms())
+    def test_match_implies_unify(self, pattern, fact):
+        if match(pattern, fact) is not None:
+            assert unify(pattern, fact) is not None

@@ -1,0 +1,136 @@
+"""Unit tests for the relational algebra operators and the work meter."""
+
+import pytest
+
+from repro.relational.algebra import (
+    WorkMeter,
+    antijoin,
+    cross_product,
+    join_all,
+    natural_join,
+    semijoin,
+)
+from repro.relational.relation import Relation
+
+
+@pytest.fixture
+def ab() -> Relation:
+    return Relation(("a", "b"), [(1, 10), (2, 20), (3, 30)])
+
+
+@pytest.fixture
+def bc() -> Relation:
+    return Relation(("b", "c"), [(10, "x"), (10, "y"), (20, "z")])
+
+
+class TestNaturalJoin:
+    def test_basic(self, ab, bc):
+        out = natural_join(ab, bc)
+        assert out.columns == ("a", "b", "c")
+        assert set(out.rows) == {(1, 10, "x"), (1, 10, "y"), (2, 20, "z")}
+
+    def test_no_shared_columns_is_cross_product(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("b",), [(7,), (8,)])
+        assert len(natural_join(left, right)) == 4
+
+    def test_multi_column_join(self):
+        left = Relation(("a", "b", "x"), [(1, 2, "l1"), (1, 3, "l2")])
+        right = Relation(("a", "b", "y"), [(1, 2, "r1"), (1, 9, "r2")])
+        out = natural_join(left, right)
+        assert set(out.rows) == {(1, 2, "l1", "r1")}
+
+    def test_empty_operand(self, ab):
+        out = natural_join(ab, Relation(("b", "c")))
+        assert out.is_empty()
+
+    def test_meter_accounting(self, ab, bc):
+        meter = WorkMeter()
+        out = natural_join(ab, bc, meter)
+        assert meter.joins == 1
+        assert meter.join_input_rows == len(ab) + len(bc)
+        assert meter.join_output_rows == len(out)
+        assert meter.total_join_cost == len(ab) + len(bc) + len(out)
+
+
+class TestSemijoin:
+    def test_keeps_matching_rows_only(self, ab, bc):
+        out = semijoin(ab, bc)
+        assert out.columns == ab.columns
+        assert set(out.rows) == {(1, 10), (2, 20)}
+
+    def test_no_shared_columns(self, ab):
+        nonempty = Relation(("z",), [(0,)])
+        empty = Relation(("z",), [])
+        assert semijoin(ab, nonempty) == ab
+        assert semijoin(ab, empty).is_empty()
+
+    def test_meter_counts_semijoins(self, ab, bc):
+        meter = WorkMeter()
+        semijoin(ab, bc, meter)
+        assert meter.semijoins == 1
+        assert meter.joins == 0
+
+
+class TestAntijoin:
+    def test_complement_of_semijoin(self, ab, bc):
+        kept = set(semijoin(ab, bc).rows)
+        dropped = set(antijoin(ab, bc).rows)
+        assert kept | dropped == set(ab.rows)
+        assert kept & dropped == set()
+
+    def test_no_shared_columns(self, ab):
+        assert antijoin(ab, Relation(("z",), [(0,)])).is_empty()
+        assert antijoin(ab, Relation(("z",), [])) == ab
+
+
+class TestCrossProduct:
+    def test_requires_disjoint_schemas(self, ab):
+        with pytest.raises(ValueError):
+            cross_product(ab, ab)
+
+    def test_size(self):
+        left = Relation(("a",), [(1,), (2,)])
+        right = Relation(("b",), [(1,), (2,), (3,)])
+        assert len(cross_product(left, right)) == 6
+
+
+class TestJoinAll:
+    def test_chain(self, ab, bc):
+        cd = Relation(("c", "d"), [("x", True)])
+        out = join_all([ab, bc, cd])
+        assert set(out.rows) == {(1, 10, "x", True)}
+
+    def test_order_changes_intermediates_not_result(self, ab, bc):
+        cd = Relation(("c", "d"), [("x", True), ("z", False)])
+        m1, m2 = WorkMeter(), WorkMeter()
+        r1 = join_all([ab, bc, cd], m1)
+        r2 = join_all([cd, bc, ab], m2)
+        assert set(r1.project(("a", "b", "c", "d")).rows) == set(
+            r2.project(("a", "b", "c", "d")).rows
+        )
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            join_all([])
+
+    def test_single_relation(self, ab):
+        assert join_all([ab]) == ab
+
+
+class TestWorkMeter:
+    def test_merged_with(self):
+        a = WorkMeter(joins=1, join_input_rows=10, join_output_rows=5,
+                      tuples_materialized=5, peak_intermediate=5)
+        b = WorkMeter(joins=2, join_input_rows=20, join_output_rows=30,
+                      tuples_materialized=30, peak_intermediate=30)
+        merged = a.merged_with(b)
+        assert merged.joins == 3
+        assert merged.join_input_rows == 30
+        assert merged.peak_intermediate == 30
+
+    def test_peak_tracks_maximum(self):
+        meter = WorkMeter()
+        meter.record_join(5, 5, 7)
+        meter.record_join(5, 5, 3)
+        assert meter.peak_intermediate == 7

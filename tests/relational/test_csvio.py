@@ -1,0 +1,103 @@
+"""Tests for CSV/TSV EDB loading."""
+
+import pytest
+
+from repro.core.parser import parse_program
+from repro.network.engine import evaluate
+from repro.relational.csvio import (
+    facts_from_directory,
+    load_directory,
+    load_relation,
+    parse_value,
+)
+
+
+class TestParseValue:
+    def test_integers(self):
+        assert parse_value("42") == 42
+        assert parse_value(" -7 ") == -7
+
+    def test_floats(self):
+        assert parse_value("3.5") == 3.5
+
+    def test_strings(self):
+        assert parse_value(" ann ") == "ann"
+        assert parse_value("12ab") == "12ab"
+
+
+class TestLoadRelation:
+    def test_csv(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("1,2\n2,3\n")
+        assert load_relation(str(path)) == [(1, 2), (2, 3)]
+
+    def test_tsv(self, tmp_path):
+        path = tmp_path / "e.tsv"
+        path.write_text("ann\tbob\nbob\tcal\n")
+        assert load_relation(str(path)) == [("ann", "bob"), ("bob", "cal")]
+
+    def test_header_skipped(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("src,dst\n1,2\n")
+        assert load_relation(str(path), header=True) == [(1, 2)]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("1,2\n\n2,3\n")
+        assert len(load_relation(str(path))) == 2
+
+    def test_ragged_rows_rejected(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("1,2\n3\n")
+        with pytest.raises(ValueError):
+            load_relation(str(path))
+
+
+class TestDirectoryLoading:
+    def make_dir(self, tmp_path):
+        (tmp_path / "par.csv").write_text("ann,bob\nbob,cal\n")
+        (tmp_path / "age.tsv").write_text("ann\t60\n")
+        (tmp_path / "notes.txt").write_text("ignored")
+        return str(tmp_path)
+
+    def test_load_directory(self, tmp_path):
+        tables = load_directory(self.make_dir(tmp_path))
+        assert set(tables) == {"par", "age"}
+        assert tables["age"] == [("ann", 60)]
+
+    def test_facts_from_directory(self, tmp_path):
+        facts = facts_from_directory(self.make_dir(tmp_path))
+        assert len(facts) == 3
+        assert all(f.is_ground() for f in facts)
+
+    def test_end_to_end_with_engine(self, tmp_path):
+        directory = self.make_dir(tmp_path)
+        program = parse_program(
+            """
+            goal(Z) <- anc(ann, Z).
+            anc(X, Y) <- par(X, Y).
+            anc(X, Y) <- par(X, U), anc(U, Y).
+            """
+        )
+        from repro.relational.csvio import facts_from_directory
+
+        program = program.with_facts(facts_from_directory(directory))
+        assert evaluate(program).answers == {("bob",), ("cal",)}
+
+
+class TestCliDataFlag:
+    def test_run_with_data_directory(self, tmp_path, capsys):
+        (tmp_path / "par.csv").write_text("ann,bob\nbob,cal\n")
+        rules = tmp_path / "rules.dl"
+        rules.write_text(
+            """
+            goal(Z) <- anc(ann, Z).
+            anc(X, Y) <- par(X, Y).
+            anc(X, Y) <- par(X, U), anc(U, Y).
+            """
+        )
+        from repro.cli import main
+
+        assert main(["run", str(rules), "--data", str(tmp_path)]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert sorted(out) == ["bob", "cal"]

@@ -1,0 +1,103 @@
+"""Unit tests for the Yannakakis acyclic-join algorithm (§4.3's touchstone)."""
+
+import pytest
+
+from repro.core.hypergraph import Hypergraph
+from repro.relational.relation import Relation
+from repro.relational.yannakakis import (
+    acyclic_join,
+    full_reducer,
+    is_pairwise_consistent,
+)
+
+
+def chain_instance(dangling: bool = True):
+    """head(X) — a(X,Y) — b(Y,Z): a path schema with optional dangling rows."""
+    tree = Hypergraph(
+        {"head": {"X"}, "a": {"X", "Y"}, "b": {"Y", "Z"}}
+    ).gyo_reduction().qual_tree("head")
+    a_rows = [(1, 10), (2, 20)]
+    b_rows = [(10, "u"), (10, "v")]
+    if dangling:
+        a_rows.append((3, 30))  # 30 matches nothing in b
+        b_rows.append((99, "w"))  # 99 matches nothing in a
+    relations = {
+        "head": Relation(("X",), [(1,), (2,), (3,)] if dangling else [(1,), (2,)]),
+        "a": Relation(("X", "Y"), a_rows),
+        "b": Relation(("Y", "Z"), b_rows),
+    }
+    return tree, relations
+
+
+class TestFullReducer:
+    def test_removes_dangling_tuples(self):
+        tree, relations = chain_instance(dangling=True)
+        reduced = full_reducer(tree, relations)
+        assert set(reduced["a"].rows) == {(1, 10)}
+        assert set(reduced["b"].rows) == {(10, "u"), (10, "v")}
+        assert set(reduced["head"].rows) == {(1,)}
+
+    def test_result_is_pairwise_consistent(self):
+        tree, relations = chain_instance(dangling=True)
+        assert not is_pairwise_consistent(tree, relations)
+        reduced = full_reducer(tree, relations)
+        assert is_pairwise_consistent(tree, reduced)
+
+    def test_clean_instance_untouched(self):
+        tree, relations = chain_instance(dangling=False)
+        reduced = full_reducer(tree, relations)
+        # Every row of a joins with b here except (2,20); reduction keeps
+        # exactly the consistent part.
+        assert set(reduced["a"].rows) == {(1, 10)}
+
+
+class TestAcyclicJoin:
+    def test_join_result_correct(self):
+        tree, relations = chain_instance(dangling=True)
+        result = acyclic_join(tree, relations)
+        expected = {(1, 10, "u"), (1, 10, "v")}
+        assert set(result.result.project(("X", "Y", "Z")).rows) == expected
+
+    def test_monotone_growth_after_reduction(self):
+        # Yannakakis' guarantee: with full reduction, every intermediate is
+        # bounded by the final result size.
+        tree, relations = chain_instance(dangling=True)
+        result = acyclic_join(tree, relations)
+        final = len(result.result)
+        assert all(size <= final for size in result.intermediate_sizes)
+
+    def test_without_reduction_intermediates_can_exceed_final(self):
+        # Build an instance whose dangling tuples inflate an intermediate.
+        tree = Hypergraph(
+            {"head": set(), "a": {"X", "Y"}, "b": {"Y", "Z"}, "c": {"Z", "W"}}
+        ).gyo_reduction().qual_tree("head")
+        relations = {
+            "head": Relation((), [()]),
+            "a": Relation(("X", "Y"), [(i, 0) for i in range(20)]),
+            "b": Relation(("Y", "Z"), [(0, j) for j in range(20)]),
+            "c": Relation(("Z", "W"), [(999, 0)]),  # kills everything
+        }
+        reduced = acyclic_join(tree, relations, reduce_first=True)
+        unreduced = acyclic_join(tree, relations, reduce_first=False)
+        assert len(reduced.result) == 0 and len(unreduced.result) == 0
+        assert max(reduced.intermediate_sizes, default=0) == 0
+        assert max(unreduced.intermediate_sizes) >= 400  # the a x b blow-up
+
+    def test_meter_reports_semijoins_and_joins(self):
+        tree, relations = chain_instance()
+        result = acyclic_join(tree, relations)
+        assert result.meter.semijoins > 0
+        assert result.meter.joins == len(tree.nodes) - 1
+
+    def test_star_schema(self):
+        tree = Hypergraph(
+            {"head": {"K"}, "a": {"K", "A"}, "b": {"K", "B"}, "c": {"K", "C"}}
+        ).gyo_reduction().qual_tree("head")
+        relations = {
+            "head": Relation(("K",), [(1,), (2,)]),
+            "a": Relation(("K", "A"), [(1, "a1"), (2, "a2"), (3, "a3")]),
+            "b": Relation(("K", "B"), [(1, "b1"), (2, "b2")]),
+            "c": Relation(("K", "C"), [(1, "c1")]),
+        }
+        result = acyclic_join(tree, relations)
+        assert set(result.result.project(("K",)).rows) == {(1,)}

@@ -1,0 +1,71 @@
+"""Tests for the asyncio concurrent runtime: same answers, true concurrency."""
+
+import asyncio
+
+import pytest
+
+from repro.core.sips import all_free_sip
+from repro.runtime import evaluate_async, run_async
+from repro.workloads import (
+    chain_edges,
+    mutual_recursion_program,
+    nonlinear_tc_program,
+    program_p1,
+    random_digraph_edges,
+)
+
+from tests.helpers import oracle_answers, with_tables
+
+
+class TestEquivalence:
+    def test_p1(self, p1_small):
+        result = evaluate_async(p1_small)
+        assert result.completed
+        assert result.answers == oracle_answers(p1_small)
+
+    def test_nonlinear_tc(self, tc_random):
+        result = evaluate_async(tc_random)
+        assert result.answers == oracle_answers(tc_random)
+
+    def test_mutual_recursion(self):
+        program = with_tables(mutual_recursion_program(0), {"e": chain_edges(8)})
+        assert evaluate_async(program).answers == oracle_answers(program)
+
+    def test_all_free_sip(self, p1_small):
+        result = evaluate_async(p1_small, sip_factory=all_free_sip)
+        assert result.answers == oracle_answers(p1_small)
+
+    def test_repeated_runs_stable(self, p1_small):
+        expected = oracle_answers(p1_small)
+        for _ in range(5):
+            assert evaluate_async(p1_small).answers == expected
+
+    def test_empty_answer_set_completes(self):
+        program = with_tables(program_p1(), {"r": [(5, 6)], "q": [(6, 5)]})
+        result = evaluate_async(program)
+        assert result.completed and result.answers == set()
+
+
+class TestRuntimeShape:
+    def test_one_task_per_node(self, p1_small):
+        from repro.network.engine import MessagePassingEngine
+
+        engine = MessagePassingEngine(p1_small)
+        expected_tasks = len(engine.processes)
+        result = evaluate_async(p1_small)
+        assert result.tasks == expected_tasks
+
+    def test_messages_counted(self, p1_small):
+        result = evaluate_async(p1_small)
+        assert result.messages_sent > 0
+
+    def test_run_async_inside_event_loop(self, p1_small):
+        async def main():
+            return await run_async(p1_small)
+
+        result = asyncio.run(main())
+        assert result.completed
+
+    def test_timeout_raises(self, tc_random):
+        with pytest.raises(asyncio.TimeoutError):
+            evaluate_async(tc_random, timeout=0.0001)

@@ -1,0 +1,51 @@
+"""Tests for the one-OS-process-per-node runtime."""
+
+import sys
+
+import pytest
+
+from repro.baselines import naive
+from repro.runtime.multiprocessing_engine import evaluate_multiprocessing
+from repro.workloads import (
+    ancestor_program,
+    chain_edges,
+    cycle_edges,
+    facts_from_tables,
+    mutual_recursion_program,
+    nonlinear_tc_program,
+    program_p1,
+)
+
+from tests.helpers import oracle_answers, with_tables
+
+pytestmark = pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="fork start method required"
+)
+
+
+class TestMultiprocessingRuntime:
+    def test_p1(self, p1_small):
+        result = evaluate_multiprocessing(p1_small, timeout=60)
+        assert result.completed
+        assert result.answers == oracle_answers(p1_small)
+        assert result.processes >= 10  # one per node + the driver
+
+    def test_recursive_cycle(self):
+        program = with_tables(nonlinear_tc_program(0), {"e": cycle_edges(6)})
+        result = evaluate_multiprocessing(program, timeout=60)
+        assert result.answers == oracle_answers(program)
+
+    def test_mutual_recursion(self):
+        program = with_tables(mutual_recursion_program(0), {"e": chain_edges(6)})
+        result = evaluate_multiprocessing(program, timeout=60)
+        assert result.answers == oracle_answers(program)
+
+    def test_empty_answer_set_still_terminates(self):
+        program = with_tables(ancestor_program("nobody"), {"par": chain_edges(4)})
+        result = evaluate_multiprocessing(program, timeout=60)
+        assert result.completed and result.answers == set()
+
+    def test_repeated_runs_stable(self, p1_small):
+        expected = oracle_answers(p1_small)
+        for _ in range(3):
+            assert evaluate_multiprocessing(p1_small, timeout=60).answers == expected

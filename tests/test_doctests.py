@@ -1,0 +1,18 @@
+"""Run the doctest examples embedded in user-facing docstrings."""
+
+import doctest
+
+import repro
+import repro.session
+
+
+def test_package_quickstart_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.attempted >= 1
+    assert results.failed == 0
+
+
+def test_session_doctest():
+    results = doctest.testmod(repro.session, verbose=False)
+    assert results.attempted >= 1
+    assert results.failed == 0

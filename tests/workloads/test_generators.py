@@ -1,0 +1,83 @@
+"""Unit tests for the workload generators: shapes, determinism, bounds."""
+
+from repro.core.atoms import Atom
+from repro.workloads import (
+    chain_edges,
+    cycle_edges,
+    facts_from_tables,
+    grid_edges,
+    layered_dag_edges,
+    p1_tables,
+    pair_table,
+    random_digraph_edges,
+    tree_parent_edges,
+)
+
+
+class TestShapes:
+    def test_chain(self):
+        assert chain_edges(4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_chain_stride(self):
+        assert chain_edges(7, stride=2) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_cycle_wraps(self):
+        edges = cycle_edges(4)
+        assert (3, 0) in edges and len(edges) == 4
+
+    def test_tree_child_parent_order(self):
+        edges = tree_parent_edges(2, 2)
+        # 2 levels of branching 2: 2 + 4 = 6 edges; root 0 is a parent.
+        assert len(edges) == 6
+        children_of_root = [c for c, p in edges if p == 0]
+        assert len(children_of_root) == 2
+
+    def test_grid_counts(self):
+        # rows*(cols-1) right edges + (rows-1)*cols down edges.
+        edges = grid_edges(3, 4)
+        assert len(edges) == 3 * 3 + 2 * 4
+
+    def test_layered_dag_respects_layers(self):
+        edges = layered_dag_edges(3, 4, 2, seed=0)
+        for a, b in edges:
+            assert b // 4 == a // 4 + 1
+
+
+class TestDeterminismAndBounds:
+    def test_random_digraph_deterministic(self):
+        assert random_digraph_edges(10, 20, seed=5) == random_digraph_edges(10, 20, seed=5)
+
+    def test_random_digraph_seed_sensitivity(self):
+        assert random_digraph_edges(10, 20, seed=5) != random_digraph_edges(10, 20, seed=6)
+
+    def test_random_digraph_no_self_loops_by_default(self):
+        assert all(a != b for a, b in random_digraph_edges(6, 20, seed=1))
+
+    def test_random_digraph_caps_at_max_edges(self):
+        edges = random_digraph_edges(3, 100, seed=1)
+        assert len(edges) == 6  # 3*2 ordered pairs
+
+    def test_pair_table_distinct(self):
+        pairs = pair_table(5, 5, 10, seed=2)
+        assert len(set(pairs)) == len(pairs) == 10
+
+    def test_pair_table_offsets(self):
+        pairs = pair_table(3, 3, 5, seed=2, left_offset=100, right_offset=200)
+        assert all(100 <= a < 103 and 200 <= b < 203 for a, b in pairs)
+
+
+class TestFactConversion:
+    def test_facts_from_tables(self):
+        facts = facts_from_tables({"e": [(1, 2)], "v": [(7,)]})
+        assert Atom("e", tuple()) not in facts
+        assert len(facts) == 2
+        assert all(f.is_ground() for f in facts)
+
+    def test_p1_tables_contains_query_constant(self):
+        tables = p1_tables(10, 0.5, seed=3)
+        r_sources = {a for a, _ in tables["r"]}
+        assert "a" in r_sources
+        assert tables["q"]  # q nonempty
+
+    def test_p1_tables_deterministic(self):
+        assert p1_tables(10, 0.5, seed=3) == p1_tables(10, 0.5, seed=3)

@@ -1,0 +1,98 @@
+"""Unit tests for the canonical paper programs."""
+
+from repro.core.rules import GOAL_PREDICATE
+from repro.workloads import (
+    P1_TEXT,
+    adorned_head_df,
+    ancestor_program,
+    left_recursive_tc_program,
+    mutual_recursion_program,
+    nonlinear_tc_program,
+    nonrecursive_join_program,
+    program_p1,
+    rule_r1,
+    rule_r2,
+    rule_r3,
+    same_generation_program,
+)
+
+
+class TestP1:
+    def test_structure(self):
+        program = program_p1()
+        assert len(program.rules) == 3
+        assert program.idb_predicates == {GOAL_PREDICATE, "p"}
+        assert {"q", "r"} <= program.edb_predicates
+
+    def test_custom_constant(self):
+        program = program_p1("z9")
+        (query,) = program.query_rules
+        from repro.core.terms import Constant
+
+        assert query.body[0].args[0] == Constant("z9")
+
+    def test_text_matches_paper(self):
+        assert "p(X, U), q(U, V), p(V, Y)" in P1_TEXT
+
+
+class TestExample41Rules:
+    def test_r1_shape(self):
+        rule = rule_r1()
+        assert [s.predicate for s in rule.body] == ["a", "b", "c"]
+
+    def test_r2_shape(self):
+        rule = rule_r2()
+        assert [s.predicate for s in rule.body] == ["a", "b", "c", "d", "e"]
+        assert rule.body[0].arity == 3
+
+    def test_r3_differs_from_r2_by_w(self):
+        r2_vars = {v.name for v in rule_r2().variables()}
+        r3_vars = {v.name for v in rule_r3().variables()}
+        assert r3_vars - r2_vars == {"W"}
+
+    def test_adorned_head_df(self):
+        adorned = adorned_head_df(rule_r1())
+        assert adorned.adornment == ("d", "f")
+
+    def test_adorned_head_requires_binary(self):
+        import pytest
+
+        from repro.core.parser import parse_rule
+
+        with pytest.raises(ValueError):
+            adorned_head_df(parse_rule("p(X) <- e(X)."))
+
+
+class TestRecursionShapes:
+    def test_ancestor_linear(self):
+        assert ancestor_program().is_linear()
+
+    def test_nonlinear_tc_nonlinear(self):
+        assert not nonlinear_tc_program().is_linear()
+
+    def test_left_recursive_first_subgoal(self):
+        program = left_recursive_tc_program()
+        recursive_rule = program.rules_for("t")[0]
+        assert recursive_rule.body[0].predicate == "t"
+
+    def test_same_generation_recursive(self):
+        assert "sg" in same_generation_program().recursive_predicates()
+
+    def test_mutual_recursion_pair(self):
+        program = mutual_recursion_program()
+        assert program.recursive_predicates() == {"oddp", "evenp"}
+
+    def test_nonrecursive_join(self):
+        assert not nonrecursive_join_program().is_recursive()
+
+    def test_all_programs_validate(self):
+        for program in (
+            program_p1(),
+            ancestor_program(),
+            nonlinear_tc_program(),
+            left_recursive_tc_program(),
+            same_generation_program(),
+            mutual_recursion_program(),
+            nonrecursive_join_program(),
+        ):
+            program.validate()

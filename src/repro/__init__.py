@@ -47,6 +47,7 @@ from .core import (
     qual_tree_sip,
     rule_qual_tree,
 )
+from .cache import CacheStats, GraphCache
 from .network import MessagePassingEngine, QueryResult, evaluate
 from .runtime import evaluate_async
 from .session import Session
@@ -63,5 +64,5 @@ __all__ = [
     "build_rule_goal_graph", "has_monotone_flow", "rule_qual_tree", "qual_tree_sip",
     # engines
     "evaluate", "evaluate_async", "MessagePassingEngine", "QueryResult",
-    "Session",
+    "Session", "GraphCache", "CacheStats",
 ]

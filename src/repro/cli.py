@@ -6,6 +6,7 @@ Usage examples::
     repro-datalog run program.dl --query 'p(a, Z)' --sip all-free --stats
     repro-datalog graph program.dl            # print the rule/goal graph
     repro-datalog trace program.dl --limit 40 # show the message conversation
+    repro-datalog bench-session program.dl --repeat 200  # serving benchmark
 
 The file format is the Prolog-style syntax of :mod:`repro.core.parser`:
 facts, rules (``<-`` or ``:-``), and ``?-`` queries.
@@ -104,6 +105,56 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_session(args: argparse.Namespace) -> int:
+    """Repeated-query serving benchmark: session caching vs per-query rebuild."""
+    import time
+
+    from .session import Session
+
+    program = _load_program(args.file, args.query, args.data)
+    query_rules = program.query_rules
+    if not query_rules:
+        print("no query: pass --query or include a '?-' clause", file=sys.stderr)
+        return 2
+    atoms = list(query_rules[0].body)
+    if len(query_rules) > 1:
+        print("multiple queries in file; benchmarking the first", file=sys.stderr)
+
+    def timed(cache_size: int) -> tuple[Session, set, float, float]:
+        session = Session(
+            program,
+            sip_factory=_SIPS[args.sip],
+            coalesce=args.coalesce,
+            package_requests=args.package,
+            graph_cache_size=cache_size,
+        )
+        start = time.perf_counter()
+        answers = session.query(atoms, seed=args.seed)
+        cold = time.perf_counter() - start
+        start = time.perf_counter()
+        for _ in range(args.repeat - 1):
+            session.query(atoms, seed=args.seed)
+        warm = time.perf_counter() - start
+        return session, answers, cold, warm
+
+    session, answers, cold, warm = timed(args.cache_size)
+    repeats = args.repeat - 1
+    print(f"query: {', '.join(str(a) for a in atoms)}")
+    print(f"answers: {len(answers)}; total queries: {args.repeat}")
+    print(f"first query (cache miss): {cold * 1e3:9.3f} ms")
+    if repeats > 0:
+        warm_avg = warm / repeats
+        print(f"repeat query (cached):    {warm_avg * 1e3:9.3f} ms avg over {repeats}")
+    print(f"graph cache: {session.cache_stats()}")
+    if not args.no_compare and repeats > 0:
+        _, _, cold0, warm0 = timed(0)
+        warm0_avg = warm0 / repeats
+        factor = warm0_avg / warm_avg if warm_avg else float("inf")
+        print(f"uncached repeat query:    {warm0_avg * 1e3:9.3f} ms avg over {repeats}")
+        print(f"caching speedup on repeats: {factor:.2f}x")
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .core.analysis import analyze
 
@@ -164,6 +215,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(analyze_p)
     analyze_p.set_defaults(func=_cmd_analyze)
+
+    bench_p = sub.add_parser(
+        "bench-session",
+        help="repeated-query serving benchmark: session caching vs per-query rebuild",
+    )
+    common(bench_p)
+    bench_p.add_argument(
+        "--repeat", type=int, default=100, help="number of identical queries to serve"
+    )
+    bench_p.add_argument(
+        "--cache-size", type=int, default=64, help="graph-cache LRU capacity (0 disables)"
+    )
+    bench_p.add_argument(
+        "--no-compare",
+        action="store_true",
+        help="skip the uncached (cache-size 0) comparison run",
+    )
+    bench_p.set_defaults(func=_cmd_bench_session)
     return parser
 
 

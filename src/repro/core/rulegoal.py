@@ -48,6 +48,9 @@ __all__ = [
     "GraphSizeExceeded",
     "build_rule_goal_graph",
     "build_basic_rule_goal_graph",
+    "rule_set_fingerprint",
+    "query_variant_signature",
+    "graph_cache_key",
 ]
 
 #: A SIP factory maps (rule-copy, adorned-head) to a strategy.
@@ -368,6 +371,68 @@ class RuleGoalGraph:
             lines.append(f"  n{a} -> n{b}{style};")
         lines.append("}")
         return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Graph keying — Theorem 2.1 makes graphs cacheable across queries
+# ----------------------------------------------------------------------
+
+def rule_set_fingerprint(rules: Sequence[Rule]) -> int:
+    """A hash identifying an IDB rule set for graph-cache keying.
+
+    Order-sensitive on purpose: rule order determines ``rule_index`` and
+    the order of rule children in the constructed graph.  Textually equal
+    rules fingerprint equally even when they are distinct objects.
+    """
+    return hash(tuple(str(r) for r in rules))
+
+
+def query_variant_signature(atoms: Sequence[Atom]) -> tuple:
+    """A canonical key equal exactly for *variant* conjunctive queries.
+
+    Two query bodies are variants when they agree on predicates, constants,
+    and the repeated-variable pattern across the whole conjunction — the
+    conjunctive extension of Definition 2.2's variant test.  Variable names
+    are abstracted to first-occurrence indices, so ``anc(ann, Z)`` and
+    ``anc(ann, W)`` share a signature (and answer columns align, because
+    the desugared ``goal`` head lists variables in first-occurrence order)
+    while ``anc(bob, Z)`` does not.  Theorem 2.1 guarantees the rule/goal
+    graph depends only on this signature and the IDB — never on the EDB —
+    which is what makes cross-query graph reuse sound.
+    """
+    first_seen: dict[Variable, int] = {}
+    signature: list[tuple] = []
+    for atom_ in atoms:
+        shape: list[object] = []
+        for term in atom_.args:
+            if isinstance(term, Variable):
+                shape.append(first_seen.setdefault(term, len(first_seen)))
+            else:
+                shape.append(("const", term.value))
+        signature.append((atom_.predicate, tuple(shape)))
+    return tuple(signature)
+
+
+def graph_cache_key(
+    rules_fingerprint: int,
+    query_atoms: Sequence[Atom],
+    sip_factory: SipFactory,
+    coalesce: bool,
+) -> tuple:
+    """The full cache key for one constructed rule/goal graph.
+
+    Everything graph construction consumes is represented: the IDB
+    fingerprint, the query's variant signature, the SIP strategy (by
+    function identity), and the coalescing flag.  The EDB is deliberately
+    absent (Theorem 2.1).
+    """
+    return (
+        "rule-goal-graph",
+        rules_fingerprint,
+        query_variant_signature(query_atoms),
+        sip_factory,
+        bool(coalesce),
+    )
 
 
 # ----------------------------------------------------------------------

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from ..cache import CacheStats
 from ..core.adornment import AdornedAtom
 from ..core.program import Program
 from ..core.rulegoal import (
@@ -59,6 +60,9 @@ class QueryResult:
     db_indexed_lookups: int
     db_rows_retrieved: int
     graph: RuleGoalGraph
+    # Session-cache accounting (filled by Session; defaults for direct use).
+    graph_cache_hit: bool = False
+    cache_stats: Optional[CacheStats] = None
 
     @property
     def total_messages(self) -> int:
@@ -86,6 +90,9 @@ class QueryResult:
             f"db: {self.db_scans} scans, {self.db_indexed_lookups} lookups, "
             f"{self.db_rows_retrieved} rows retrieved",
         ]
+        if self.cache_stats is not None:
+            hit = "hit" if self.graph_cache_hit else "miss"
+            lines.append(f"graph cache: {hit} ({self.cache_stats})")
         return "\n".join(lines)
 
     def node_table(self, top: int = 10) -> str:
@@ -126,6 +133,14 @@ class MessagePassingEngine:
         When true (default), every protocol conclusion is checked against the
         scheduler's global quiescence oracle — Theorem 3.1's "only if"
         direction; violations are recorded in the result.
+    database:
+        A shared EDB to serve leaf requests from (defaults to one built from
+        the program's inline facts).  Shared databases keep cumulative
+        access counters; results always report per-query deltas.
+    graph:
+        A prebuilt rule/goal graph to reuse (e.g. from a session cache);
+        construction is skipped and ``sip_factory``/``coalesce`` are
+        ignored for graph-building purposes.  Treated as read-only.
     """
 
     def __init__(
@@ -143,9 +158,13 @@ class MessagePassingEngine:
         on_answer: Optional[Callable[[tuple], None]] = None,
         database: Optional[Database] = None,
         trivial_relay: bool = True,
+        graph: Optional[RuleGoalGraph] = None,
     ) -> None:
         self.program = program
-        self.graph = build_rule_goal_graph(
+        # A prebuilt (possibly session-cached) graph skips reconstruction;
+        # Theorem 2.1 makes the graph EDB-independent, so a cached one is
+        # valid for any database over the same IDB and query variant.
+        self.graph = graph if graph is not None else build_rule_goal_graph(
             program, sip_factory, query_goal=query_goal, coalesce=coalesce
         )
         self._package_requests = package_requests
@@ -333,6 +352,11 @@ class MessagePassingEngine:
     # ------------------------------------------------------------------
     def run(self) -> QueryResult:
         """Evaluate the query and collect the result with full accounting."""
+        # The database may be shared across queries (session caching), so its
+        # counters are cumulative; snapshot now and report per-query deltas.
+        scans_before = self.database.scans
+        lookups_before = self.database.indexed_lookups
+        rows_before = self.database.rows_retrieved
         self.driver.start(self.scheduler)
         stats = self.scheduler.run()
 
@@ -346,7 +370,12 @@ class MessagePassingEngine:
             if node_id == DRIVER_ID:
                 continue
             if process.tuples_stored:
-                tuples_by_node[self.graph.node_label(node_id)] = process.tuples_stored
+                # Distinct nodes can share a label (e.g. a ground cyclic
+                # variant and its ancestor), so aggregate rather than assign.
+                label = self.graph.node_label(node_id)
+                tuples_by_node[label] = (
+                    tuples_by_node.get(label, 0) + process.tuples_stored
+                )
                 tuples_total += process.tuples_stored
             if isinstance(process, RuleNodeProcess):
                 join_lookups += process.join_lookups
@@ -367,9 +396,9 @@ class MessagePassingEngine:
             protocol_rounds=rounds,
             protocol_conclusions=conclusions,
             protocol_violations=list(self.protocol_violations),
-            db_scans=self.database.scans,
-            db_indexed_lookups=self.database.indexed_lookups,
-            db_rows_retrieved=self.database.rows_retrieved,
+            db_scans=self.database.scans - scans_before,
+            db_indexed_lookups=self.database.indexed_lookups - lookups_before,
+            db_rows_retrieved=self.database.rows_retrieved - rows_before,
             graph=self.graph,
         )
 

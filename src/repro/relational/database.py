@@ -70,6 +70,43 @@ class Database:
         """Install (or replace) a relation for ``predicate``."""
         self._relations[predicate] = relation
 
+    def add_facts(self, facts: Iterable[Atom]) -> None:
+        """Incrementally add ground facts, extending relations in place.
+
+        Validation (arity consistency within the batch and against any
+        existing relation) happens *before* any mutation, so a bad batch
+        leaves the database untouched.  Existing relations grow via
+        :meth:`Relation.extended`, which carries their memoized hash
+        indexes forward instead of rebuilding them — the cheap path a
+        long-lived session relies on.
+        """
+        grouped: dict[str, list[Row]] = {}
+        arities: dict[str, int] = {}
+        for fact in facts:
+            row = fact.ground_tuple()
+            previous = arities.setdefault(fact.predicate, len(row))
+            if previous != len(row):
+                raise ValueError(
+                    f"inconsistent arity for EDB predicate {fact.predicate}: "
+                    f"{previous} vs {len(row)}"
+                )
+            grouped.setdefault(fact.predicate, []).append(row)
+        for predicate, arity in arities.items():
+            existing = self._relations.get(predicate)
+            if existing is not None and existing.arity != arity:
+                raise ValueError(
+                    f"inconsistent arity for EDB predicate {predicate}: "
+                    f"{existing.arity} vs {arity}"
+                )
+        for predicate, rows in grouped.items():
+            existing = self._relations.get(predicate)
+            if existing is None:
+                self._relations[predicate] = Relation(
+                    columns_for(arities[predicate]), rows
+                )
+            else:
+                self._relations[predicate] = existing.extended(rows)
+
     # ------------------------------------------------------------------
     # Access
     # ------------------------------------------------------------------
@@ -134,3 +171,11 @@ class Database:
         self.scans = 0
         self.indexed_lookups = 0
         self.rows_retrieved = 0
+
+    def counters(self) -> tuple[int, int, int]:
+        """A ``(scans, indexed_lookups, rows_retrieved)`` snapshot.
+
+        Engines snapshot this at ``run()`` start so a database shared
+        across queries still yields per-query deltas in each result.
+        """
+        return (self.scans, self.indexed_lookups, self.rows_retrieved)

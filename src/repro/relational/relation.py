@@ -125,6 +125,40 @@ class Relation:
         """Rows whose ``columns`` projection equals ``key`` (via the index)."""
         return self.index(columns).get(tuple(key), [])
 
+    def extended(self, rows: Iterable[Row]) -> "Relation":
+        """A new relation with extra rows, carrying memoized indexes forward.
+
+        The incremental-growth path of a long-lived session: instead of
+        rebuilding every hash index from scratch (one full scan each), the
+        new relation copies each existing index shallowly and appends only
+        the genuinely new rows to the buckets they land in.  Cost is
+        O(|new rows| x |indexes|) plus one pointer-copy of each index dict,
+        not O(|relation|).  Returns ``self`` unchanged when every row is
+        already present.
+        """
+        added = set(map(tuple, rows)) - self._rows
+        if not added:
+            return self
+        for row in added:
+            if len(row) != len(self.columns):
+                raise ValueError(f"row {row} does not match schema {self.columns}")
+        extended = object.__new__(Relation)
+        extended.columns = self.columns
+        extended._rows = self._rows | added
+        indexes: dict[tuple[int, ...], dict[Row, list[Row]]] = {}
+        for pos, index in self._indexes.items():
+            grown = dict(index)  # shallow: buckets shared until touched
+            touched: set[Row] = set()
+            for row in added:
+                key = tuple(row[i] for i in pos)
+                if key not in touched:
+                    grown[key] = list(grown.get(key, ()))
+                    touched.add(key)
+                grown[key].append(row)
+            indexes[pos] = grown
+        extended._indexes = indexes
+        return extended
+
     # ------------------------------------------------------------------
     # Core operations (select / project / rename / union / difference)
     # ------------------------------------------------------------------

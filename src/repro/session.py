@@ -2,10 +2,25 @@
 
 The paper's IDB is split into the *permanent* IDB and per-query rules
 (Section 1): the PIDB and EDB persist while queries come and go.
-:class:`Session` mirrors that: construct it once with rules and facts, then
-call :meth:`query` with goal atoms.  Each query builds its own
-information-passing rule/goal graph (binding patterns depend on the query's
-constants) but shares the parsed program and the loaded EDB.
+:class:`Session` mirrors that — and treats it as a serving architecture.
+Construct it once with rules and facts, then call :meth:`query` with goal
+atoms.  Two layers persist across queries:
+
+* **the EDB**: one shared, index-preserving
+  :class:`~repro.relational.database.Database` is built at construction
+  and handed to every engine, so :class:`~repro.relational.relation.Relation`
+  hash indexes survive from query to query (``add_facts`` extends them
+  incrementally instead of rebuilding);
+* **the rule/goal graph**: Theorem 2.1 makes the information-passing
+  graph depend only on the IDB and the query's variant signature — never
+  on the EDB — so graphs are cached in a bounded LRU
+  (:class:`~repro.cache.GraphCache`) keyed by
+  :func:`~repro.core.rulegoal.graph_cache_key` and reused across queries
+  *and* across ``add_facts``.  ``add_rules`` flushes the graph cache.
+
+Each :class:`~repro.network.engine.QueryResult` reports per-query database
+counters (the engine snapshots the shared counters at ``run()`` start)
+plus the cache outcome in ``graph_cache_hit`` / ``cache_stats``.
 
 >>> from repro.session import Session
 >>> s = Session('''
@@ -17,19 +32,31 @@ constants) but shares the parsed program and the loaded EDB.
 [('bob',), ('cal',)]
 >>> s.ask("anc(ann, cal)")
 True
+>>> s.query("anc(ann, W)") == s.query("anc(ann, Z)")  # graph-cache hit
+True
+>>> s.last_result.graph_cache_hit
+True
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional, Sequence, Union
 
+from .cache import CacheStats, GraphCache
 from .core.atoms import Atom
 from .core.parser import _Parser, _tokenize, parse_program, query_to_rule
-from .core.program import Program
-from .core.rulegoal import SipFactory
+from .core.program import Program, ProgramError
+from .core.rulegoal import (
+    RuleGoalGraph,
+    SipFactory,
+    build_rule_goal_graph,
+    graph_cache_key,
+    rule_set_fingerprint,
+)
 from .core.rules import GOAL_PREDICATE, Rule
 from .core.sips import greedy_sip
 from .network.engine import QueryResult, evaluate
+from .relational.database import Database
 
 __all__ = ["Session"]
 
@@ -44,7 +71,22 @@ def _parse_query_atoms(query: Union[str, Atom, Sequence[Atom]]) -> list[Atom]:
 
 
 class Session:
-    """A permanent IDB + EDB against which queries are evaluated on demand."""
+    """A permanent IDB + EDB against which queries are evaluated on demand.
+
+    Parameters
+    ----------
+    source:
+        The knowledge base: Datalog source text or a parsed
+        :class:`~repro.core.program.Program` (any ``goal`` rules are
+        stripped — the session supplies queries itself).
+    sip_factory, coalesce, package_requests, provenance:
+        Evaluation options applied to every query (see
+        :class:`~repro.network.engine.MessagePassingEngine`).
+    graph_cache_size:
+        LRU bound on cached rule/goal graphs (one per distinct query
+        variant).  ``0`` disables graph caching — every query rebuilds
+        its graph, the pre-cache behavior.
+    """
 
     def __init__(
         self,
@@ -53,6 +95,7 @@ class Session:
         coalesce: bool = False,
         package_requests: bool = False,
         provenance: bool = False,
+        graph_cache_size: int = 64,
     ) -> None:
         if isinstance(source, Program):
             program = source
@@ -63,12 +106,20 @@ class Session:
             r for r in program.rules if r.head.predicate != GOAL_PREDICATE
         )
         self._facts = tuple(program.facts)
+        # Validate the base eagerly so later queries can skip re-validation.
+        Program(self._rules, self._facts)
         self.sip_factory = sip_factory
         self.coalesce = coalesce
         self.package_requests = package_requests
         self.provenance = provenance
         self.last_result: Optional[QueryResult] = None
         self._last_engine = None
+        # The shared, index-preserving EDB (one build; grown incrementally).
+        self._database = Database.from_facts(self._facts)
+        self._edb_predicates = {f.predicate for f in self._facts}
+        # The graph cache and the IDB fingerprint that keys it.
+        self._graph_cache = GraphCache(graph_cache_size)
+        self._rules_fingerprint = rule_set_fingerprint(self._rules)
 
     # ------------------------------------------------------------------
     def program_for(self, query: Union[str, Atom, Sequence[Atom]]) -> Program:
@@ -78,6 +129,26 @@ class Session:
         rules.append(query_to_rule(atoms))
         return Program(rules, self._facts)
 
+    def _graph_for(self, atoms: Sequence[Atom]) -> tuple[RuleGoalGraph, bool]:
+        """The (possibly cached) rule/goal graph for a query; (graph, hit)."""
+        key = graph_cache_key(
+            self._rules_fingerprint, atoms, self.sip_factory, self.coalesce
+        )
+        cached = self._graph_cache.get(key)
+        if cached is not None:
+            return cached, True  # type: ignore[return-value]
+        # The base was validated at construction / mutation time and the
+        # desugared query rule is safe by construction, so skip the
+        # per-query O(|EDB|) re-validation the naive path would pay.
+        program = Program(
+            self._rules + (query_to_rule(atoms),), self._facts, validate=False
+        )
+        graph = build_rule_goal_graph(
+            program, self.sip_factory, coalesce=self.coalesce
+        )
+        self._graph_cache.put(key, graph)
+        return graph, False
+
     def query(
         self, query: Union[str, Atom, Sequence[Atom]], seed: Optional[int] = None
     ) -> set[tuple]:
@@ -85,19 +156,29 @@ class Session:
 
         Variable order follows first occurrence in the query, exactly as the
         ``?-`` syntax.  The full :class:`QueryResult` (messages, protocol
-        statistics, the graph) is kept in :attr:`last_result`.
+        statistics, the graph, cache accounting) is kept in
+        :attr:`last_result`.
         """
         from .network.engine import MessagePassingEngine
 
+        atoms = _parse_query_atoms(query)
+        for atom_ in atoms:
+            if atom_.predicate == GOAL_PREDICATE:
+                raise ProgramError(f"'goal' may not be queried directly: {atom_}")
+        graph, cache_hit = self._graph_for(atoms)
         engine = MessagePassingEngine(
-            self.program_for(query),
+            graph.program,
             sip_factory=self.sip_factory,
             seed=seed,
             coalesce=self.coalesce,
             package_requests=self.package_requests,
             provenance=self.provenance,
+            database=self._database,
+            graph=graph,
         )
         result = engine.run()
+        result.graph_cache_hit = cache_hit
+        result.cache_stats = self._graph_cache.stats()
         self.last_result = result
         self._last_engine = engine
         return result.answers
@@ -116,25 +197,80 @@ class Session:
             raise RuntimeError("no query has been evaluated yet")
         return self._last_engine.explain(row)
 
-    def add_facts(self, facts: Iterable[Atom]) -> None:
-        """Extend the EDB (subsequent queries see the new facts)."""
-        self._facts = self._facts + tuple(facts)
+    # ------------------------------------------------------------------
+    # Mutation — validate first, commit atomically
+    # ------------------------------------------------------------------
+    def add_facts(self, facts: Union[str, Iterable[Atom]]) -> None:
+        """Extend the EDB (subsequent queries see the new facts).
+
+        Accepts either an iterable of ground :class:`Atom` or program text
+        containing only facts.  The shared database and its relation
+        indexes grow incrementally; cached rule/goal graphs stay valid
+        (Theorem 2.1: the graph never depends on the EDB).  Validation
+        happens before any state changes, so a rejected batch leaves the
+        session exactly as it was.
+        """
+        if isinstance(facts, str):
+            parsed = parse_program(facts, validate=False)
+            if parsed.rules:
+                raise ProgramError(
+                    "add_facts accepts facts only; use add_rules for rules"
+                )
+            new_facts: tuple[Atom, ...] = tuple(parsed.facts)
+        else:
+            new_facts = tuple(facts)
+        idb = {r.head.predicate for r in self._rules}
+        for fact in new_facts:
+            if not fact.is_ground():
+                raise ProgramError(f"EDB fact {fact} is not ground")
+            if fact.predicate == GOAL_PREDICATE:
+                raise ProgramError(
+                    "the distinguished predicate 'goal' may not appear in the EDB"
+                )
+            if fact.predicate in idb:
+                raise ProgramError(
+                    f"fact predicate {fact.predicate} is defined by IDB rules"
+                )
+        # May raise on arity mismatch — internally atomic, nothing committed.
+        self._database.add_facts(new_facts)
+        self._facts = self._facts + new_facts
+        self._edb_predicates |= {f.predicate for f in new_facts}
 
     def add_rules(self, source: Union[str, Iterable[Rule]]) -> None:
-        """Extend the permanent IDB with more rules."""
+        """Extend the permanent IDB with more rules.
+
+        The combined program is validated *before* anything is committed —
+        a validation failure leaves rules, facts, database, and caches
+        untouched.  On success the graph cache is flushed: cached graphs
+        were built against the old rule set.
+        """
         if isinstance(source, str):
             parsed = parse_program(source, validate=False)
             new_rules: tuple[Rule, ...] = tuple(parsed.rules)
-            if parsed.facts:
-                self._facts = self._facts + tuple(parsed.facts)
+            new_facts: tuple[Atom, ...] = tuple(parsed.facts)
         else:
             new_rules = tuple(source)
-        self._rules = self._rules + tuple(
+            new_facts = ()
+        new_rules = tuple(
             r for r in new_rules if r.head.predicate != GOAL_PREDICATE
         )
-        # Re-validate the combined program eagerly for a clear error site.
-        Program(self._rules, self._facts)
+        candidate_rules = self._rules + new_rules
+        candidate_facts = self._facts + new_facts
+        # Validate the combined program first for a clear error site.
+        Program(candidate_rules, candidate_facts)
+        if new_facts:
+            # Atomic: raises on arity mismatch before touching anything.
+            self._database.add_facts(new_facts)
+            self._edb_predicates |= {f.predicate for f in new_facts}
+        self._rules = candidate_rules
+        self._facts = candidate_facts
+        if new_rules:
+            self._rules_fingerprint = rule_set_fingerprint(self._rules)
+            self._graph_cache.clear()
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     @property
     def rules(self) -> tuple[Rule, ...]:
         """The permanent IDB."""
@@ -144,3 +280,22 @@ class Session:
     def facts(self) -> tuple[Atom, ...]:
         """The extensional database."""
         return self._facts
+
+    @property
+    def database(self) -> Database:
+        """The shared EDB instance handed to every query's engine.
+
+        Its ``scans``/``indexed_lookups``/``rows_retrieved`` counters are
+        cumulative across the session; each :class:`QueryResult` reports
+        per-query deltas.
+        """
+        return self._database
+
+    @property
+    def graph_cache(self) -> GraphCache:
+        """The session's rule/goal-graph cache (for inspection and tests)."""
+        return self._graph_cache
+
+    def cache_stats(self) -> CacheStats:
+        """A snapshot of graph-cache hit/miss/eviction counters."""
+        return self._graph_cache.stats()

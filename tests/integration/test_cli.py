@@ -97,6 +97,32 @@ class TestAnalyze:
         assert "anc" in out
 
 
+class TestBenchSession:
+    def test_reports_cache_hits_and_timing(self, program_file, capsys):
+        assert main(["bench-session", program_file, "--repeat", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "hits=4 misses=1" in out
+        assert "first query (cache miss)" in out
+        assert "caching speedup" in out
+
+    def test_no_compare_skips_uncached_run(self, program_file, capsys):
+        assert main(["bench-session", program_file, "--repeat", "3", "--no-compare"]) == 0
+        out = capsys.readouterr().out
+        assert "uncached" not in out
+
+    def test_query_override(self, program_file, capsys):
+        main(["bench-session", program_file, "--repeat", "2", "--no-compare",
+              "--query", "anc(bob, Z)"])
+        out = capsys.readouterr().out
+        assert "anc(bob, Z)" in out
+        assert "answers: 2" in out
+
+    def test_missing_query_errors(self, tmp_path, capsys):
+        path = tmp_path / "noquery.dl"
+        path.write_text("p(X) <- e(X). e(1).")
+        assert main(["bench-session", str(path), "--no-compare"]) == 2
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,100 @@
+"""Incremental growth: Relation.extended and Database.add_facts."""
+
+import pytest
+
+from repro.core.atoms import atom
+from repro.relational.database import Database
+from repro.relational.relation import Relation
+
+
+class TestRelationExtended:
+    def test_adds_rows_without_mutating_original(self):
+        base = Relation(("a0", "a1"), [(1, 2), (3, 4)])
+        grown = base.extended([(5, 6)])
+        assert len(base) == 2
+        assert len(grown) == 3
+        assert (5, 6) in grown and (5, 6) not in base
+        assert grown.columns == base.columns
+
+    def test_duplicate_rows_return_self(self):
+        base = Relation(("a0",), [(1,), (2,)])
+        assert base.extended([(1,), (2,)]) is base
+        assert base.extended([]) is base
+
+    def test_arity_mismatch_raises(self):
+        base = Relation(("a0", "a1"), [(1, 2)])
+        with pytest.raises(ValueError):
+            base.extended([(1, 2, 3)])
+
+    def test_memoized_indexes_carry_forward(self):
+        base = Relation(("a0", "a1"), [(1, "x"), (2, "y")])
+        base.lookup(("a0",), (1,))  # force index construction
+        grown = base.extended([(1, "z"), (3, "w")])
+        # The index came over without a rebuild: it exists before any lookup.
+        assert tuple(grown._indexes) == tuple(base._indexes)
+        assert sorted(grown.lookup(("a0",), (1,))) == [(1, "x"), (1, "z")]
+        assert grown.lookup(("a0",), (3,)) == [(3, "w")]
+        # The original relation's index is untouched by the extension.
+        assert base.lookup(("a0",), (1,)) == [(1, "x")]
+        assert base.lookup(("a0",), (3,)) == []
+
+    def test_multiple_indexes_all_extended(self):
+        base = Relation(("a0", "a1"), [(1, "x"), (2, "y")])
+        base.index(("a0",))
+        base.index(("a1",))
+        grown = base.extended([(3, "x")])
+        assert sorted(grown.lookup(("a1",), ("x",))) == [(1, "x"), (3, "x")]
+        assert grown.lookup(("a0",), (3,)) == [(3, "x")]
+
+    def test_extension_chain(self):
+        rel = Relation(("a0",), [(0,)])
+        rel.index(("a0",))
+        for i in range(1, 50):
+            rel = rel.extended([(i,)])
+        assert len(rel) == 50
+        assert rel.lookup(("a0",), (25,)) == [(25,)]
+
+
+class TestDatabaseAddFacts:
+    def test_new_predicate(self):
+        db = Database.from_facts([atom("p", "a", "b")])
+        db.add_facts([atom("q", "c")])
+        assert "q" in db
+        assert len(db.relation("q")) == 1
+
+    def test_existing_predicate_grows(self):
+        db = Database.from_facts([atom("p", "a", "b")])
+        db.add_facts([atom("p", "b", "c"), atom("p", "c", "d")])
+        assert len(db.relation("p")) == 3
+        assert db.total_rows() == 3
+
+    def test_indexes_survive_growth(self):
+        db = Database.from_facts([atom("p", "a", "b")])
+        assert db.lookup("p", {0: "a"}) == [("a", "b")]
+        relation_before = db.relation("p")
+        db.add_facts([atom("p", "a", "c")])
+        # Grown via Relation.extended: the index was carried, not rebuilt.
+        assert db.relation("p") is not relation_before
+        assert tuple(db.relation("p")._indexes)  # prepopulated
+        assert sorted(db.lookup("p", {0: "a"})) == [("a", "b"), ("a", "c")]
+
+    def test_arity_mismatch_within_batch_is_atomic(self):
+        db = Database.from_facts([atom("p", "a", "b")])
+        with pytest.raises(ValueError):
+            db.add_facts([atom("q", "x"), atom("q", "y", "z")])
+        assert "q" not in db
+        assert db.total_rows() == 1
+
+    def test_arity_mismatch_with_existing_is_atomic(self):
+        db = Database.from_facts([atom("p", "a", "b")])
+        with pytest.raises(ValueError):
+            db.add_facts([atom("r", "x"), atom("p", "only-one")])
+        assert "r" not in db  # the valid group was not applied either
+        assert len(db.relation("p")) == 1
+
+    def test_counters_snapshot(self):
+        db = Database.from_facts([atom("p", "a", "b")])
+        assert db.counters() == (0, 0, 0)
+        db.scan("p")
+        db.lookup("p", {0: "a"})
+        assert db.counters() == (1, 1, 2)

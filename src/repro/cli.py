@@ -57,18 +57,62 @@ def _load_program(path: str, query: Optional[str], data: Optional[str] = None) -
 
 def _cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args.file, args.query, args.data)
-    result = evaluate(
-        program,
-        sip_factory=_SIPS[args.sip],
-        seed=args.seed,
-        coalesce=args.coalesce,
-        package_requests=args.package,
-    )
-    for row in sorted(result.answers, key=repr):
+    if args.runtime == "simulator":
+        result = evaluate(
+            program,
+            sip_factory=_SIPS[args.sip],
+            seed=args.seed,
+            coalesce=args.coalesce,
+            package_requests=args.package,
+        )
+        answers = result.answers
+    elif args.runtime == "asyncio":
+        from .runtime import evaluate_async
+
+        result = evaluate_async(
+            program,
+            sip_factory=_SIPS[args.sip],
+            coalesce=args.coalesce,
+            package_requests=args.package,
+        )
+        answers = result.answers
+    elif args.runtime == "mp":
+        from .runtime import evaluate_multiprocessing
+
+        result = evaluate_multiprocessing(
+            program,
+            sip_factory=_SIPS[args.sip],
+            coalesce=args.coalesce,
+            package_requests=args.package,
+        )
+        answers = result.answers
+    else:  # pool
+        from .runtime import evaluate_pool
+
+        result = evaluate_pool(
+            program,
+            sip_factory=_SIPS[args.sip],
+            workers=args.workers,
+            batch_size=args.batch_size,
+            coalesce=args.coalesce,
+            package_requests=args.package,
+        )
+        answers = result.answers
+    for row in sorted(answers, key=repr):
         print(", ".join(str(v) for v in row) if row else "true")
     if args.stats:
         print("--", file=sys.stderr)
-        print(result.summary(), file=sys.stderr)
+        if args.runtime == "simulator":
+            print(result.summary(), file=sys.stderr)
+        elif args.runtime == "pool":
+            print(
+                f"workers: {result.workers}; cross-shard messages: "
+                f"{result.cross_messages} in {result.cross_batches} batches "
+                f"({result.batching_factor:.1f} msgs/batch)",
+                file=sys.stderr,
+            )
+        elif args.runtime == "mp":
+            print(f"processes: {result.processes}", file=sys.stderr)
     return 0
 
 
@@ -197,6 +241,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_p = sub.add_parser("run", help="evaluate the query and print the answers")
     common(run_p)
     run_p.add_argument("--stats", action="store_true", help="print run statistics to stderr")
+    run_p.add_argument(
+        "--runtime",
+        choices=["simulator", "asyncio", "mp", "pool"],
+        default="simulator",
+        help="execution substrate: deterministic simulator (default), asyncio "
+        "tasks, one OS process per node (mp), or pooled shard workers with "
+        "batched channels (pool)",
+    )
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool runtime: number of shard worker processes (default: cpu count)",
+    )
+    run_p.add_argument(
+        "--batch-size",
+        type=int,
+        default=64,
+        help="pool runtime: messages per cross-shard batch before a forced flush",
+    )
     run_p.set_defaults(func=_cmd_run)
 
     graph_p = sub.add_parser("graph", help="print the information-passing rule/goal graph")

@@ -39,7 +39,37 @@ from .nodes import (
 from .scheduler import Scheduler, SchedulerStats
 from .termination import TerminationProtocol
 
-__all__ = ["QueryResult", "MessagePassingEngine", "evaluate"]
+__all__ = ["QueryResult", "MessagePassingEngine", "evaluate", "assign_shards"]
+
+
+def assign_shards(engine: "MessagePassingEngine", n_shards: int) -> dict[int, int]:
+    """Node -> shard placement for the pooled runtime.
+
+    Placement policy:
+
+    * every strong component stays whole on one shard (round-robin over
+      components, largest first), so the Fig-2 termination waves — and the
+      dense intra-component tuple traffic — never cross a process boundary;
+    * EDB replicas are spread by replica index, one per shard when counts
+      match, so the hash-routed semijoin fan-out lands on distinct workers;
+    * remaining acyclic nodes round-robin; the driver pins to shard 0.
+    """
+    n_shards = max(1, n_shards)
+    assignment: dict[int, int] = {DRIVER_ID: 0}
+    components = sorted(
+        engine.graph.strong_components(), key=lambda info: (-len(info.members), info.leader)
+    )
+    for index, info in enumerate(components):
+        shard = index % n_shards
+        for member in info.members:
+            assignment[member] = shard
+    for replica_ids in engine.edb_replicas.values():
+        for k, replica_id in enumerate(replica_ids):
+            assignment[replica_id] = k % n_shards
+    rest = sorted(nid for nid in engine.processes if nid not in assignment)
+    for index, node_id in enumerate(rest):
+        assignment[node_id] = index % n_shards
+    return assignment
 
 
 @dataclass
@@ -107,7 +137,11 @@ class QueryResult:
         }
         rows = []
         for node_id, received in self.stats.by_receiver.items():
-            label = label_by_id.get(node_id, "driver")
+            if node_id == DRIVER_ID:
+                label = "driver"
+            else:
+                # Ids beyond the graph belong to EDB replicas (edb_shards > 1).
+                label = label_by_id.get(node_id, f"edb-replica:{node_id}")
             rows.append((received, self.tuples_by_node.get(label, 0), label))
         rows.sort(reverse=True)
         width = max((len(r[2]) for r in rows[:top]), default=4)
@@ -141,6 +175,13 @@ class MessagePassingEngine:
         A prebuilt rule/goal graph to reuse (e.g. from a session cache);
         construction is skipped and ``sip_factory``/``coalesce`` are
         ignored for graph-building purposes.  Treated as read-only.
+    edb_shards:
+        When > 1, every EDB leaf with "d" positions is partitioned into that
+        many replica processes, each serving the hash partition of the
+        bindings routed to it (``repro.network.nodes.route_hash``).  Each
+        consumer keeps one fully-accounted stream per replica, so the
+        end-message semantics is untouched; the pooled runtime places the
+        replicas on distinct shards so semijoin fan-out parallelizes.
     """
 
     def __init__(
@@ -159,6 +200,7 @@ class MessagePassingEngine:
         database: Optional[Database] = None,
         trivial_relay: bool = True,
         graph: Optional[RuleGoalGraph] = None,
+        edb_shards: int = 1,
     ) -> None:
         self.program = program
         # A prebuilt (possibly session-cached) graph skips reconstruction;
@@ -168,6 +210,10 @@ class MessagePassingEngine:
             program, sip_factory, query_goal=query_goal, coalesce=coalesce
         )
         self._package_requests = package_requests
+        self._edb_shards = max(1, edb_shards)
+        #: original EDB node id -> replica node ids (original first); empty
+        #: unless ``edb_shards > 1``.
+        self.edb_replicas: dict[int, tuple[int, ...]] = {}
         self._provenance = provenance
         self._on_answer = on_answer
         self._trivial_relay = trivial_relay
@@ -263,6 +309,42 @@ class MessagePassingEngine:
         self.processes[graph.root].add_consumer(
             DRIVER_ID, wants_all(root_goal.adorned)
         )
+
+        # --- EDB leaf partitioning (pooled-runtime sharding) -------------
+        # Each replica is a full EdbLeafProcess over the (shared) database;
+        # consumers open one stream per replica and route each "d" binding
+        # to the replica owning its hash partition.  Per-replica sequence
+        # numbering and end messages keep the Section 3.1/3.2 accounting
+        # exact — a replica ends precisely the requests it received.
+        if self._edb_shards > 1:
+            next_id = max(self.processes) + 1
+            for goal in graph.goal_nodes.values():
+                if goal.kind != "edb" or not goal.adorned.dynamic_positions:
+                    continue  # nothing to partition without "d" fan-out
+                original = self.processes[goal.id]
+                consumer_streams = list(original.consumers.items())
+                replica_ids = [goal.id]
+                for _ in range(self._edb_shards - 1):
+                    replica_id = next_id
+                    next_id += 1
+                    replica = EdbLeafProcess(replica_id, goal.adorned, self.database)
+                    self.processes[replica_id] = replica
+                    replica_ids.append(replica_id)
+                    for consumer_id, stream in consumer_streams:
+                        replica.add_consumer(consumer_id, stream.wants_all)
+                        self.processes[consumer_id].add_feeder(
+                            replica_id, is_feeder=True
+                        )
+                route = tuple(replica_ids)
+                self.edb_replicas[goal.id] = route
+                for consumer_id, _ in consumer_streams:
+                    consumer = self.processes[consumer_id]
+                    consumer.replica_route[goal.id] = route
+                    if isinstance(consumer, RuleNodeProcess):
+                        for replica_id in replica_ids[1:]:
+                            consumer.child_stage[replica_id] = consumer.child_stage[
+                                goal.id
+                            ]
 
         # --- termination protocol per strong component -----------------
         for info in graph.strong_components():

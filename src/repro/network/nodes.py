@@ -22,6 +22,7 @@ No process reads another's state; all interaction goes through
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
 
@@ -61,6 +62,16 @@ __all__ = [
 
 #: Node id of the query driver (the environment posing the query).
 DRIVER_ID = -1
+
+
+def route_hash(binding: tuple) -> int:
+    """A deterministic hash for partitioning "d" bindings across replicas.
+
+    ``hash()`` is salted per interpreter (PYTHONHASHSEED), which forked
+    workers happen to share — but a seed-independent hash keeps replica
+    routing identical across runs, so sharded executions are reproducible.
+    """
+    return zlib.crc32(repr(binding).encode("utf-8"))
 
 
 @dataclass
@@ -127,6 +138,12 @@ class NodeProcess:
         # during one handle() and flush them as one message each.
         self.package_requests = False
         self._request_buffer: dict[int, list[tuple]] = {}
+        # Partitioned producers: logical producer id -> replica node ids.  A
+        # tuple request is routed to replicas[route_hash(binding) % k], so a
+        # sharded EDB leaf's semijoin fan-out spreads across replicas while
+        # each binding deterministically reaches exactly one of them (stream
+        # sequence numbers and per-stream dedup stay per-replica and exact).
+        self.replica_route: dict[int, tuple[int, ...]] = {}
         # Provenance: when on, processes record each tuple's first derivation
         # so proof trees can be reassembled after the run.
         self.record_provenance = False
@@ -253,8 +270,12 @@ class NodeProcess:
 
         With packaging on, the request is buffered and flushed (as part of
         one :class:`PackagedTupleRequest` per producer) when the current
-        message finishes processing.
+        message finishes processing.  A producer with registered replicas is
+        resolved to the replica owning the binding's hash partition first.
         """
+        replicas = self.replica_route.get(producer_id)
+        if replicas is not None:
+            producer_id = replicas[route_hash(binding) % len(replicas)]
         feeder = self.feeders[producer_id]
         if binding in feeder.sent_bindings:
             return
@@ -544,6 +565,7 @@ class EdbLeafProcess(NodeProcess):
             if isinstance(term, Variable):
                 groups.setdefault(term, []).append(i)
         self.equal_groups = [tuple(v) for v in groups.values() if len(v) > 1]
+        self._relation_size: Optional[int] = None  # lazy; EDB is fixed per run
 
     # ------------------------------------------------------------------
     def _matches(self, row: tuple) -> bool:
@@ -605,7 +627,17 @@ class EdbLeafProcess(NodeProcess):
         """
         stream = self.consumers[message.sender]
         stream.last_seq_received = max(stream.last_seq_received, message.seq)
-        if len(message.bindings) <= 1 or not self.shape.d_positions:
+        if self._relation_size is None:
+            self._relation_size = len(self.database.relation(self.adorned.predicate))
+        if (
+            len(message.bindings) <= 1
+            or not self.shape.d_positions
+            # Cost choice: one scan beats k indexed lookups only when the
+            # package is large relative to the relation; against a big EDB a
+            # small package (e.g. a transport batch coalesced by the pooled
+            # runtime) is served by its indexes.
+            or 4 * len(message.bindings) < self._relation_size
+        ):
             for binding in message.bindings:
                 self.serve_binding(stream, binding, network)
             return
@@ -794,13 +826,16 @@ class RuleNodeProcess(NodeProcess):
             self.request_started = True
             opened: set[int] = set()
             for position, child_id in enumerate(self.child_ids):
-                if child_id in opened:
-                    continue  # shared node serving several subgoals: one stream
-                opened.add(child_id)
-                feeder = self.feeders[child_id]
-                feeder.next_seq()
                 adorned = self.adorned_body[position]
-                network.send(RelationRequest(self.node_id, child_id, adorned.adornment))
+                # A partitioned child opens one stream per replica; each
+                # replica then serves the binding partition routed to it.
+                for target in self.replica_route.get(child_id, (child_id,)):
+                    if target in opened:
+                        continue  # shared node serving several subgoals: one stream
+                    opened.add(target)
+                    feeder = self.feeders[target]
+                    feeder.next_seq()
+                    network.send(RelationRequest(self.node_id, target, adorned.adornment))
         if not self.parent_shape.d_positions:
             self._add_stage0_env((), network)
 

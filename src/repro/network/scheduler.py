@@ -175,9 +175,17 @@ class Scheduler:
         return self.stats
 
     def step(self) -> Optional[Message]:
-        """Deliver a single message (for fine-grained tests); None if drained."""
+        """Deliver a single message (for fine-grained tests); None if drained.
+
+        Enforces the same ``max_messages`` budget as :meth:`run` — a
+        step-driven loop must hit the bug guard too, not run unbounded.
+        """
         if not self._heap:
             return None
+        if self.stats.delivered_total >= self._max_messages:
+            raise MessageBudgetExceeded(
+                f"exceeded {self._max_messages} delivered messages"
+            )
         deliver_at, _, message = heapq.heappop(self._heap)
         self._now = max(self._now, deliver_at)
         self._pending_per_node[message.receiver] -= 1

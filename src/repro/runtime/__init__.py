@@ -1,4 +1,4 @@
-"""Concurrent runtimes for the message network (asyncio, multiprocessing)."""
+"""Concurrent runtimes for the message network (asyncio, multiprocessing, pool)."""
 
 from .asyncio_engine import AsyncNetwork, AsyncQueryResult, evaluate_async, run_async
 from .multiprocessing_engine import (
@@ -6,8 +6,10 @@ from .multiprocessing_engine import (
     MpQueryResult,
     evaluate_multiprocessing,
 )
+from .pool_engine import PoolQueryResult, ShardRouter, evaluate_pool
 
 __all__ = [
     "AsyncNetwork", "AsyncQueryResult", "evaluate_async", "run_async",
     "MpNetwork", "MpQueryResult", "evaluate_multiprocessing",
+    "PoolQueryResult", "ShardRouter", "evaluate_pool",
 ]

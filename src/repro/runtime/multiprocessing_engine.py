@@ -50,6 +50,8 @@ class MpQueryResult:
     answers: set[tuple]
     completed: bool
     processes: int
+    driver_last_seq_sent: int = 0  # driver root-stream accounting
+    driver_last_upto_ended: int = 0
 
 
 class MpNetwork:
@@ -80,8 +82,13 @@ def _worker_loop(node_id: int, network: MpNetwork, engine: MessagePassingEngine,
     """Run one node process until the stop sentinel arrives."""
     process = engine.processes[node_id]
     if node_id == DRIVER_ID:
+        root_stream = process.feeders[engine.graph.root]
         process.on_complete = lambda: result_queue.put(
-            ("done", sorted(process.answers))
+            (
+                "done",
+                sorted(process.answers),
+                (root_stream.last_seq_sent, root_stream.last_upto_ended),
+            )
         )
     inbox = network.queues[node_id]
     while True:
@@ -97,6 +104,8 @@ def evaluate_multiprocessing(
     sip_factory: SipFactory = greedy_sip,
     query_goal: Optional[AdornedAtom] = None,
     timeout: float = 120.0,
+    coalesce: bool = False,
+    package_requests: bool = False,
 ) -> MpQueryResult:
     """Evaluate the query with one OS process per graph node.
 
@@ -109,10 +118,23 @@ def evaluate_multiprocessing(
         sip_factory=sip_factory,
         query_goal=query_goal,
         validate_protocol=False,  # the oracle belongs to the simulator
+        coalesce=coalesce,
+        package_requests=package_requests,
     )
     manager = context.Manager()
     network = MpNetwork(manager, engine.processes.keys())
     result_queue = manager.Queue()
+
+    # Pose the query BEFORE forking.  ``driver.start`` bumps the root feeder
+    # stream's sequence number *and* sends the opening relation request; the
+    # bump must happen while the engine is still the pre-fork snapshot every
+    # worker will inherit.  (Bumping after ``worker.start()`` mutates only
+    # the parent's copy — the forked driver would then believe it never
+    # asked for anything, accept the first end message at upto=0 as fully
+    # caught up, and its stream accounting would disagree with the
+    # simulator's.)  The request itself lands in a manager queue, which is
+    # shared, so posing early loses nothing.
+    engine.driver.start(network)
 
     workers = [
         context.Process(
@@ -125,16 +147,8 @@ def evaluate_multiprocessing(
     for worker in workers:
         worker.start()
 
-    # Pose the query: the opening relation request to the root goal node.
-    engine.driver.feeders[engine.graph.root].next_seq()
-    from ..network.messages import RelationRequest
-
-    network.send(
-        RelationRequest(DRIVER_ID, engine.graph.root, engine.driver.adornment)
-    )
-
     try:
-        kind, answers = result_queue.get(timeout=timeout)
+        kind, answers, driver_accounting = result_queue.get(timeout=timeout)
     except queue_module.Empty as exc:
         raise TimeoutError(
             f"distributed evaluation did not complete within {timeout}s"
@@ -153,4 +167,6 @@ def evaluate_multiprocessing(
         answers={tuple(row) for row in answers},
         completed=True,
         processes=len(workers),
+        driver_last_seq_sent=driver_accounting[0],
+        driver_last_upto_ended=driver_accounting[1],
     )

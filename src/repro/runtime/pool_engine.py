@@ -1,0 +1,390 @@
+"""A pooled multiprocessing runtime: N shard workers over batched channels.
+
+Where :mod:`repro.runtime.multiprocessing_engine` demonstrates the paper's
+architecture literally — one OS process per rule/goal node, one managed queue
+per process, one synchronous RPC per message — this runtime is the scaling
+path: a fixed pool of worker processes (default ``os.cpu_count()``), each
+hosting a *shard* of node processes, exchanging :class:`MessageBatch`
+envelopes so the pickle + queue cost of IPC amortizes over whole bursts of
+tuples instead of being paid per tuple.
+
+Three ideas carry the design:
+
+* **Sharding.**  ``repro.network.engine.assign_shards`` keeps every strong
+  component whole on one shard (so termination waves and the dense recursive
+  tuple traffic are intra-process, delivered through a plain deque), spreads
+  EDB leaf replicas across shards (the engine's ``edb_shards`` partitioning:
+  each replica owns a hash partition of the "d" bindings, so semijoin
+  fan-out parallelizes), and round-robins the rest.
+
+* **Batched channels.**  Cross-shard messages accumulate in a per-destination
+  buffer and travel as one :class:`MessageBatch` per queue ``put`` — flushed
+  when the buffer reaches ``batch_size`` or when the worker goes idle.  On
+  arrival, adjacent same-channel tuple requests are coalesced into
+  :class:`~repro.network.messages.PackagedTupleRequest` messages (the
+  footnote-2 machinery every producer already serves), so a fan-out burst is
+  also *handled* in one step, not just transported in one.
+
+* **Eager visibility.**  Section 3.2's ``empty_queues()`` assumes a queued
+  message is visible the instant it is sent.  Batching must not weaken that:
+  a pair of single-writer shared counters per (origin, destination) shard
+  pair — ``sent`` bumped by the sender the moment a message enters a buffer,
+  ``received`` bumped by the receiver when the batch is ingested — makes
+  ``pending_for`` a (conservative, shard-granular) upper bound that is
+  nonzero from the instant a message exists anywhere outside the receiving
+  worker.  A queued *batch* therefore keeps ``empty_queues()`` false exactly
+  like a queued tuple, which is all the Section 3.2 termination argument
+  needs (see docs/architecture.md).
+
+Cross-component completion never relies on queue visibility at all: feeder
+streams are per-replica and end-message accounting is exact, so the only
+traffic the counters guard is the window between a send and the ingest on
+the far side.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.sharedctypes import RawArray
+from typing import Optional
+
+from ..core.adornment import AdornedAtom
+from ..core.program import Program
+from ..core.rulegoal import SipFactory
+from ..core.sips import greedy_sip
+from ..network.engine import MessagePassingEngine, assign_shards
+from ..network.messages import (
+    COMPUTATION_TYPES,
+    Message,
+    MessageBatch,
+    coalesce_tuple_requests,
+)
+from ..network.nodes import DRIVER_ID
+
+__all__ = ["PoolQueryResult", "ShardRouter", "evaluate_pool"]
+
+#: Sentinel placed on every shard inbox to stop the worker loops.
+_STOP = "__stop__"
+
+#: Consecutive protocol-only deliveries after which a worker briefly polls
+#: its OS inbox instead of spinning: a leader whose members wait on remote
+#: (cross-shard) work re-probes on every negative wave, and without remote
+#: input those waves are pure local CPU burn.  The poll yields the core to
+#: the worker actually producing the awaited messages; liveness is
+#: unaffected because the poll times out and the spin resumes.
+_PROTOCOL_SPIN_LIMIT = 64
+_PROTOCOL_SPIN_POLL = 0.001  # seconds
+
+
+@dataclass
+class PoolQueryResult:
+    """Answers plus transport accounting from a pooled run."""
+
+    answers: set[tuple]
+    completed: bool
+    workers: int
+    cross_messages: int  # messages that crossed a shard boundary
+    cross_batches: int  # queue puts used to carry them
+    driver_last_seq_sent: int  # driver root-stream accounting (parity checks)
+    driver_last_upto_ended: int
+
+    @property
+    def batching_factor(self) -> float:
+        """Average messages per queue operation (the IPC amortization)."""
+        if not self.cross_batches:
+            return 0.0
+        return self.cross_messages / self.cross_batches
+
+
+class ShardRouter:
+    """The channel fabric as seen by the node processes of one shard worker.
+
+    Implements the two operations node logic requires of a network — ``send``
+    and ``pending_for`` — over a hybrid fabric: intra-shard messages land on
+    a local deque (exact per-node pending counts), cross-shard messages are
+    buffered per destination and shipped as :class:`MessageBatch` envelopes.
+
+    ``sent``/``received``/``batches`` are flat ``n_shards × n_shards``
+    shared arrays indexed ``origin * n_shards + destination``.  Every slot
+    has exactly one writer — ``sent``/``batches`` the origin worker,
+    ``received`` the destination worker — so plain (aligned) increments need
+    no locks; readers may observe a momentarily stale sum, which only ever
+    *overstates* pending work and therefore only delays, never falsifies, a
+    termination conclusion.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        shard_of: dict[int, int],
+        inboxes: list,
+        sent,
+        received,
+        batches,
+        n_shards: int,
+        batch_size: int,
+    ) -> None:
+        self.shard_id = shard_id
+        self.shard_of = shard_of
+        self.inboxes = inboxes
+        self.sent = sent
+        self.received = received
+        self.batches = batches
+        self.n_shards = n_shards
+        self.batch_size = max(1, batch_size)
+        self.local: deque[Message] = deque()
+        self.local_pending: dict[int, int] = {}
+        self.buffers: dict[int, list[Message]] = {
+            dest: [] for dest in range(n_shards) if dest != shard_id
+        }
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Deliver locally or buffer for a batched cross-shard ship."""
+        dest = self.shard_of[message.receiver]
+        if dest == self.shard_id:
+            self.local.append(message)
+            self.local_pending[message.receiver] = (
+                self.local_pending.get(message.receiver, 0) + 1
+            )
+            return
+        # Visibility precedes transport: the receiving shard's
+        # ``pending_for`` must count this message from this instant on.
+        self.sent[self.shard_id * self.n_shards + dest] += 1
+        buffer = self.buffers[dest]
+        buffer.append(message)
+        if len(buffer) >= self.batch_size:
+            self._flush_one(dest)
+
+    def _flush_one(self, dest: int) -> None:
+        buffer = self.buffers[dest]
+        if not buffer:
+            return
+        self.buffers[dest] = []
+        self.batches[self.shard_id * self.n_shards + dest] += 1
+        self.inboxes[dest].put(MessageBatch(self.shard_id, tuple(buffer)))
+
+    def flush(self) -> None:
+        """Ship every buffered batch (called when the worker goes idle)."""
+        for dest in self.buffers:
+            self._flush_one(dest)
+
+    def ingest(self, batch: MessageBatch) -> None:
+        """Unpack an arrived batch onto the local deque (FIFO preserved)."""
+        self.received[batch.origin * self.n_shards + self.shard_id] += len(
+            batch.messages
+        )
+        for message in coalesce_tuple_requests(batch.messages):
+            self.local.append(message)
+            self.local_pending[message.receiver] = (
+                self.local_pending.get(message.receiver, 0) + 1
+            )
+
+    # ------------------------------------------------------------------
+    def pending_for(self, node_id: int) -> int:
+        """Inbox length for ``empty_queues()``: exact locally, conservative
+        (shard-granular) for traffic still in transit toward this shard."""
+        pending = self.local_pending.get(node_id, 0)
+        column = self.shard_id
+        n = self.n_shards
+        for origin in range(n):
+            if origin == column:
+                continue
+            pending += self.sent[origin * n + column] - self.received[origin * n + column]
+        return pending
+
+
+def _shard_worker(
+    shard_id: int,
+    engine: MessagePassingEngine,
+    shard_of: dict[int, int],
+    inboxes: list,
+    sent,
+    received,
+    batches,
+    n_shards: int,
+    batch_size: int,
+    result_queue,
+) -> None:
+    """Run one shard's node processes until the stop sentinel arrives."""
+    router = ShardRouter(
+        shard_id, shard_of, inboxes, sent, received, batches, n_shards, batch_size
+    )
+    processes = engine.processes
+    hosted = [
+        process
+        for node_id, process in processes.items()
+        if shard_of[node_id] == shard_id
+    ]
+    if shard_of[DRIVER_ID] == shard_id:
+        driver = engine.driver
+        root_stream = driver.feeders[engine.graph.root]
+
+        def on_complete() -> None:
+            result_queue.put(
+                (
+                    "done",
+                    sorted(driver.answers),
+                    (root_stream.last_seq_sent, root_stream.last_upto_ended),
+                )
+            )
+
+        driver.on_complete = on_complete
+        # Pose the query from inside the worker that owns the driver — the
+        # feeder sequence bump and the opening relation request happen in
+        # the same address space, so no state desyncs across the fork.
+        driver.start(router)  # type: ignore[arg-type]
+
+    inbox = inboxes[shard_id]
+    protocol_spin = 0
+    while True:
+        # 1) Drain the OS inbox without blocking, so arriving work is
+        #    interleaved with local delivery and pending counts stay fresh.
+        while True:
+            try:
+                item = inbox.get_nowait()
+            except queue_module.Empty:
+                break
+            if item == _STOP:
+                return
+            router.ingest(item)
+
+        # 2) Deliver one local message.
+        if router.local:
+            if protocol_spin >= _PROTOCOL_SPIN_LIMIT:
+                protocol_spin = 0
+                router.flush()
+                try:
+                    item = inbox.get(timeout=_PROTOCOL_SPIN_POLL)
+                except queue_module.Empty:
+                    item = None
+                if item is not None:
+                    if item == _STOP:
+                        return
+                    router.ingest(item)
+            message = router.local.popleft()
+            router.local_pending[message.receiver] -= 1
+            protocol_spin = (
+                0 if isinstance(message, COMPUTATION_TYPES) else protocol_spin + 1
+            )
+            process = processes[message.receiver]
+            process.handle(message, router)  # type: ignore[arg-type]
+            process.on_idle_check(router)  # type: ignore[arg-type]
+            continue
+
+        # 3) Idle: flush request packaging, give every hosted node an idle
+        #    check (in the simulator each delivery checks only its receiver,
+        #    and the receiver of this shard's *last* delivery may not be the
+        #    leader whose probe is now due), ship buffered batches, then
+        #    block for remote input.
+        for process in hosted:
+            if process._request_buffer:
+                process.flush_requests(router)  # type: ignore[arg-type]
+        for process in hosted:
+            process.on_idle_check(router)  # type: ignore[arg-type]
+        router.flush()
+        if router.local:
+            continue
+        item = inbox.get()
+        if item == _STOP:
+            return
+        router.ingest(item)
+
+
+def evaluate_pool(
+    program: Program,
+    sip_factory: SipFactory = greedy_sip,
+    query_goal: Optional[AdornedAtom] = None,
+    workers: Optional[int] = None,
+    batch_size: int = 64,
+    timeout: float = 120.0,
+    coalesce: bool = False,
+    package_requests: bool = False,
+    edb_shards: Optional[int] = None,
+) -> PoolQueryResult:
+    """Evaluate the query on a pool of shard workers with batched channels.
+
+    ``workers`` defaults to ``os.cpu_count()``; ``edb_shards`` (how many
+    hash-partition replicas each "d"-bound EDB leaf gets) defaults to
+    ``workers``.  Raises ``TimeoutError`` if the distributed computation
+    does not deliver its end message within ``timeout`` seconds.
+    """
+    n_shards = workers if workers is not None else (os.cpu_count() or 1)
+    n_shards = max(1, n_shards)
+    replicas = edb_shards if edb_shards is not None else n_shards
+
+    context = mp.get_context("fork")
+    engine = MessagePassingEngine(
+        program,
+        sip_factory=sip_factory,
+        query_goal=query_goal,
+        validate_protocol=False,  # the oracle belongs to the simulator
+        coalesce=coalesce,
+        package_requests=package_requests,
+        edb_shards=replicas,
+    )
+    shard_of = assign_shards(engine, n_shards)
+
+    inboxes = [context.Queue() for _ in range(n_shards)]
+    result_queue = context.Queue()
+    # Single-writer transport counters (see ShardRouter): allocated before
+    # the fork so every worker maps the same shared memory.
+    sent = RawArray("q", n_shards * n_shards)
+    received = RawArray("q", n_shards * n_shards)
+    batches = RawArray("q", n_shards * n_shards)
+
+    workers_list = [
+        context.Process(
+            target=_shard_worker,
+            args=(
+                shard_id,
+                engine,
+                shard_of,
+                inboxes,
+                sent,
+                received,
+                batches,
+                n_shards,
+                batch_size,
+                result_queue,
+            ),
+            daemon=True,
+        )
+        for shard_id in range(n_shards)
+    ]
+    for worker in workers_list:
+        worker.start()
+
+    try:
+        kind, answers, driver_accounting = result_queue.get(timeout=timeout)
+    except queue_module.Empty as exc:
+        raise TimeoutError(
+            f"pooled evaluation did not complete within {timeout}s"
+        ) from exc
+    finally:
+        for inbox in inboxes:
+            inbox.put(_STOP)
+        for worker in workers_list:
+            worker.join(timeout=5)
+            if worker.is_alive():  # pragma: no cover - cleanup path
+                worker.terminate()
+        for inbox in inboxes:
+            inbox.close()
+            inbox.cancel_join_thread()
+
+    assert kind == "done"
+    total_sent = sum(sent)
+    total_batches = sum(batches)
+    return PoolQueryResult(
+        answers={tuple(row) for row in answers},
+        completed=True,
+        workers=n_shards,
+        cross_messages=total_sent,
+        cross_batches=total_batches,
+        driver_last_seq_sent=driver_accounting[0],
+        driver_last_upto_ended=driver_accounting[1],
+    )

@@ -1,0 +1,152 @@
+"""Runtime parity: every runtime, every workload, every knob — same answers.
+
+The four runtimes (deterministic simulator, asyncio tasks, one-OS-process-
+per-node, pooled shard workers with batched channels) execute byte-for-byte
+the same node logic over different channel fabrics.  This matrix pins the
+only property that justifies having four of them: the fabric is invisible —
+for every workload shape in :mod:`repro.workloads.programs` and every
+combination of the coalesce / package-requests knobs and the pool batch
+size, all runtimes must produce exactly the simulator's (= the naive
+oracle's) answer set.
+
+Each test arms a ``SIGALRM`` watchdog: a hung distributed run must fail the
+test, not the whole suite (the process runtimes also carry their own
+``timeout=`` as a second line of defense).
+"""
+
+import signal
+import sys
+
+import pytest
+
+from repro.baselines import naive
+from repro.network.engine import evaluate
+from repro.runtime import evaluate_async, evaluate_multiprocessing, evaluate_pool
+from repro.workloads import (
+    ancestor_program,
+    bill_of_materials_program,
+    bom_tables,
+    chain_edges,
+    cycle_edges,
+    left_recursive_tc_program,
+    mutual_recursion_program,
+    nonlinear_tc_program,
+    nonrecursive_join_program,
+    pair_table,
+    program_p1,
+    random_digraph_edges,
+    same_generation_program,
+    tree_parent_edges,
+)
+
+from tests.helpers import with_tables
+
+pytestmark = pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"),
+    reason="process runtimes need the fork start method",
+)
+
+#: Every program factory in repro.workloads.programs, with data small enough
+#: that the slowest runtime (per-node mp: ~a dozen OS processes + a Manager
+#: broker per run) stays well under the watchdog.
+CASES = {
+    "p1": lambda: with_tables(program_p1(), {
+        "r": [("a", 1), (1, 2), (2, 3)],
+        "q": [(1, 2), (2, 3), (3, 1)],
+    }),
+    "ancestor": lambda: with_tables(
+        ancestor_program(0), {"par": chain_edges(8)}
+    ),
+    "tc-left-rec": lambda: with_tables(
+        left_recursive_tc_program(0), {"e": chain_edges(8)}
+    ),
+    "tc-nonlinear": lambda: with_tables(
+        nonlinear_tc_program(0), {"e": cycle_edges(6)}
+    ),
+    "tc-random": lambda: with_tables(
+        nonlinear_tc_program(random_digraph_edges(8, 16, seed=13)[0][0]),
+        {"e": random_digraph_edges(8, 16, seed=13)},
+    ),
+    "same-gen": lambda: with_tables(
+        same_generation_program(4), {"par": tree_parent_edges(3, 2)}
+    ),
+    "mutual": lambda: with_tables(
+        mutual_recursion_program(0), {"e": chain_edges(7)}
+    ),
+    "nonrec-join": lambda: with_tables(nonrecursive_join_program(), {
+        "a": pair_table(5, 5, 10, seed=1),
+        "b": pair_table(5, 5, 10, seed=2),
+        "c": pair_table(5, 5, 10, seed=3),
+    }),
+    "bom": lambda: with_tables(
+        bill_of_materials_program(), bom_tables(4, 3, 5, seed=2)
+    ),
+}
+
+KNOBS = [
+    pytest.param(False, False, id="plain"),
+    pytest.param(True, False, id="coalesce"),
+    pytest.param(False, True, id="package"),
+    pytest.param(True, True, id="coalesce+package"),
+]
+
+BATCH_SIZES = (1, 64)
+
+
+@pytest.fixture(autouse=True)
+def watchdog():
+    """Per-test SIGALRM timeout (the environment has no pytest-timeout)."""
+    def on_alarm(signum, frame):
+        raise TimeoutError("parity test exceeded its per-test timeout")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.alarm(90)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.fixture(scope="module")
+def oracles():
+    """The naive minimum-model answers, computed once per workload."""
+    return {name: naive.goal_answers(make()) for name, make in CASES.items()}
+
+
+@pytest.mark.parametrize("coalesce,package", KNOBS)
+@pytest.mark.parametrize("name", sorted(CASES))
+class TestRuntimeParity:
+    def test_simulator_and_asyncio(self, name, coalesce, package, oracles):
+        program = CASES[name]()
+        expected = oracles[name]
+        sim = evaluate(
+            program, coalesce=coalesce, package_requests=package
+        )
+        assert sim.answers == expected, f"{name}: simulator diverged"
+        run = evaluate_async(
+            program, coalesce=coalesce, package_requests=package, timeout=60
+        )
+        assert run.answers == expected, f"{name}: asyncio diverged"
+
+    def test_multiprocessing(self, name, coalesce, package, oracles):
+        program = CASES[name]()
+        run = evaluate_multiprocessing(
+            program, coalesce=coalesce, package_requests=package, timeout=60
+        )
+        assert run.answers == oracles[name], f"{name}: per-node mp diverged"
+
+    @pytest.mark.parametrize("batch_size", BATCH_SIZES)
+    def test_pool(self, name, coalesce, package, batch_size, oracles):
+        program = CASES[name]()
+        run = evaluate_pool(
+            program,
+            workers=2,
+            batch_size=batch_size,
+            coalesce=coalesce,
+            package_requests=package,
+            timeout=60,
+        )
+        assert run.answers == oracles[name], (
+            f"{name}: pool diverged (batch_size={batch_size})"
+        )

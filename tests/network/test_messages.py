@@ -9,9 +9,12 @@ from repro.network.messages import (
     EndNegative,
     EndNudge,
     EndRequest,
+    MessageBatch,
+    PackagedTupleRequest,
     RelationRequest,
     TupleMessage,
     TupleRequest,
+    coalesce_tuple_requests,
 )
 
 
@@ -60,3 +63,74 @@ class TestTypePartitions:
     def test_protocol_round_ids(self):
         for cls in (EndRequest, EndNegative, EndConfirmed):
             assert cls(0, 1, 9).round_id == 9
+
+    def test_batch_is_transport_only(self):
+        # The envelope is invisible to node logic; it must never count as a
+        # computation or protocol message.
+        assert MessageBatch not in COMPUTATION_TYPES
+        assert MessageBatch not in PROTOCOL_TYPES
+
+
+class TestMessageBatch:
+    def test_len_and_origin(self):
+        batch = MessageBatch(2, (TupleMessage(0, 1, (1,)), EndMessage(0, 1, 3)))
+        assert len(batch) == 2 and batch.origin == 2
+
+
+class TestCoalesceTupleRequests:
+    def test_adjacent_same_channel_requests_become_one_package(self):
+        msgs = [
+            TupleRequest(0, 1, ("a",), 1),
+            TupleRequest(0, 1, ("b",), 2),
+            TupleRequest(0, 1, ("c",), 3),
+        ]
+        out = coalesce_tuple_requests(msgs)
+        assert out == [PackagedTupleRequest(0, 1, (("a",), ("b",), ("c",)), 3)]
+
+    def test_package_seq_is_last_member_seq(self):
+        # One end message covers the whole package (footnote 2), so the
+        # package must carry the *last* member's sequence number.
+        out = coalesce_tuple_requests(
+            [TupleRequest(0, 1, ("a",), 5), TupleRequest(0, 1, ("b",), 9)]
+        )
+        assert out[0].seq == 9
+
+    def test_singleton_run_stays_a_tuple_request(self):
+        msgs = [TupleRequest(0, 1, ("a",), 1)]
+        assert coalesce_tuple_requests(msgs) == msgs
+
+    def test_channel_change_breaks_the_run(self):
+        msgs = [
+            TupleRequest(0, 1, ("a",), 1),
+            TupleRequest(0, 2, ("b",), 1),
+            TupleRequest(0, 1, ("c",), 2),
+        ]
+        out = coalesce_tuple_requests(msgs)
+        # Different receivers — nothing merges, order untouched.
+        assert out == msgs
+
+    def test_interleaved_message_breaks_the_run(self):
+        # FIFO per channel: a non-request between two requests of the same
+        # channel pins their relative order, so they must not merge across it.
+        msgs = [
+            TupleRequest(0, 1, ("a",), 1),
+            EndMessage(2, 1, 0),
+            TupleRequest(0, 1, ("b",), 2),
+        ]
+        out = coalesce_tuple_requests(msgs)
+        assert out == msgs
+
+    def test_non_request_messages_pass_through_in_order(self):
+        msgs = [
+            RelationRequest(0, 1, ("d", "f")),
+            TupleRequest(0, 1, ("a",), 1),
+            TupleRequest(0, 1, ("b",), 2),
+            EndRequest(3, 1, 1),
+        ]
+        out = coalesce_tuple_requests(msgs)
+        assert out[0] == msgs[0]
+        assert out[1] == PackagedTupleRequest(0, 1, (("a",), ("b",)), 2)
+        assert out[2] == msgs[3]
+
+    def test_empty_input(self):
+        assert coalesce_tuple_requests([]) == []

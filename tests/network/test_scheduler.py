@@ -132,6 +132,29 @@ class TestBudget:
         with pytest.raises(MessageBudgetExceeded):
             scheduler.run()
 
+    def test_budget_guard_fires_under_step(self):
+        # step() must enforce the same budget as run(): a step-driven loop
+        # (tracing tools, fine-grained tests) over a livelocked network
+        # previously ran unbounded.
+        scheduler, nodes = build(max_messages=10)
+        nodes[0].relay_to = 1
+        nodes[1].relay_to = 0
+        scheduler.send(TupleMessage(1, 0, ("x",)))
+        with pytest.raises(MessageBudgetExceeded):
+            for _ in range(1000):
+                if scheduler.step() is None:
+                    break
+
+    def test_step_budget_counts_match_run(self):
+        scheduler, nodes = build(max_messages=10)
+        nodes[0].relay_to = 1
+        nodes[1].relay_to = 0
+        scheduler.send(TupleMessage(1, 0, ("x",)))
+        with pytest.raises(MessageBudgetExceeded):
+            while True:
+                scheduler.step()
+        assert scheduler.stats.delivered_total == 10
+
     def test_trace_hook_sees_every_delivery(self):
         seen = []
         scheduler = Scheduler(trace=seen.append)

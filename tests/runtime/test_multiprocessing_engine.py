@@ -49,3 +49,31 @@ class TestMultiprocessingRuntime:
         expected = oracle_answers(p1_small)
         for _ in range(3):
             assert evaluate_multiprocessing(p1_small, timeout=60).answers == expected
+
+    def test_driver_accounting_matches_simulator(self, p1_small):
+        # Regression: the query used to be posed by bumping the driver's
+        # feeder sequence in the parent AFTER worker.start() — under fork the
+        # driver child never saw the bump, so its stream accounting diverged
+        # from the simulator's.  Posing now happens before the fork via
+        # ``driver.start``; both runtimes must report identical root-stream
+        # accounting.
+        from repro.network.engine import MessagePassingEngine
+
+        engine = MessagePassingEngine(p1_small)
+        engine.run()
+        stream = engine.driver.feeders[engine.graph.root]
+
+        result = evaluate_multiprocessing(p1_small, timeout=60)
+        assert result.driver_last_seq_sent == stream.last_seq_sent
+        assert result.driver_last_upto_ended == stream.last_upto_ended
+        # The driver poses exactly one request (the relation request, seq 0)
+        # and must end fully caught up.
+        assert result.driver_last_seq_sent == 0
+        assert result.driver_last_upto_ended == 0
+
+    def test_coalesce_and_package_knobs(self, p1_small):
+        expected = oracle_answers(p1_small)
+        result = evaluate_multiprocessing(
+            p1_small, timeout=60, coalesce=True, package_requests=True
+        )
+        assert result.answers == expected

@@ -1,0 +1,158 @@
+"""Tests for the pooled shard-worker runtime with batched channels."""
+
+import sys
+
+import pytest
+
+from repro.network.engine import MessagePassingEngine, assign_shards
+from repro.runtime.pool_engine import evaluate_pool
+from repro.workloads import (
+    ancestor_program,
+    chain_edges,
+    cycle_edges,
+    left_recursive_tc_program,
+    mutual_recursion_program,
+    nonlinear_tc_program,
+    random_digraph_edges,
+)
+
+from tests.helpers import oracle_answers, with_tables
+
+pytestmark = pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="fork start method required"
+)
+
+
+class TestPoolRuntime:
+    def test_p1(self, p1_small):
+        result = evaluate_pool(p1_small, workers=2, timeout=60)
+        assert result.completed
+        assert result.answers == oracle_answers(p1_small)
+        assert result.workers == 2
+
+    def test_single_worker_degenerates_to_local_delivery(self, p1_small):
+        result = evaluate_pool(p1_small, workers=1, timeout=60)
+        assert result.answers == oracle_answers(p1_small)
+        # One shard: everything is intra-process, nothing crosses a channel.
+        assert result.cross_messages == 0
+        assert result.cross_batches == 0
+
+    def test_recursive_cycle(self):
+        program = with_tables(nonlinear_tc_program(0), {"e": cycle_edges(6)})
+        result = evaluate_pool(program, workers=2, timeout=60)
+        assert result.answers == oracle_answers(program)
+
+    def test_mutual_recursion(self):
+        program = with_tables(mutual_recursion_program(0), {"e": chain_edges(6)})
+        result = evaluate_pool(program, workers=3, timeout=60)
+        assert result.answers == oracle_answers(program)
+
+    def test_empty_answer_set_still_terminates(self):
+        program = with_tables(ancestor_program("nobody"), {"par": chain_edges(4)})
+        result = evaluate_pool(program, workers=2, timeout=60)
+        assert result.completed and result.answers == set()
+
+    def test_batch_size_one_matches_batch_size_large(self):
+        edges = random_digraph_edges(10, 25, seed=13)
+        program = with_tables(nonlinear_tc_program(edges[0][0]), {"e": edges})
+        expected = oracle_answers(program)
+        small = evaluate_pool(program, workers=2, batch_size=1, timeout=60)
+        large = evaluate_pool(program, workers=2, batch_size=64, timeout=60)
+        assert small.answers == expected
+        assert large.answers == expected
+
+    def test_batching_amortizes_queue_operations(self):
+        # The point of the envelope: with batch_size > 1 the same traffic
+        # must ride in strictly fewer queue operations.
+        program = with_tables(
+            left_recursive_tc_program(0), {"e": chain_edges(20)}
+        )
+        unbatched = evaluate_pool(program, workers=2, batch_size=1, timeout=60)
+        batched = evaluate_pool(program, workers=2, batch_size=64, timeout=60)
+        assert unbatched.answers == batched.answers
+        assert unbatched.cross_batches == unbatched.cross_messages
+        assert batched.cross_batches < batched.cross_messages
+        assert batched.batching_factor > 1.0
+
+    def test_driver_accounting_matches_simulator(self, p1_small):
+        engine = MessagePassingEngine(p1_small)
+        engine.run()
+        stream = engine.driver.feeders[engine.graph.root]
+        result = evaluate_pool(p1_small, workers=2, timeout=60)
+        assert result.driver_last_seq_sent == stream.last_seq_sent
+        assert result.driver_last_upto_ended == stream.last_upto_ended
+
+    def test_coalesce_and_package_knobs(self, p1_small):
+        expected = oracle_answers(p1_small)
+        result = evaluate_pool(
+            p1_small, workers=2, coalesce=True, package_requests=True, timeout=60
+        )
+        assert result.answers == expected
+
+    def test_more_workers_than_nodes(self, p1_small):
+        # Shards beyond the node count just idle; correctness is unaffected.
+        result = evaluate_pool(p1_small, workers=6, timeout=60)
+        assert result.answers == oracle_answers(p1_small)
+
+    def test_repeated_runs_stable(self, p1_small):
+        expected = oracle_answers(p1_small)
+        for _ in range(3):
+            assert evaluate_pool(p1_small, workers=2, timeout=60).answers == expected
+
+
+class TestAssignShards:
+    def test_strong_components_stay_whole(self):
+        program = with_tables(
+            nonlinear_tc_program(0), {"e": random_digraph_edges(8, 16, seed=3)}
+        )
+        engine = MessagePassingEngine(program, validate_protocol=False)
+        shard_of = assign_shards(engine, 3)
+        for info in engine.graph.strong_components():
+            shards = {shard_of[m] for m in info.members}
+            assert len(shards) == 1, "a strong component crossed a shard boundary"
+
+    def test_every_process_is_assigned(self, p1_small):
+        engine = MessagePassingEngine(p1_small, validate_protocol=False)
+        shard_of = assign_shards(engine, 4)
+        assert set(shard_of) == set(engine.processes)
+        assert all(0 <= s < 4 for s in shard_of.values())
+
+    def test_driver_lands_on_shard_zero(self, p1_small):
+        from repro.network.nodes import DRIVER_ID
+
+        engine = MessagePassingEngine(p1_small, validate_protocol=False)
+        assert assign_shards(engine, 3)[DRIVER_ID] == 0
+
+    def test_edb_replicas_spread_across_shards(self):
+        program = with_tables(
+            left_recursive_tc_program(0), {"e": chain_edges(8)}
+        )
+        engine = MessagePassingEngine(
+            program, validate_protocol=False, edb_shards=3
+        )
+        shard_of = assign_shards(engine, 3)
+        for replicas in engine.edb_replicas.values():
+            assert len({shard_of[r] for r in replicas}) > 1
+
+
+class TestEdbSharding:
+    def test_replicated_edb_answers_match(self):
+        program = with_tables(
+            left_recursive_tc_program(0), {"e": chain_edges(10)}
+        )
+        expected = oracle_answers(program)
+        for shards in (2, 4):
+            result = evaluate_pool(
+                program, workers=2, edb_shards=shards, timeout=60
+            )
+            assert result.answers == expected, f"edb_shards={shards}"
+
+    def test_replicated_edb_in_simulator(self):
+        # The replica wiring is engine-level, so even the deterministic
+        # simulator can drive a partitioned-EDB network.
+        program = with_tables(
+            left_recursive_tc_program(0), {"e": chain_edges(10)}
+        )
+        engine = MessagePassingEngine(program, edb_shards=3)
+        result = engine.run()
+        assert result.answers == oracle_answers(program)

@@ -14,10 +14,12 @@ tables inline; they are also appended to ``benchmarks/results.txt``).
 
 from __future__ import annotations
 
+import json
 import os
 from typing import Iterable, Sequence
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
+BENCH_JSON_PATH = os.path.join(os.path.dirname(__file__), "BENCH_PR3.json")
 
 
 def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -44,3 +46,27 @@ def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[objec
 def ratio(a: float, b: float) -> float:
     """Safe ratio a/b for factor-of-improvement reporting."""
     return a / b if b else float("inf")
+
+
+def emit_json(record: dict) -> dict:
+    """Append one machine-readable benchmark record to ``BENCH_PR3.json``.
+
+    Each record is a flat-ish dict — by convention ``bench`` (the emitting
+    experiment), ``workload``, ``runtime``, ``knobs`` (evaluation options),
+    ``seconds`` (wall time), and the logical/physical message counts.  The
+    file is a JSON array, rewritten on every append so it is always valid;
+    CI uploads it as an artifact and the A/B assertions read wall times
+    from the same numbers the humans see.
+    """
+    records = []
+    if os.path.exists(BENCH_JSON_PATH):
+        try:
+            with open(BENCH_JSON_PATH) as handle:
+                records = json.load(handle)
+        except (json.JSONDecodeError, OSError):
+            records = []
+    records.append(record)
+    with open(BENCH_JSON_PATH, "w") as handle:
+        json.dump(records, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return record

@@ -29,7 +29,7 @@ from repro.workloads import (
     random_digraph_edges,
 )
 
-from _support import emit_table, ratio
+from _support import emit_json, emit_table, ratio
 
 
 def workloads():
@@ -46,12 +46,31 @@ def test_runtimes_agree_table():
     rows = []
     for name, program in workloads():
         oracle = naive.goal_answers(program)
+        start = time.perf_counter()
         sim = evaluate(program)
+        t_sim = time.perf_counter() - start
+        start = time.perf_counter()
         conc = evaluate_async(program)
+        t_conc = time.perf_counter() - start
         assert sim.answers == conc.answers == oracle
         rows.append(
             (name, len(oracle), sim.total_messages, conc.messages_sent, conc.tasks)
         )
+        for runtime, seconds, logical in (
+            ("simulator", t_sim, sim.total_messages),
+            ("asyncio", t_conc, conc.messages_sent),
+        ):
+            emit_json(
+                {
+                    "bench": "runtimes_agree",
+                    "workload": name,
+                    "runtime": runtime,
+                    "knobs": {"package_requests": False, "tuple_sets": True},
+                    "seconds": round(seconds, 4),
+                    "logical_messages": logical,
+                    "answers": len(oracle),
+                }
+            )
     emit_table(
         "runtimes: deterministic simulator vs asyncio (same node code)",
         ["workload", "answers", "sim msgs", "asyncio msgs", "asyncio tasks"],
@@ -62,6 +81,116 @@ def test_runtimes_agree_table():
     for _, _, sim_msgs, conc_msgs, _ in rows:
         assert conc_msgs < 10 * sim_msgs
         assert sim_msgs < 10 * conc_msgs
+
+
+def tc_bushy_20k_workload():
+    """A ≥20k-fact transitive closure shaped for set-at-a-time evaluation.
+
+    A uniform 27-ary tree of depth 3 (27 + 729 + 19683 = 20439 edges, all
+    reachable from the root): every expansion step produces 27 sibling
+    tuples for the same binding, so answer packaging has real sets to ship
+    and the bulk join kernels real batches to probe.  The per-tuple path
+    pays one message and one index probe per row; the packaged path one
+    ``TupleSet`` per burst and one probe per distinct key.
+    """
+    branch, depth = 27, 3
+    edges = []
+    level = [0]
+    next_id = 1
+    for _ in range(depth):
+        new = []
+        for parent in level:
+            for _ in range(branch):
+                edges.append((parent, next_id))
+                new.append(next_id)
+                next_id += 1
+        level = new
+    program = left_recursive_tc_program(0).with_facts(
+        facts_from_tables({"e": edges})
+    )
+    expected = {(i,) for i in range(1, next_id)}
+    return program, expected, len(edges)
+
+
+def test_tuple_sets_ab_table():
+    """The PR-3 headline: packaged answer sets ≥2.5x over per-tuple.
+
+    Request packaging (footnote 2) is ON for both sides so the A/B isolates
+    *answer* packaging + bulk join kernels — the per-tuple baseline already
+    enjoys packaged requests and loses only the set-at-a-time machinery.
+    """
+    program, expected, n_facts = tc_bushy_20k_workload()
+    assert n_facts >= 20_000
+
+    def timed(tuple_sets):
+        best = None
+        for _ in range(2):
+            start = time.perf_counter()
+            run = evaluate(program, package_requests=True, tuple_sets=tuple_sets)
+            elapsed = time.perf_counter() - start
+            assert run.answers == expected
+            if best is None or elapsed < best[0]:
+                best = (elapsed, run)
+        return best
+
+    t_on, on = timed(True)
+    t_off, off = timed(False)
+
+    rows = [
+        (
+            "tuple sets ON",
+            f"{t_on:.2f}",
+            on.total_messages,
+            on.physical_messages,
+            on.stats.tuple_sets,
+            on.join_lookups,
+        ),
+        (
+            "tuple sets OFF",
+            f"{t_off:.2f}",
+            off.total_messages,
+            off.physical_messages,
+            off.stats.tuple_sets,
+            off.join_lookups,
+        ),
+    ]
+    emit_table(
+        f"set-at-a-time A/B: {n_facts}-fact bushy transitive closure, "
+        f"{len(expected)} answers (packaged requests both sides)",
+        ["mode", "seconds", "logical msgs", "physical msgs", "sets", "join lookups"],
+        rows,
+    )
+    emit_table(
+        "headline factors",
+        ["comparison", "factor"],
+        [
+            ("tuple sets vs per-tuple (wall)", f"{ratio(t_off, t_on):.2f}x"),
+            (
+                "physical deliveries saved",
+                f"{ratio(off.physical_messages, on.physical_messages):.2f}x",
+            ),
+            ("join lookups saved", f"{ratio(off.join_lookups, on.join_lookups):.2f}x"),
+        ],
+    )
+    for mode, seconds, run in (("on", t_on, on), ("off", t_off, off)):
+        emit_json(
+            {
+                "bench": "tuple_sets_ab",
+                "workload": f"tc-bushy-{n_facts}",
+                "runtime": "simulator",
+                "knobs": {"package_requests": True, "tuple_sets": mode == "on"},
+                "seconds": round(seconds, 4),
+                "logical_messages": run.total_messages,
+                "physical_messages": run.physical_messages,
+                "tuple_sets": run.stats.tuple_sets,
+                "join_lookups": run.join_lookups,
+                "answers": len(run.answers),
+            }
+        )
+    # The acceptance bar: set-at-a-time wall time ≥2.5x better.
+    assert t_off >= 2.5 * t_on, f"tuple sets only {ratio(t_off, t_on):.2f}x"
+    # And the bulk kernels really probe per distinct key, not per row.
+    assert on.join_lookups < off.join_lookups
 
 
 def tc_20k_workload():
@@ -151,6 +280,23 @@ def test_pool_vs_per_node_mp_table():
             ("pool vs simulator", f"{ratio(t_sim, t_pool):.2f}x"),
         ],
     )
+    for runtime, seconds, logical in (
+        ("simulator", t_sim, sim.total_messages),
+        ("pool-w1", t_pool1, pool1.cross_messages),
+        ("pool-w2", t_pool2, pool2.cross_messages),
+        ("per-node-mp", t_mp, None),
+    ):
+        emit_json(
+            {
+                "bench": "pool_vs_per_node_mp",
+                "workload": f"tc-binary-{n_facts}",
+                "runtime": runtime,
+                "knobs": {"package_requests": False, "tuple_sets": True},
+                "seconds": round(seconds, 4),
+                "logical_messages": logical,
+                "answers": len(expected),
+            }
+        )
     # The tentpole claim: batched shard channels beat one-RPC-per-message
     # by ≥5x, and land in the simulator's ballpark.
     assert t_mp >= 5 * t_pool, f"pool only {ratio(t_mp, t_pool):.1f}x over mp"

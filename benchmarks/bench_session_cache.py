@@ -26,7 +26,7 @@ from repro.network.engine import evaluate
 from repro.session import Session
 from repro.workloads import ancestor_program, facts_from_tables, tree_parent_edges
 
-from _support import emit_table, ratio
+from _support import emit_json, emit_table, ratio
 
 REPEAT = 120
 DEPTH = 10  # complete binary tree: 2^11 - 1 vertices, 2046 par facts
@@ -105,6 +105,22 @@ def test_claim_session_cache():
             ),
         ],
     )
+    for mode, avg in (
+        ("cached-session", cached_avg),
+        ("uncached-session", uncached_avg),
+        ("per-query-rebuild", rebuild_avg),
+    ):
+        emit_json(
+            {
+                "bench": "session_cache",
+                "workload": f"ancestor-tree-depth-{DEPTH}",
+                "runtime": "simulator",
+                "knobs": {"mode": mode, "repeat": REPEAT, "tuple_sets": True},
+                "seconds": round(avg, 6),
+                "logical_messages": cached.last_result.total_messages,
+                "answers": len(answers),
+            }
+        )
     # The qualitative claim: skipping graph construction + EDB indexing must
     # win on repeats.  Generous margins keep the assertion timing-robust.
     assert cached_avg < uncached_avg

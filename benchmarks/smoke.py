@@ -1,0 +1,95 @@
+"""CI bench smoke: a tiny tuple-sets A/B across runtimes, JSON out.
+
+Runs a small bushy transitive closure (big enough to form real tuple sets,
+small enough for a CI minute) through every runtime with set-at-a-time
+evaluation on and off, verifies all eight runs return the identical answer
+set, and appends machine-readable records to ``BENCH_PR3.json`` (uploaded
+as a CI artifact).  Exits non-zero on any parity mismatch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from _support import emit_json
+from repro.network.engine import evaluate
+from repro.runtime import evaluate_async, evaluate_multiprocessing, evaluate_pool
+from repro.workloads import facts_from_tables, left_recursive_tc_program
+
+
+def smoke_workload(branch: int = 7, depth: int = 3):
+    """A uniform tree TC: 7 + 49 + 343 = 399 edges, all reachable."""
+    edges = []
+    level = [0]
+    next_id = 1
+    for _ in range(depth):
+        new = []
+        for parent in level:
+            for _ in range(branch):
+                edges.append((parent, next_id))
+                new.append(next_id)
+                next_id += 1
+        level = new
+    program = left_recursive_tc_program(0).with_facts(
+        facts_from_tables({"e": edges})
+    )
+    return program, {(i,) for i in range(1, next_id)}, len(edges)
+
+
+RUNTIMES = {
+    "simulator": lambda program, ts: evaluate(program, tuple_sets=ts),
+    "asyncio": lambda program, ts: evaluate_async(program, tuple_sets=ts, timeout=120),
+    "mp": lambda program, ts: evaluate_multiprocessing(
+        program, tuple_sets=ts, timeout=120
+    ),
+    "pool": lambda program, ts: evaluate_pool(
+        program, workers=2, batch_size=64, tuple_sets=ts, timeout=120
+    ),
+}
+
+
+def main() -> int:
+    program, expected, n_facts = smoke_workload()
+    failures = []
+    for runtime, run in RUNTIMES.items():
+        for tuple_sets in (True, False):
+            start = time.perf_counter()
+            result = run(program, tuple_sets)
+            seconds = time.perf_counter() - start
+            ok = result.answers == expected
+            logical = getattr(
+                result, "total_messages", getattr(result, "messages_sent", None)
+            )
+            emit_json(
+                {
+                    "bench": "ci_smoke",
+                    "workload": f"tc-bushy-{n_facts}",
+                    "runtime": runtime,
+                    "knobs": {"tuple_sets": tuple_sets},
+                    "seconds": round(seconds, 4),
+                    "logical_messages": logical,
+                    "answers": len(result.answers),
+                    "parity": ok,
+                }
+            )
+            status = "ok" if ok else "MISMATCH"
+            print(
+                f"{runtime:10s} tuple_sets={str(tuple_sets):5s} "
+                f"{seconds:6.2f}s  {len(result.answers)} answers  {status}"
+            )
+            if not ok:
+                failures.append((runtime, tuple_sets))
+    if failures:
+        print(f"PARITY FAILURES: {failures}", file=sys.stderr)
+        return 1
+    print(f"smoke ok: {len(RUNTIMES) * 2} runs agree on {len(expected)} answers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -64,6 +64,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             seed=args.seed,
             coalesce=args.coalesce,
             package_requests=args.package,
+            tuple_sets=not args.no_tuple_sets,
         )
         answers = result.answers
     elif args.runtime == "asyncio":
@@ -74,6 +75,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             sip_factory=_SIPS[args.sip],
             coalesce=args.coalesce,
             package_requests=args.package,
+            tuple_sets=not args.no_tuple_sets,
         )
         answers = result.answers
     elif args.runtime == "mp":
@@ -84,6 +86,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             sip_factory=_SIPS[args.sip],
             coalesce=args.coalesce,
             package_requests=args.package,
+            tuple_sets=not args.no_tuple_sets,
         )
         answers = result.answers
     else:  # pool
@@ -96,6 +99,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             batch_size=args.batch_size,
             coalesce=args.coalesce,
             package_requests=args.package,
+            tuple_sets=not args.no_tuple_sets,
         )
         answers = result.answers
     for row in sorted(answers, key=repr):
@@ -142,6 +146,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         trace=trace,
         coalesce=args.coalesce,
         package_requests=args.package,
+        tuple_sets=not args.no_tuple_sets,
     )
     result = engine.run()
     print(trace.render(engine.graph))
@@ -170,6 +175,7 @@ def _cmd_bench_session(args: argparse.Namespace) -> int:
             sip_factory=_SIPS[args.sip],
             coalesce=args.coalesce,
             package_requests=args.package,
+            tuple_sets=not args.no_tuple_sets,
             graph_cache_size=cache_size,
         )
         start = time.perf_counter()
@@ -236,6 +242,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--package",
             action="store_true",
             help="batch related tuple requests (footnote-2 packaging)",
+        )
+        p.add_argument(
+            "--no-tuple-sets",
+            action="store_true",
+            help="disable packaged answer sets and bulk join kernels "
+            "(per-tuple A/B baseline)",
         )
 
     run_p = sub.add_parser("run", help="evaluate the query and print the answers")

@@ -96,8 +96,13 @@ class QueryResult:
 
     @property
     def total_messages(self) -> int:
-        """All delivered messages (computation + protocol)."""
+        """All delivered *logical* messages (a TupleSet counts len(rows))."""
         return self.stats.delivered_total
+
+    @property
+    def physical_messages(self) -> int:
+        """Actual message deliveries (a TupleSet counts once)."""
+        return self.stats.physical_total
 
     @property
     def computation_messages(self) -> int:
@@ -111,10 +116,19 @@ class QueryResult:
 
     def summary(self) -> str:
         """A compact human-readable report."""
+        stats = self.stats
         lines = [
             f"answers: {len(self.answers)}",
-            f"messages: {self.total_messages} "
-            f"(computation {self.computation_messages}, protocol {self.protocol_messages})",
+            f"messages: {self.total_messages} logical in {self.physical_messages} "
+            f"deliveries (computation {self.computation_messages}, "
+            f"protocol {self.protocol_messages})",
+        ]
+        if stats.tuple_sets:
+            lines.append(
+                f"tuple sets: {stats.tuple_sets} carrying {stats.tuple_set_rows} rows "
+                f"(avg batch {stats.tuple_set_rows / stats.tuple_sets:.1f})"
+            )
+        lines += [
             f"tuples stored: {self.tuples_stored}; join lookups: {self.join_lookups}",
             f"protocol rounds: {self.protocol_rounds}; conclusions: {self.protocol_conclusions}",
             f"db: {self.db_scans} scans, {self.db_indexed_lookups} lookups, "
@@ -142,12 +156,19 @@ class QueryResult:
             else:
                 # Ids beyond the graph belong to EDB replicas (edb_shards > 1).
                 label = label_by_id.get(node_id, f"edb-replica:{node_id}")
-            rows.append((received, self.tuples_by_node.get(label, 0), label))
+            rows.append(
+                (
+                    received,
+                    self.tuples_by_node.get(label, 0),
+                    self.stats.sets_by_receiver.get(node_id, 0),
+                    label,
+                )
+            )
         rows.sort(reverse=True)
-        width = max((len(r[2]) for r in rows[:top]), default=4)
-        lines = [f"{'node'.ljust(width)}  msgs-in  tuples"]
-        for received, tuples, label in rows[:top]:
-            lines.append(f"{label.ljust(width)}  {received:7d}  {tuples:6d}")
+        width = max((len(r[3]) for r in rows[:top]), default=4)
+        lines = [f"{'node'.ljust(width)}  msgs-in  tuples  sets-in"]
+        for received, tuples, sets, label in rows[:top]:
+            lines.append(f"{label.ljust(width)}  {received:7d}  {tuples:6d}  {sets:7d}")
         return "\n".join(lines)
 
 
@@ -182,6 +203,12 @@ class MessagePassingEngine:
         consumer keeps one fully-accounted stream per replica, so the
         end-message semantics is untouched; the pooled runtime places the
         replicas on distinct shards so semijoin fan-out parallelizes.
+    tuple_sets:
+        When true (default), producers ship bursts of fresh answer rows as
+        single :class:`~repro.network.messages.TupleSet` messages and rule
+        nodes join them with set-at-a-time bulk kernels; accounting stays in
+        logical tuples (a set weighs ``len(rows)``).  ``False`` restores the
+        per-tuple path (the ``--no-tuple-sets`` A/B escape hatch).
     """
 
     def __init__(
@@ -201,6 +228,7 @@ class MessagePassingEngine:
         trivial_relay: bool = True,
         graph: Optional[RuleGoalGraph] = None,
         edb_shards: int = 1,
+        tuple_sets: bool = True,
     ) -> None:
         self.program = program
         # A prebuilt (possibly session-cached) graph skips reconstruction;
@@ -210,6 +238,7 @@ class MessagePassingEngine:
             program, sip_factory, query_goal=query_goal, coalesce=coalesce
         )
         self._package_requests = package_requests
+        self._tuple_sets = tuple_sets
         self._edb_shards = max(1, edb_shards)
         #: original EDB node id -> replica node ids (original first); empty
         #: unless ``edb_shards > 1``.
@@ -384,6 +413,7 @@ class MessagePassingEngine:
         for process in self.processes.values():
             process.package_requests = self._package_requests
             process.record_provenance = self._provenance
+            process.emit_tuple_sets = self._tuple_sets
             self.scheduler.register(process)
 
     # ------------------------------------------------------------------
@@ -495,6 +525,7 @@ def evaluate(
     coalesce: bool = False,
     package_requests: bool = False,
     trivial_relay: bool = True,
+    tuple_sets: bool = True,
 ) -> QueryResult:
     """Evaluate a program's query with the message-passing framework.
 
@@ -503,7 +534,8 @@ def evaluate(
     in full.  ``coalesce=True`` merges goal nodes with identical binding
     patterns (the paper's single-processor variant, §2.2 + footnote 4).
     ``package_requests=True`` batches related tuple requests per producer
-    (the footnote-2 enhancement).
+    (the footnote-2 enhancement).  ``tuple_sets=False`` disables packaged
+    answers and the bulk join kernels (per-tuple A/B baseline).
     """
     engine = MessagePassingEngine(
         program,
@@ -515,5 +547,6 @@ def evaluate(
         coalesce=coalesce,
         package_requests=package_requests,
         trivial_relay=trivial_relay,
+        tuple_sets=tuple_sets,
     )
     return engine.run()

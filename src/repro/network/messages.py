@@ -10,6 +10,11 @@ Basic computation messages (Section 3.1):
   relation request plus the set of associated tuple requests.
 * :class:`TupleMessage` — "whenever a tuple is derived it is sent to the
   parent via a tuple message" (and to cyclic successors).
+* :class:`TupleSet` — footnote 2's "efficiency of volume", generalized from
+  requests to answers: one message carrying a whole set of derived rows for
+  a stream.  Logically equivalent to ``len(rows)`` tuple messages delivered
+  back to back, and accounted as exactly that many logical tuples (see
+  :func:`logical_size`).
 * :class:`EndMessage` — "when a feeder node determines that it can produce
   no more tuples for a particular tuple request (or relation request), it
   sends an end message".
@@ -38,13 +43,17 @@ __all__ = [
     "Message",
     "RelationRequest",
     "TupleRequest",
+    "PackagedTupleRequest",
     "TupleMessage",
+    "TupleSet",
     "EndMessage",
     "EndRequest",
     "EndNegative",
     "EndConfirmed",
     "MessageBatch",
     "coalesce_tuple_requests",
+    "coalesce_batch",
+    "logical_size",
     "COMPUTATION_TYPES",
     "PROTOCOL_TYPES",
 ]
@@ -107,6 +116,29 @@ class TupleMessage(Message):
     """One derived tuple, as values over the producer goal's non-"e" positions."""
 
     row: tuple
+
+
+@dataclass(frozen=True, slots=True)
+class TupleSet(Message):
+    """A set of derived rows shipped as one message — packaged *answers*.
+
+    Footnote 2 observes that messages gain "efficiency of volume" when
+    related tuple requests travel as a package; this is the same idea on the
+    answer stream.  ``rows`` holds several rows (each over the producer
+    goal's non-"e" positions) for the same (producer, consumer) channel.
+    Semantically a :class:`TupleSet` is exactly ``len(rows)`` tuple messages
+    delivered back to back: it carries no sequence number of its own, and
+    per-channel FIFO still guarantees every row arrives before the
+    :class:`EndMessage` whose ``upto`` covers the requests that produced it.
+    Accounting weighs it as ``len(rows)`` logical tuples so ``max_messages``
+    budgets and the Section 3.2 sent/received counters keep their meaning.
+    """
+
+    rows: frozenset
+
+    def logical(self) -> int:
+        """Number of logical tuples this message stands for."""
+        return len(self.rows)
 
 
 @dataclass(frozen=True, slots=True)
@@ -179,44 +211,70 @@ class MessageBatch:
         return len(self.messages)
 
 
-def coalesce_tuple_requests(messages: Sequence[Message]) -> list[Message]:
-    """Merge adjacent same-channel tuple requests into packaged requests.
+def coalesce_batch(
+    messages: Sequence[Message], tuple_sets: bool = True
+) -> list[Message]:
+    """Merge adjacent same-channel messages into their packaged forms.
 
-    The batch unpack path of the pooled runtime: a run of
-    :class:`TupleRequest` messages that are adjacent in the batch and share a
-    (sender, receiver) channel is replaced by one
-    :class:`PackagedTupleRequest` carrying all their bindings under the last
-    request's sequence number — exactly the footnote-2 "package of related
-    tuple requests" the producers already know how to serve (EDB leaves may
-    satisfy it in one scan).  Only adjacent runs are merged, so the relative
-    order of every channel's messages is untouched and the per-request end
-    semantics (``seq`` of the last member covers the package) is preserved.
+    The batch unpack path of the pooled runtime, applied on ingest so the
+    hosted nodes see set-at-a-time messages even when the sender shipped
+    rows one at a time:
+
+    * a run of :class:`TupleRequest` messages adjacent in the batch and
+      sharing a (sender, receiver) channel becomes one
+      :class:`PackagedTupleRequest` carrying their distinct bindings (first
+      occurrence kept; serving a binding is idempotent so duplicates are
+      dropped) under the *last* request's sequence number — the footnote-2
+      package the producers already serve, possibly in one scan;
+    * when ``tuple_sets`` is true, a run of :class:`TupleMessage` /
+      :class:`TupleSet` messages on one channel becomes a single
+      :class:`TupleSet` with the union of their rows.
+
+    Only adjacent runs are merged, so the relative order of every channel's
+    messages is untouched: requests keep their sequence semantics (``seq``
+    of the last member covers the package) and rows still precede the
+    :class:`EndMessage` that covers them.
     """
     out: list[Message] = []
-    run: list[TupleRequest] = []
+    run: list[Message] = []
+
+    def same_channel(message: Message) -> bool:
+        return (
+            run[-1].sender == message.sender
+            and run[-1].receiver == message.receiver
+        )
 
     def flush_run() -> None:
         if not run:
             return
         if len(run) == 1:
             out.append(run[0])
-        else:
+        elif isinstance(run[0], TupleRequest):
+            bindings = tuple(dict.fromkeys(r.binding for r in run))
             out.append(
                 PackagedTupleRequest(
-                    run[0].sender,
-                    run[0].receiver,
-                    tuple(r.binding for r in run),
-                    run[-1].seq,
+                    run[0].sender, run[0].receiver, bindings, run[-1].seq
                 )
             )
+        else:
+            rows = frozenset().union(
+                *(
+                    m.rows if isinstance(m, TupleSet) else (m.row,)
+                    for m in run
+                )
+            )
+            out.append(TupleSet(run[0].sender, run[0].receiver, rows))
         run.clear()
 
+    row_types = (TupleMessage, TupleSet) if tuple_sets else ()
     for message in messages:
         if isinstance(message, TupleRequest):
-            if run and (
-                run[-1].sender != message.sender
-                or run[-1].receiver != message.receiver
-            ):
+            if run and not (isinstance(run[-1], TupleRequest) and same_channel(message)):
+                flush_run()
+            run.append(message)
+            continue
+        if isinstance(message, row_types):
+            if run and not (isinstance(run[-1], row_types) and same_channel(message)):
                 flush_run()
             run.append(message)
             continue
@@ -226,12 +284,40 @@ def coalesce_tuple_requests(messages: Sequence[Message]) -> list[Message]:
     return out
 
 
+def coalesce_tuple_requests(messages: Sequence[Message]) -> list[Message]:
+    """Merge adjacent same-channel tuple requests into packaged requests.
+
+    The request-only subset of :func:`coalesce_batch` — rows are left
+    untouched.  Kept as the named entry point for the footnote-2 behavior
+    (and for the ``--no-tuple-sets`` escape hatch, where answers must stay
+    per-row even on the batched transport).
+    """
+    return coalesce_batch(messages, tuple_sets=False)
+
+
+def logical_size(message) -> int:
+    """Number of logical tuples/messages a physical message stands for.
+
+    A :class:`TupleSet` counts as ``len(rows)`` — the paper's accounting is
+    per tuple, and packaging answers must not change what ``max_messages``
+    budgets, :class:`SchedulerStats` totals, or the Section 3.2
+    sent/received termination counters mean.  A :class:`MessageBatch` sums
+    its members; every other message counts as one.
+    """
+    if isinstance(message, TupleSet):
+        return len(message.rows)
+    if isinstance(message, MessageBatch):
+        return sum(logical_size(m) for m in message.messages)
+    return 1
+
+
 #: Message classes that constitute *work* (reset the idleness counter).
 COMPUTATION_TYPES = (
     RelationRequest,
     TupleRequest,
     PackagedTupleRequest,
     TupleMessage,
+    TupleSet,
     EndMessage,
 )
 

@@ -42,6 +42,7 @@ from .messages import (
     RelationRequest,
     TupleMessage,
     TupleRequest,
+    TupleSet,
 )
 from .termination import TerminationProtocol
 
@@ -147,6 +148,10 @@ class NodeProcess:
         # Provenance: when on, processes record each tuple's first derivation
         # so proof trees can be reassembled after the run.
         self.record_provenance = False
+        # Set-at-a-time answers: when on, a burst of fresh rows for one
+        # consumer ships as a single TupleSet (footnote 2 generalized from
+        # requests to answers) instead of one TupleMessage per row.
+        self.emit_tuple_sets = False
 
     # ------------------------------------------------------------------
     # Wiring (done by the engine before the run)
@@ -197,7 +202,14 @@ class NodeProcess:
         """Dispatch one delivered message."""
         if isinstance(
             message,
-            (RelationRequest, TupleRequest, PackagedTupleRequest, TupleMessage, EndMessage),
+            (
+                RelationRequest,
+                TupleRequest,
+                PackagedTupleRequest,
+                TupleMessage,
+                TupleSet,
+                EndMessage,
+            ),
         ):
             if self.protocol is not None:
                 self.protocol.on_work()
@@ -210,6 +222,8 @@ class NodeProcess:
                 self.on_packaged_request(message, network)
             elif isinstance(message, TupleMessage):
                 self.on_tuple(message, network)
+            elif isinstance(message, TupleSet):
+                self.on_tuple_set(message, network)
             else:
                 self.on_end(message, network)
         elif isinstance(message, EndRequest):
@@ -314,6 +328,35 @@ class NodeProcess:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Set-at-a-time answer emission
+    # ------------------------------------------------------------------
+    def send_rows(
+        self, stream: ConsumerStream, rows: Iterable[tuple], network: "Scheduler"
+    ) -> None:
+        """Send fresh rows to one consumer, packaged when it pays off.
+
+        Applies the per-stream duplicate filter first (also deduplicating
+        within the burst itself — projections can collide), then ships the
+        survivors as a single :class:`TupleSet` when set emission is on and
+        more than one row is fresh, else as plain tuple messages.  A single
+        fresh row always travels as a :class:`TupleMessage`: a one-row set
+        buys nothing and keeps the per-tuple path byte-identical.
+        """
+        fresh: list[tuple] = []
+        for row in rows:
+            if row in stream.sent_rows:
+                continue
+            stream.sent_rows.add(row)
+            fresh.append(row)
+        if not fresh:
+            return
+        if self.emit_tuple_sets and len(fresh) > 1:
+            network.send(TupleSet(self.node_id, stream.consumer_id, frozenset(fresh)))
+        else:
+            for row in fresh:
+                network.send(TupleMessage(self.node_id, stream.consumer_id, row))
+
+    # ------------------------------------------------------------------
     # End emission
     # ------------------------------------------------------------------
     def _owes_external_end(self) -> bool:
@@ -356,6 +399,16 @@ class NodeProcess:
     def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:
         """Consume one answer tuple from a producer (node-specific)."""
         raise NotImplementedError
+
+    def on_tuple_set(self, message: TupleSet, network: "Scheduler") -> None:
+        """Consume a packaged set of answer rows from one producer.
+
+        Default: unpack into per-row :meth:`on_tuple` calls — semantically a
+        :class:`TupleSet` *is* ``len(rows)`` tuple messages delivered back to
+        back.  Nodes with a cheaper set-at-a-time path override this.
+        """
+        for row in message.rows:
+            self.on_tuple(TupleMessage(message.sender, message.receiver, row), network)
 
     def on_end(self, message: EndMessage, network: "Scheduler") -> None:
         """Default: record the feeder's progress."""
@@ -431,8 +484,7 @@ class GoalNodeProcess(NodeProcess):
                     RelationRequest(self.node_id, child_id, self.adorned.adornment)
                 )
         if stream.wants_all:
-            for row in sorted(self.answers, key=repr):
-                self._send_row(stream, row, network)
+            self.send_rows(stream, self.answers, network)
 
     def on_tuple_request(self, message: TupleRequest, network: "Scheduler") -> None:
         stream = self.consumers[message.sender]
@@ -443,8 +495,7 @@ class GoalNodeProcess(NodeProcess):
         """Replay known matching answers; propagate a fresh binding downward."""
         if binding not in stream.requested:
             stream.requested.add(binding)
-            for row in self.answers_by_binding.get(binding, ()):
-                self._send_row(stream, row, network)
+            self.send_rows(stream, self.answers_by_binding.get(binding, ()), network)
         if binding not in self.bindings_seen:
             self.bindings_seen.add(binding)
             for child_id in self.feeders:
@@ -472,6 +523,37 @@ class GoalNodeProcess(NodeProcess):
         for stream in self.consumers.values():
             if stream.wants_all or binding in stream.requested:
                 self._send_row(stream, row, network)
+
+    def on_tuple_set(self, message: TupleSet, network: "Scheduler") -> None:
+        """Set-at-a-time union: dedup the batch once, fan out filtered sets."""
+        if self.trivial_relay:
+            if self.record_provenance:
+                for row in message.rows:
+                    self.row_sources.setdefault(row, message.sender)
+            (stream,) = self.consumers.values()
+            self.send_rows(stream, message.rows, network)
+            return
+        fresh = [row for row in message.rows if row not in self.answers]
+        if not fresh:
+            return
+        self.answers.update(fresh)
+        self.tuples_stored += len(fresh)
+        bindings: list[tuple] = []
+        for row in fresh:
+            if self.record_provenance:
+                self.row_sources[row] = message.sender
+            binding = self.shape.binding_of(row)
+            bindings.append(binding)
+            self.answers_by_binding.setdefault(binding, []).append(row)
+        for stream in self.consumers.values():
+            if stream.wants_all:
+                self.send_rows(stream, fresh, network)
+            else:
+                self.send_rows(
+                    stream,
+                    [r for r, b in zip(fresh, bindings) if b in stream.requested],
+                    network,
+                )
 
     def _send_row(self, stream: ConsumerStream, row: tuple, network: "Scheduler") -> None:
         if row in stream.sent_rows:
@@ -505,8 +587,7 @@ class CyclicNodeProcess(NodeProcess):
                 RelationRequest(self.node_id, self.ancestor_id, self.adorned.adornment)
             )
         if stream.wants_all:
-            for row in sorted(self.rows, key=repr):
-                self._send_row(stream, row, network)
+            self.send_rows(stream, self.rows, network)
 
     def on_tuple_request(self, message: TupleRequest, network: "Scheduler") -> None:
         stream = self.consumers[message.sender]
@@ -517,9 +598,11 @@ class CyclicNodeProcess(NodeProcess):
         """Replay matching rows and forward the binding to the ancestor."""
         if binding not in stream.requested:
             stream.requested.add(binding)
-            for row in sorted(self.rows, key=repr):
-                if self.shape.binding_of(row) == binding:
-                    self._send_row(stream, row, network)
+            self.send_rows(
+                stream,
+                [row for row in self.rows if self.shape.binding_of(row) == binding],
+                network,
+            )
         self.send_tuple_request(self.ancestor_id, binding, network)
 
     def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:
@@ -532,6 +615,24 @@ class CyclicNodeProcess(NodeProcess):
         for stream in self.consumers.values():
             if stream.wants_all or binding in stream.requested:
                 self._send_row(stream, row, network)
+
+    def on_tuple_set(self, message: TupleSet, network: "Scheduler") -> None:
+        """Relay a whole set: dedup once, then filter per consumer stream."""
+        fresh = [row for row in message.rows if row not in self.rows]
+        if not fresh:
+            return
+        self.rows.update(fresh)
+        self.tuples_stored += len(fresh)
+        bindings = [self.shape.binding_of(row) for row in fresh]
+        for stream in self.consumers.values():
+            if stream.wants_all:
+                self.send_rows(stream, fresh, network)
+            else:
+                self.send_rows(
+                    stream,
+                    [r for r, b in zip(fresh, bindings) if b in stream.requested],
+                    network,
+                )
 
     def _send_row(self, stream: ConsumerStream, row: tuple, network: "Scheduler") -> None:
         if row in stream.sent_rows:
@@ -579,14 +680,19 @@ class EdbLeafProcess(NodeProcess):
         return True
 
     def _emit(self, stream: ConsumerStream, rows: Iterable[tuple], network: "Scheduler") -> None:
-        for full_row in rows:
-            if not self._matches(full_row):
-                continue
-            row = tuple(full_row[i] for i in self.shape.non_e)
-            if row in stream.sent_rows:
-                continue
-            stream.sent_rows.add(row)
-            network.send(TupleMessage(self.node_id, stream.consumer_id, row))
+        # One whole serve becomes one TupleSet (when >1 fresh row): the
+        # per-request repr-sort the per-tuple path used to pay is gone —
+        # answers are sets, and determinism lives at the result-collection
+        # boundary (the driver's answer set, the CLI's sorted print).
+        self.send_rows(
+            stream,
+            (
+                tuple(full_row[i] for i in self.shape.non_e)
+                for full_row in rows
+                if self._matches(full_row)
+            ),
+            network,
+        )
 
     # ------------------------------------------------------------------
     def on_relation_request(self, message: RelationRequest, network: "Scheduler") -> None:
@@ -596,8 +702,8 @@ class EdbLeafProcess(NodeProcess):
             if self.constant_filter:
                 rows = self.database.lookup(self.adorned.predicate, self.constant_filter)
             else:
-                rows = list(self.database.scan(self.adorned.predicate).rows)
-            self._emit(stream, sorted(rows, key=repr), network)
+                rows = self.database.scan(self.adorned.predicate).rows
+            self._emit(stream, rows, network)
         # maybe_send_ends fires from on_idle_check (no feeders: caught up).
 
     def on_tuple_request(self, message: TupleRequest, network: "Scheduler") -> None:
@@ -605,15 +711,18 @@ class EdbLeafProcess(NodeProcess):
         stream.last_seq_received = max(stream.last_seq_received, message.seq)
         self.serve_binding(stream, message.binding, network)
 
-    def serve_binding(self, stream: ConsumerStream, binding: tuple, network: "Scheduler") -> None:
-        """Indexed retrieval for one "d" binding."""
+    def _lookup_binding(self, binding: tuple) -> Iterable[tuple]:
+        """Indexed retrieval for one "d" binding (empty on constant clash)."""
         bound = dict(self.constant_filter)
         for pos, value in zip(self.shape.d_positions, binding):
             if pos in bound and bound[pos] != value:
-                return  # inconsistent with the constant at this position
+                return ()  # inconsistent with the constant at this position
             bound[pos] = value
-        rows = self.database.lookup(self.adorned.predicate, bound)
-        self._emit(stream, sorted(rows, key=repr), network)
+        return self.database.lookup(self.adorned.predicate, bound)
+
+    def serve_binding(self, stream: ConsumerStream, binding: tuple, network: "Scheduler") -> None:
+        """Indexed retrieval for one "d" binding."""
+        self._emit(stream, self._lookup_binding(binding), network)
 
     def on_packaged_request(self, message: PackagedTupleRequest, network: "Scheduler") -> None:
         """Serve a package; large packages use one scan (footnote 2).
@@ -638,8 +747,10 @@ class EdbLeafProcess(NodeProcess):
             # runtime) is served by its indexes.
             or 4 * len(message.bindings) < self._relation_size
         ):
+            gathered: list[tuple] = []
             for binding in message.bindings:
-                self.serve_binding(stream, binding, network)
+                gathered.extend(self._lookup_binding(binding))
+            self._emit(stream, gathered, network)
             return
         wanted = set(message.bindings)
         relation = self.database.scan(self.adorned.predicate)
@@ -648,7 +759,7 @@ class EdbLeafProcess(NodeProcess):
             for row in relation.rows
             if tuple(row[p] for p in self.shape.d_positions) in wanted
         ]
-        self._emit(stream, sorted(matching, key=repr), network)
+        self._emit(stream, matching, network)
 
     def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:  # pragma: no cover
         raise AssertionError("EDB leaves have no producers")
@@ -882,29 +993,51 @@ class RuleNodeProcess(NodeProcess):
     # ------------------------------------------------------------------
     def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:
         for stage_number in self.child_stage[message.sender]:
-            self._tuple_into_stage(stage_number, message.row, network)
+            self._tuples_into_stage(stage_number, (message.row,), network)
 
-    def _tuple_into_stage(self, stage_number: int, row: tuple, network: "Scheduler") -> None:
+    def on_tuple_set(self, message: TupleSet, network: "Scheduler") -> None:
+        """Bulk stage kernel entry: join a whole set of child rows at once."""
+        for stage_number in self.child_stage[message.sender]:
+            self._tuples_into_stage(stage_number, message.rows, network)
+
+    def _tuples_into_stage(
+        self, stage_number: int, rows: Iterable[tuple], network: "Scheduler"
+    ) -> None:
+        """Set-at-a-time semi-join: one index probe per distinct join key.
+
+        All fresh rows of the batch are converted, stored, and indexed first;
+        then the previous stage's environments are probed once per distinct
+        key (the per-tuple path probes once per row) and the merged
+        environments propagate through :meth:`_add_envs` as one batch.
+        """
         stage = self.stages[stage_number - 1]
-        env = self._row_to_subenv(stage, row)
-        if env is None or env in stage.rows:
+        by_key: dict[tuple, list[tuple]] = {}
+        for row in rows:
+            env = self._row_to_subenv(stage, row)
+            if env is None or env in stage.rows:
+                continue
+            stage.rows.add(env)
+            self.tuples_stored += 1
+            if self.record_provenance:
+                stage.row_source.setdefault(env, row)
+            key = tuple(env[i] for i in stage.row_key_positions)
+            stage.row_index.setdefault(key, []).append(env)
+            by_key.setdefault(key, []).append(env)
+        if not by_key:
             return
-        stage.rows.add(env)
-        self.tuples_stored += 1
-        if self.record_provenance:
-            stage.row_source.setdefault(env, row)
-        key = tuple(env[i] for i in stage.row_key_positions)
-        stage.row_index.setdefault(key, []).append(env)
-        # Join the new tuple with the previous stage's environments.
-        if stage_number == 1:
-            prev_envs = self._stage0_envs_for_key(key, stage)
-        else:
-            prev = self.stages[stage_number - 2]
-            prev_envs = prev.env_index.get(key, [])
-        self.join_lookups += 1
-        for prev_env in list(prev_envs):
-            merged = self._merge(stage, prev_env, env)
-            self._add_env(stage_number, merged, network, source=(prev_env, env))
+        merged: list[tuple[tuple, tuple[tuple, tuple]]] = []
+        for key, envs in by_key.items():
+            # Join the new tuples with the previous stage's environments.
+            if stage_number == 1:
+                prev_envs = self._stage0_envs_for_key(key, self.stages[0])
+            else:
+                prev_envs = self.stages[stage_number - 2].env_index.get(key, [])
+            self.join_lookups += 1
+            for prev_env in list(prev_envs):
+                for env in envs:
+                    merged.append((self._merge(stage, prev_env, env), (prev_env, env)))
+        if merged:
+            self._add_envs(stage_number, merged, network)
 
     def _row_to_subenv(self, stage: _Stage, row: tuple) -> Optional[tuple]:
         """Convert a child's row into values over ``stage.sub_vars``."""
@@ -931,16 +1064,19 @@ class RuleNodeProcess(NodeProcess):
         self.envs_materialized += 1
         if not self.stages:
             # Bodiless rule: the head itself is the (single) answer.
-            self._emit_head(env, network)
+            self._emit_heads((env,), network)
             return
         first = self.stages[0]
         key = tuple(env[i] for i in first.prev_key_positions)
         self._stage0_index.setdefault(key, []).append(env)
         self._request_next(1, env, network)
         self.join_lookups += 1
-        for row_env in list(first.row_index.get(key, [])):
-            merged = self._merge(first, env, row_env)
-            self._add_env(1, merged, network, source=(env, row_env))
+        merged = [
+            (self._merge(first, env, row_env), (env, row_env))
+            for row_env in list(first.row_index.get(key, []))
+        ]
+        if merged:
+            self._add_envs(1, merged, network)
 
     def _stage0_envs_for_key(self, key: tuple, stage: _Stage) -> list[tuple]:
         return self._stage0_index.get(key, [])
@@ -954,31 +1090,53 @@ class RuleNodeProcess(NodeProcess):
             values.append(prev_env[index] if kind == "prev" else row_env[index])
         return tuple(values)
 
-    def _add_env(
+    def _add_envs(
         self,
         stage_number: int,
-        env: tuple,
+        merged: list[tuple[tuple, tuple[tuple, tuple]]],
         network: "Scheduler",
-        source: Optional[tuple[tuple, tuple]] = None,
     ) -> None:
+        """Materialize a batch of (env, provenance-source) pairs at one stage.
+
+        Fresh environments of the batch are deduplicated, indexed, and issue
+        their tuple requests exactly as in the per-tuple path; the join
+        against the *next* stage's already-received tuples is then performed
+        once per distinct key for the whole batch, and the results recurse as
+        one batch again.
+        """
         stage = self.stages[stage_number - 1]
-        if env in stage.envs:
+        fresh: list[tuple] = []
+        for env, source in merged:
+            if env in stage.envs:
+                continue
+            stage.envs.add(env)
+            self.envs_materialized += 1
+            if self.record_provenance and source is not None:
+                self._env_parent.setdefault((stage_number, env), source)
+            fresh.append(env)
+        if not fresh:
             return
-        stage.envs.add(env)
-        self.envs_materialized += 1
-        if self.record_provenance and source is not None:
-            self._env_parent.setdefault((stage_number, env), source)
         if stage_number == len(self.stages):
-            self._emit_head(env, network)
+            self._emit_heads(fresh, network)
             return
         next_stage = self.stages[stage_number]
-        key = tuple(env[i] for i in next_stage.prev_key_positions)
-        stage.env_index.setdefault(key, []).append(env)
-        self._request_next(stage_number + 1, env, network)
-        self.join_lookups += 1
-        for row_env in list(next_stage.row_index.get(key, [])):
-            merged = self._merge(next_stage, env, row_env)
-            self._add_env(stage_number + 1, merged, network, source=(env, row_env))
+        by_key: dict[tuple, list[tuple]] = {}
+        for env in fresh:
+            key = tuple(env[i] for i in next_stage.prev_key_positions)
+            stage.env_index.setdefault(key, []).append(env)
+            by_key.setdefault(key, []).append(env)
+            self._request_next(stage_number + 1, env, network)
+        next_merged: list[tuple[tuple, tuple[tuple, tuple]]] = []
+        for key, envs in by_key.items():
+            self.join_lookups += 1
+            rows = next_stage.row_index.get(key, [])
+            for env in envs:
+                for row_env in list(rows):
+                    next_merged.append(
+                        (self._merge(next_stage, env, row_env), (env, row_env))
+                    )
+        if next_merged:
+            self._add_envs(stage_number + 1, next_merged, network)
 
     def _request_next(self, stage_number: int, env: tuple, network: "Scheduler") -> None:
         """Issue the tuple request env implies for the stage's subgoal."""
@@ -992,18 +1150,35 @@ class RuleNodeProcess(NodeProcess):
         self.send_tuple_request(self.child_ids[stage.subgoal_index], binding, network)
 
     # ------------------------------------------------------------------
-    def _emit_head(self, env: tuple, network: "Scheduler") -> None:
-        row = tuple(
-            payload if kind == "const" else env[payload]  # type: ignore[index]
-            for kind, payload in self.head_out_plan
-        )
-        if row in self.sent_rows:
+    def _emit_heads(self, envs: Sequence[tuple], network: "Scheduler") -> None:
+        """Project final environments to head rows and send the fresh ones.
+
+        Duplicate deletion is at the node level (each consumer gets every
+        head row exactly once), so the whole batch ships as one
+        :class:`TupleSet` per consumer when set emission is on.
+        """
+        fresh: list[tuple] = []
+        for env in envs:
+            row = tuple(
+                payload if kind == "const" else env[payload]  # type: ignore[index]
+                for kind, payload in self.head_out_plan
+            )
+            if row in self.sent_rows:
+                continue
+            self.sent_rows.add(row)
+            if self.record_provenance:
+                self._head_env.setdefault(row, env if self.stages else None)
+            fresh.append(row)
+        if not fresh:
             return
-        self.sent_rows.add(row)
-        if self.record_provenance:
-            self._head_env.setdefault(row, env if self.stages else None)
-        for stream in self.consumers.values():
-            network.send(TupleMessage(self.node_id, stream.consumer_id, row))
+        if self.emit_tuple_sets and len(fresh) > 1:
+            rows = frozenset(fresh)
+            for stream in self.consumers.values():
+                network.send(TupleSet(self.node_id, stream.consumer_id, rows))
+        else:
+            for stream in self.consumers.values():
+                for row in fresh:
+                    network.send(TupleMessage(self.node_id, stream.consumer_id, row))
 
     def derivation_children(
         self, head_row: tuple
@@ -1057,6 +1232,14 @@ class DriverProcess(NodeProcess):
             self.answers.add(message.row)
             if self.on_answer is not None:
                 self.on_answer(message.row)
+
+    def on_tuple_set(self, message: TupleSet, network: "Scheduler") -> None:
+        """Collect a packaged answer set (streaming hook still fires per row)."""
+        for row in message.rows:
+            if row not in self.answers:
+                self.answers.add(row)
+                if self.on_answer is not None:
+                    self.on_answer(row)
 
     def on_end(self, message: EndMessage, network: "Scheduler") -> None:
         super().on_end(message, network)

@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Protocol
 
-from .messages import COMPUTATION_TYPES, PROTOCOL_TYPES, Message
+from .messages import COMPUTATION_TYPES, PROTOCOL_TYPES, Message, TupleSet, logical_size
 
 __all__ = ["Process", "SchedulerStats", "Scheduler", "MessageBudgetExceeded"]
 
@@ -49,24 +49,46 @@ class Process(Protocol):
 
 @dataclass
 class SchedulerStats:
-    """Message accounting for a run."""
+    """Message accounting for a run.
+
+    Counters are *logical*: a :class:`TupleSet` weighs ``len(rows)`` —
+    packaging answers must not change what the totals (or ``max_messages``
+    budgets) mean, per the paper's per-tuple accounting.  ``physical_total``
+    counts actual deliveries (handler invocations), ``by_kind`` counts
+    physical messages per class, and the ``tuple_sets`` / ``tuple_set_rows``
+    pair exposes how much batching the run achieved.
+    """
 
     delivered_total: int = 0
+    physical_total: int = 0
     by_kind: dict[str, int] = field(default_factory=dict)
     by_receiver: dict[int, int] = field(default_factory=dict)
+    sets_by_receiver: dict[int, int] = field(default_factory=dict)
     computation_messages: int = 0
     protocol_messages: int = 0
+    tuple_sets: int = 0
+    tuple_set_rows: int = 0
 
     def record(self, message: Message) -> None:
-        """Account one delivered message."""
-        self.delivered_total += 1
+        """Account one delivered message (weighted by its logical size)."""
+        weight = logical_size(message)
+        self.delivered_total += weight
+        self.physical_total += 1
         kind = message.kind()
         self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
-        self.by_receiver[message.receiver] = self.by_receiver.get(message.receiver, 0) + 1
+        self.by_receiver[message.receiver] = (
+            self.by_receiver.get(message.receiver, 0) + weight
+        )
+        if isinstance(message, TupleSet):
+            self.tuple_sets += 1
+            self.tuple_set_rows += weight
+            self.sets_by_receiver[message.receiver] = (
+                self.sets_by_receiver.get(message.receiver, 0) + 1
+            )
         if isinstance(message, COMPUTATION_TYPES):
-            self.computation_messages += 1
+            self.computation_messages += weight
         elif isinstance(message, PROTOCOL_TYPES):
-            self.protocol_messages += 1
+            self.protocol_messages += weight
 
 
 class Scheduler:

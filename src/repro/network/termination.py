@@ -30,6 +30,14 @@ Section 3.2 is unambiguous on both):
    (the pseudocode's ``process-end-confirmed`` checks only its own idleness;
    the prose requires "received an end confirmed message from all its
    children").
+
+Set-at-a-time messages do not perturb the argument: a delivered
+:class:`~repro.network.messages.TupleSet` is ONE work event (it resets
+``idleness`` exactly like the ``len(rows)`` tuple messages it replaces —
+once is enough, resets are idempotent), it occupies the receiver's queue
+until delivered (so ``empty_queues()`` still sees it), and the logical
+sent/received accounting weighs it as ``len(rows)`` tuples, leaving the
+Section 3.2 counter argument's meaning unchanged.
 """
 
 from __future__ import annotations

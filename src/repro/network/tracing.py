@@ -18,9 +18,11 @@ from .messages import (
     EndNegative,
     EndRequest,
     Message,
+    PackagedTupleRequest,
     RelationRequest,
     TupleMessage,
     TupleRequest,
+    TupleSet,
 )
 from .nodes import DRIVER_ID
 
@@ -61,8 +63,15 @@ class MessageTrace:
             return f"{dst} <== relation request [{''.join(message.adornment)}] from {src}"
         if isinstance(message, TupleRequest):
             return f"{dst} <== tuple request {message.binding} (#{message.seq}) from {src}"
+        if isinstance(message, PackagedTupleRequest):
+            return (
+                f"{dst} <== packaged request ({len(message.bindings)} bindings, "
+                f"#{message.seq}) from {src}"
+            )
         if isinstance(message, TupleMessage):
             return f"{src} ==> tuple {message.row} to {dst}"
+        if isinstance(message, TupleSet):
+            return f"{src} ==> tuple set ({len(message.rows)} rows) to {dst}"
         if isinstance(message, EndMessage):
             return f"{src} ==> end (upto #{message.upto}) to {dst}"
         if isinstance(message, EndRequest):
@@ -106,7 +115,9 @@ class MessageTrace:
                 protocol_row[bucket] += 1
                 continue
             row = per_node.setdefault(message.receiver, [0] * buckets)
-            row[bucket] += 1
+            # Weight packaged answers by their rows so the sparkline shows
+            # real activity, not just delivery counts.
+            row[bucket] += len(message.rows) if isinstance(message, TupleSet) else 1
 
         peak = max(
             [max(row) for row in per_node.values()] + [max(protocol_row), 1]

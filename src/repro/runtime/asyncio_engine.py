@@ -24,7 +24,7 @@ from ..core.program import Program
 from ..core.rulegoal import SipFactory
 from ..core.sips import greedy_sip
 from ..network.engine import MessagePassingEngine
-from ..network.messages import Message
+from ..network.messages import Message, logical_size
 from ..network.nodes import DRIVER_ID
 
 __all__ = ["AsyncQueryResult", "AsyncNetwork", "evaluate_async", "run_async"]
@@ -59,9 +59,13 @@ class AsyncNetwork:
         return queue
 
     def send(self, message: Message) -> None:
-        """Enqueue a message on the receiver's queue (never blocks)."""
+        """Enqueue a message on the receiver's queue (never blocks).
+
+        ``messages_sent`` counts logical tuples — a ``TupleSet`` weighs
+        ``len(rows)`` — to stay comparable with the simulator's totals.
+        """
         self.queues[message.receiver].put_nowait(message)
-        self.messages_sent += 1
+        self.messages_sent += logical_size(message)
 
     def pending_for(self, node_id: int) -> int:
         """The length of one process's own inbox."""
@@ -75,6 +79,7 @@ async def run_async(
     timeout: float = 120.0,
     coalesce: bool = False,
     package_requests: bool = False,
+    tuple_sets: bool = True,
 ) -> AsyncQueryResult:
     """Evaluate the query with one concurrent task per graph node."""
     engine = MessagePassingEngine(
@@ -84,6 +89,7 @@ async def run_async(
         validate_protocol=False,  # the oracle check needs the simulator
         coalesce=coalesce,
         package_requests=package_requests,
+        tuple_sets=tuple_sets,
     )
     network = AsyncNetwork()
     for node_id in engine.processes:
@@ -124,8 +130,17 @@ def evaluate_async(
     timeout: float = 120.0,
     coalesce: bool = False,
     package_requests: bool = False,
+    tuple_sets: bool = True,
 ) -> AsyncQueryResult:
     """Synchronous wrapper around :func:`run_async`."""
     return asyncio.run(
-        run_async(program, sip_factory, query_goal, timeout, coalesce, package_requests)
+        run_async(
+            program,
+            sip_factory,
+            query_goal,
+            timeout,
+            coalesce,
+            package_requests,
+            tuple_sets,
+        )
     )

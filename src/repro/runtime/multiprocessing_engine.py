@@ -106,11 +106,14 @@ def evaluate_multiprocessing(
     timeout: float = 120.0,
     coalesce: bool = False,
     package_requests: bool = False,
+    tuple_sets: bool = True,
 ) -> MpQueryResult:
     """Evaluate the query with one OS process per graph node.
 
     Raises ``TimeoutError`` if the distributed computation does not deliver
-    its end message within ``timeout`` seconds.
+    its end message within ``timeout`` seconds.  ``TupleSet`` messages (when
+    ``tuple_sets`` is on) pickle and ship over the managed queues like any
+    other message — one RPC then carries a whole answer set.
     """
     context = mp.get_context("fork")
     engine = MessagePassingEngine(
@@ -120,6 +123,7 @@ def evaluate_multiprocessing(
         validate_protocol=False,  # the oracle belongs to the simulator
         coalesce=coalesce,
         package_requests=package_requests,
+        tuple_sets=tuple_sets,
     )
     manager = context.Manager()
     network = MpNetwork(manager, engine.processes.keys())

@@ -61,7 +61,8 @@ from ..network.messages import (
     COMPUTATION_TYPES,
     Message,
     MessageBatch,
-    coalesce_tuple_requests,
+    coalesce_batch,
+    logical_size,
 )
 from ..network.nodes import DRIVER_ID
 
@@ -127,6 +128,7 @@ class ShardRouter:
         batches,
         n_shards: int,
         batch_size: int,
+        tuple_sets: bool = True,
     ) -> None:
         self.shard_id = shard_id
         self.shard_of = shard_of
@@ -136,6 +138,7 @@ class ShardRouter:
         self.batches = batches
         self.n_shards = n_shards
         self.batch_size = max(1, batch_size)
+        self.tuple_sets = tuple_sets
         self.local: deque[Message] = deque()
         self.local_pending: dict[int, int] = {}
         self.buffers: dict[int, list[Message]] = {
@@ -154,7 +157,9 @@ class ShardRouter:
             return
         # Visibility precedes transport: the receiving shard's
         # ``pending_for`` must count this message from this instant on.
-        self.sent[self.shard_id * self.n_shards + dest] += 1
+        # Counts are in *logical* tuples (a TupleSet weighs len(rows)) so
+        # the Section 3.2 sent/received accounting keeps its meaning.
+        self.sent[self.shard_id * self.n_shards + dest] += logical_size(message)
         buffer = self.buffers[dest]
         buffer.append(message)
         if len(buffer) >= self.batch_size:
@@ -174,11 +179,18 @@ class ShardRouter:
             self._flush_one(dest)
 
     def ingest(self, batch: MessageBatch) -> None:
-        """Unpack an arrived batch onto the local deque (FIFO preserved)."""
-        self.received[batch.origin * self.n_shards + self.shard_id] += len(
-            batch.messages
+        """Unpack an arrived batch onto the local deque (FIFO preserved).
+
+        Adjacent same-channel requests coalesce into packaged requests and —
+        when set emission is on — adjacent same-channel rows merge into
+        :class:`~repro.network.messages.TupleSet` messages, so a transported
+        burst is *handled* set-at-a-time, not unpacked row by row.  The
+        ``received`` counter mirrors the sender's logical accounting.
+        """
+        self.received[batch.origin * self.n_shards + self.shard_id] += logical_size(
+            batch
         )
-        for message in coalesce_tuple_requests(batch.messages):
+        for message in coalesce_batch(batch.messages, tuple_sets=self.tuple_sets):
             self.local.append(message)
             self.local_pending[message.receiver] = (
                 self.local_pending.get(message.receiver, 0) + 1
@@ -209,10 +221,19 @@ def _shard_worker(
     n_shards: int,
     batch_size: int,
     result_queue,
+    tuple_sets: bool = True,
 ) -> None:
     """Run one shard's node processes until the stop sentinel arrives."""
     router = ShardRouter(
-        shard_id, shard_of, inboxes, sent, received, batches, n_shards, batch_size
+        shard_id,
+        shard_of,
+        inboxes,
+        sent,
+        received,
+        batches,
+        n_shards,
+        batch_size,
+        tuple_sets,
     )
     processes = engine.processes
     hosted = [
@@ -305,13 +326,17 @@ def evaluate_pool(
     coalesce: bool = False,
     package_requests: bool = False,
     edb_shards: Optional[int] = None,
+    tuple_sets: bool = True,
 ) -> PoolQueryResult:
     """Evaluate the query on a pool of shard workers with batched channels.
 
     ``workers`` defaults to ``os.cpu_count()``; ``edb_shards`` (how many
     hash-partition replicas each "d"-bound EDB leaf gets) defaults to
-    ``workers``.  Raises ``TimeoutError`` if the distributed computation
-    does not deliver its end message within ``timeout`` seconds.
+    ``workers``.  With ``tuple_sets`` on (default), producers emit packaged
+    answer sets, batches carry them natively, and ingest merges adjacent
+    rows, so cross-shard counters (``cross_messages``) are in logical
+    tuples.  Raises ``TimeoutError`` if the distributed computation does
+    not deliver its end message within ``timeout`` seconds.
     """
     n_shards = workers if workers is not None else (os.cpu_count() or 1)
     n_shards = max(1, n_shards)
@@ -326,6 +351,7 @@ def evaluate_pool(
         coalesce=coalesce,
         package_requests=package_requests,
         edb_shards=replicas,
+        tuple_sets=tuple_sets,
     )
     shard_of = assign_shards(engine, n_shards)
 
@@ -351,6 +377,7 @@ def evaluate_pool(
                 n_shards,
                 batch_size,
                 result_queue,
+                tuple_sets,
             ),
             daemon=True,
         )

@@ -79,7 +79,7 @@ class Session:
         The knowledge base: Datalog source text or a parsed
         :class:`~repro.core.program.Program` (any ``goal`` rules are
         stripped — the session supplies queries itself).
-    sip_factory, coalesce, package_requests, provenance:
+    sip_factory, coalesce, package_requests, tuple_sets, provenance:
         Evaluation options applied to every query (see
         :class:`~repro.network.engine.MessagePassingEngine`).
     graph_cache_size:
@@ -94,6 +94,7 @@ class Session:
         sip_factory: SipFactory = greedy_sip,
         coalesce: bool = False,
         package_requests: bool = False,
+        tuple_sets: bool = True,
         provenance: bool = False,
         graph_cache_size: int = 64,
     ) -> None:
@@ -111,6 +112,7 @@ class Session:
         self.sip_factory = sip_factory
         self.coalesce = coalesce
         self.package_requests = package_requests
+        self.tuple_sets = tuple_sets
         self.provenance = provenance
         self.last_result: Optional[QueryResult] = None
         self._last_engine = None
@@ -172,6 +174,7 @@ class Session:
             seed=seed,
             coalesce=self.coalesce,
             package_requests=self.package_requests,
+            tuple_sets=self.tuple_sets,
             provenance=self.provenance,
             database=self._database,
             graph=graph,

@@ -5,9 +5,9 @@ per-node, pooled shard workers with batched channels) execute byte-for-byte
 the same node logic over different channel fabrics.  This matrix pins the
 only property that justifies having four of them: the fabric is invisible —
 for every workload shape in :mod:`repro.workloads.programs` and every
-combination of the coalesce / package-requests knobs and the pool batch
-size, all runtimes must produce exactly the simulator's (= the naive
-oracle's) answer set.
+combination of the coalesce / package-requests / tuple-sets knobs and the
+pool batch size, all runtimes must produce exactly the simulator's (= the
+naive oracle's) answer set.
 
 Each test arms a ``SIGALRM`` watchdog: a hung distributed run must fail the
 test, not the whole suite (the process runtimes also carry their own
@@ -83,11 +83,16 @@ CASES = {
     ),
 }
 
+#: (coalesce, package_requests, tuple_sets) combinations.  Tuple sets are on
+#: by default, so the interesting extra rows are the per-tuple baseline and
+#: its interaction with request packaging.
 KNOBS = [
-    pytest.param(False, False, id="plain"),
-    pytest.param(True, False, id="coalesce"),
-    pytest.param(False, True, id="package"),
-    pytest.param(True, True, id="coalesce+package"),
+    pytest.param(False, False, True, id="plain"),
+    pytest.param(False, False, False, id="no-tuple-sets"),
+    pytest.param(True, False, True, id="coalesce"),
+    pytest.param(False, True, True, id="package"),
+    pytest.param(False, True, False, id="package+no-tuple-sets"),
+    pytest.param(True, True, True, id="coalesce+package"),
 ]
 
 BATCH_SIZES = (1, 64)
@@ -114,30 +119,41 @@ def oracles():
     return {name: naive.goal_answers(make()) for name, make in CASES.items()}
 
 
-@pytest.mark.parametrize("coalesce,package", KNOBS)
+@pytest.mark.parametrize("coalesce,package,tuple_sets", KNOBS)
 @pytest.mark.parametrize("name", sorted(CASES))
 class TestRuntimeParity:
-    def test_simulator_and_asyncio(self, name, coalesce, package, oracles):
+    def test_simulator_and_asyncio(self, name, coalesce, package, tuple_sets, oracles):
         program = CASES[name]()
         expected = oracles[name]
         sim = evaluate(
-            program, coalesce=coalesce, package_requests=package
+            program,
+            coalesce=coalesce,
+            package_requests=package,
+            tuple_sets=tuple_sets,
         )
         assert sim.answers == expected, f"{name}: simulator diverged"
         run = evaluate_async(
-            program, coalesce=coalesce, package_requests=package, timeout=60
+            program,
+            coalesce=coalesce,
+            package_requests=package,
+            tuple_sets=tuple_sets,
+            timeout=60,
         )
         assert run.answers == expected, f"{name}: asyncio diverged"
 
-    def test_multiprocessing(self, name, coalesce, package, oracles):
+    def test_multiprocessing(self, name, coalesce, package, tuple_sets, oracles):
         program = CASES[name]()
         run = evaluate_multiprocessing(
-            program, coalesce=coalesce, package_requests=package, timeout=60
+            program,
+            coalesce=coalesce,
+            package_requests=package,
+            tuple_sets=tuple_sets,
+            timeout=60,
         )
         assert run.answers == oracles[name], f"{name}: per-node mp diverged"
 
     @pytest.mark.parametrize("batch_size", BATCH_SIZES)
-    def test_pool(self, name, coalesce, package, batch_size, oracles):
+    def test_pool(self, name, coalesce, package, tuple_sets, batch_size, oracles):
         program = CASES[name]()
         run = evaluate_pool(
             program,
@@ -145,6 +161,7 @@ class TestRuntimeParity:
             batch_size=batch_size,
             coalesce=coalesce,
             package_requests=package,
+            tuple_sets=tuple_sets,
             timeout=60,
         )
         assert run.answers == oracles[name], (

@@ -14,7 +14,10 @@ from repro.network.messages import (
     RelationRequest,
     TupleMessage,
     TupleRequest,
+    TupleSet,
+    coalesce_batch,
     coalesce_tuple_requests,
+    logical_size,
 )
 
 
@@ -51,6 +54,7 @@ class TestTypePartitions:
             TupleRequest,
             PackagedTupleRequest,
             TupleMessage,
+            TupleSet,
             EndMessage,
             EndRequest,
             EndNegative,
@@ -134,3 +138,124 @@ class TestCoalesceTupleRequests:
 
     def test_empty_input(self):
         assert coalesce_tuple_requests([]) == []
+
+
+class TestTupleSetShape:
+    def test_rows_are_a_frozenset(self):
+        ts = TupleSet(0, 1, frozenset({(1,), (2,)}))
+        assert ts.rows == {(1,), (2,)}
+        assert ts.kind() == "TupleSet"
+
+    def test_logical_weight_is_row_count(self):
+        assert TupleSet(0, 1, frozenset({(1,), (2,), (3,)})).logical() == 3
+        assert logical_size(TupleSet(0, 1, frozenset({(1,)}))) == 1
+        assert logical_size(TupleMessage(0, 1, (1,))) == 1
+        assert logical_size(EndMessage(0, 1, 4)) == 1
+
+    def test_batch_logical_size_sums_members(self):
+        batch = MessageBatch(
+            0,
+            (
+                TupleMessage(0, 1, (1,)),
+                TupleSet(0, 1, frozenset({(2,), (3,)})),
+                EndMessage(0, 1, 2),
+            ),
+        )
+        assert logical_size(batch) == 4
+
+    def test_tuple_set_is_hashable_and_value_equal(self):
+        a = TupleSet(0, 1, frozenset({(1,), (2,)}))
+        b = TupleSet(0, 1, frozenset({(2,), (1,)}))
+        assert a == b and len({a, b}) == 1
+
+
+class TestCoalesceBatch:
+    """Edge cases of the generalized batch coalescer (requests AND answers)."""
+
+    def test_empty_batch(self):
+        assert coalesce_batch([]) == []
+
+    def test_single_request_run_stays_a_tuple_request(self):
+        msgs = [TupleRequest(0, 1, ("a",), 1)]
+        assert coalesce_batch(msgs) == msgs
+
+    def test_single_tuple_message_stays_per_row(self):
+        msgs = [TupleMessage(0, 1, (1,))]
+        assert coalesce_batch(msgs) == msgs
+
+    def test_adjacent_tuple_messages_merge_into_a_set(self):
+        msgs = [TupleMessage(0, 1, (1,)), TupleMessage(0, 1, (2,))]
+        out = coalesce_batch(msgs)
+        assert out == [TupleSet(0, 1, frozenset({(1,), (2,)}))]
+
+    def test_tuple_set_runs_union(self):
+        msgs = [
+            TupleSet(0, 1, frozenset({(1,), (2,)})),
+            TupleMessage(0, 1, (3,)),
+            TupleSet(0, 1, frozenset({(3,), (4,)})),
+        ]
+        out = coalesce_batch(msgs)
+        assert out == [TupleSet(0, 1, frozenset({(1,), (2,), (3,), (4,)}))]
+
+    def test_interleaved_channels_do_not_merge(self):
+        msgs = [
+            TupleMessage(0, 1, (1,)),
+            TupleMessage(0, 2, (2,)),
+            TupleMessage(0, 1, (3,)),
+        ]
+        assert coalesce_batch(msgs) == msgs
+
+    def test_interleaved_protocol_message_breaks_the_run(self):
+        msgs = [
+            TupleMessage(0, 1, (1,)),
+            EndMessage(2, 1, 0),
+            TupleMessage(0, 1, (2,)),
+        ]
+        assert coalesce_batch(msgs) == msgs
+
+    def test_all_duplicate_bindings_dedup_to_one(self):
+        # A package whose bindings all duplicate keeps one copy (first
+        # occurrence) and still carries the last member's seq.
+        msgs = [
+            TupleRequest(0, 1, ("a",), 1),
+            TupleRequest(0, 1, ("a",), 2),
+            TupleRequest(0, 1, ("a",), 3),
+        ]
+        out = coalesce_batch(msgs)
+        assert out == [PackagedTupleRequest(0, 1, (("a",),), 3)]
+
+    def test_duplicate_rows_dedup_in_the_set(self):
+        msgs = [
+            TupleMessage(0, 1, (7,)),
+            TupleMessage(0, 1, (7,)),
+            TupleMessage(0, 1, (8,)),
+        ]
+        out = coalesce_batch(msgs)
+        assert out == [TupleSet(0, 1, frozenset({(7,), (8,)}))]
+
+    def test_tuple_sets_false_leaves_rows_alone(self):
+        # The request-only mode is exactly the footnote-2 coalescer.
+        msgs = [
+            TupleMessage(0, 1, (1,)),
+            TupleMessage(0, 1, (2,)),
+            TupleRequest(0, 2, ("a",), 1),
+            TupleRequest(0, 2, ("b",), 2),
+        ]
+        out = coalesce_batch(msgs, tuple_sets=False)
+        assert out[:2] == msgs[:2]
+        assert out[2] == PackagedTupleRequest(0, 2, (("a",), ("b",)), 2)
+
+    def test_mixed_requests_then_rows_on_one_channel(self):
+        # A channel switch from requests to rows is a run break even though
+        # sender/receiver match.
+        msgs = [
+            TupleRequest(0, 1, ("a",), 1),
+            TupleRequest(0, 1, ("b",), 2),
+            TupleMessage(0, 1, (1,)),
+            TupleMessage(0, 1, (2,)),
+        ]
+        out = coalesce_batch(msgs)
+        assert out == [
+            PackagedTupleRequest(0, 1, (("a",), ("b",)), 2),
+            TupleSet(0, 1, frozenset({(1,), (2,)})),
+        ]

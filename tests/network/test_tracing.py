@@ -18,14 +18,29 @@ def run_traced(program, **trace_kwargs):
 class TestMessageTrace:
     def test_records_every_message_by_default(self, p1_small):
         trace, engine, result = run_traced(p1_small)
-        assert len(trace.messages) == result.total_messages
+        # The trace sees physical deliveries (a TupleSet is one entry).
+        assert len(trace.messages) == result.physical_messages
         assert trace.dropped == 0
 
     def test_limit_caps_and_counts_dropped(self, p1_small):
         trace, engine, result = run_traced(p1_small, limit=10)
         assert len(trace.messages) == 10
-        assert trace.dropped == result.total_messages - 10
+        assert trace.dropped == result.physical_messages - 10
         assert "further messages" in trace.render(engine.graph)
+
+    def test_tuple_sets_traced_as_single_entries(self):
+        from repro.core.parser import parse_program
+        from repro.workloads import facts_from_tables
+
+        program = parse_program("goal(X, Y) <- e(X, Y).").with_facts(
+            facts_from_tables({"e": [(i, i + 1) for i in range(8)]})
+        )
+        trace, engine, result = run_traced(program)
+        assert result.stats.tuple_sets > 0
+        assert len(trace.messages) == result.physical_messages
+        assert result.total_messages > result.physical_messages
+        text = trace.render(engine.graph)
+        assert "tuple set (" in text and "rows)" in text
 
     def test_protocol_filter(self, p1_small):
         trace, engine, _ = run_traced(p1_small, include_protocol=False)

@@ -79,7 +79,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         answers = result.answers
     elif args.runtime == "mp":
-        from .runtime import evaluate_multiprocessing
+        from .runtime import RetryPolicy, evaluate_multiprocessing
 
         result = evaluate_multiprocessing(
             program,
@@ -87,10 +87,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             coalesce=args.coalesce,
             package_requests=args.package,
             tuple_sets=not args.no_tuple_sets,
+            retry=RetryPolicy(max_attempts=args.retries),
+            fallback=args.fallback,
+            heartbeat_interval=args.heartbeat_interval,
         )
         answers = result.answers
     else:  # pool
-        from .runtime import evaluate_pool
+        from .runtime import RetryPolicy, evaluate_pool
 
         result = evaluate_pool(
             program,
@@ -100,10 +103,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
             coalesce=args.coalesce,
             package_requests=args.package,
             tuple_sets=not args.no_tuple_sets,
+            retry=RetryPolicy(max_attempts=args.retries),
+            fallback=args.fallback,
+            heartbeat_interval=args.heartbeat_interval,
         )
         answers = result.answers
     for row in sorted(answers, key=repr):
         print(", ".join(str(v) for v in row) if row else "true")
+    if args.runtime in ("mp", "pool") and (result.attempts > 1 or result.degraded):
+        # Crash summary: printed even without --stats, because a recovered
+        # or degraded answer is something the caller should know about.
+        outcome = (
+            "degraded to the in-process runtime"
+            if result.degraded
+            else "recovered by retry"
+        )
+        print(
+            f"-- {outcome} after {result.attempts} attempt(s)", file=sys.stderr
+        )
+        for entry in result.failure_log:
+            print(f"--   {entry}", file=sys.stderr)
     if args.stats:
         print("--", file=sys.stderr)
         if args.runtime == "simulator":
@@ -115,8 +134,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"({result.batching_factor:.1f} msgs/batch)",
                 file=sys.stderr,
             )
+            print(
+                f"attempts: {result.attempts}; degraded: {result.degraded}",
+                file=sys.stderr,
+            )
         elif args.runtime == "mp":
             print(f"processes: {result.processes}", file=sys.stderr)
+            print(
+                f"attempts: {result.attempts}; degraded: {result.degraded}",
+                file=sys.stderr,
+            )
     return 0
 
 
@@ -272,6 +299,29 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="pool runtime: messages per cross-shard batch before a forced flush",
+    )
+    run_p.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="mp/pool runtimes: total attempts on worker crash or timeout "
+        "(whole-query re-execution; safe for monotone programs)",
+    )
+    run_p.add_argument(
+        "--fallback",
+        choices=["none", "inprocess"],
+        default="none",
+        help="mp/pool runtimes: after exhausting retries, answer from the "
+        "in-process scheduler instead of raising (result is flagged degraded)",
+    )
+    run_p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="mp/pool runtimes: arm wedged-worker detection — a worker whose "
+        "heartbeat stalls for 2x this interval raises a typed error "
+        "(crash detection is always on)",
     )
     run_p.set_defaults(func=_cmd_run)
 

@@ -93,6 +93,12 @@ class QueryResult:
     # Session-cache accounting (filled by Session; defaults for direct use).
     graph_cache_hit: bool = False
     cache_stats: Optional[CacheStats] = None
+    # Supervision accounting (meaningful when a Session routes the query
+    # through a supervised multiprocess runtime; the in-process scheduler
+    # always answers in one non-degraded attempt).
+    attempts: int = 1
+    degraded: bool = False
+    failure_log: list[str] = field(default_factory=list)
 
     @property
     def total_messages(self) -> int:
@@ -137,6 +143,11 @@ class QueryResult:
         if self.cache_stats is not None:
             hit = "hit" if self.graph_cache_hit else "miss"
             lines.append(f"graph cache: {hit} ({self.cache_stats})")
+        if self.degraded or self.attempts > 1:
+            note = f"supervision: {self.attempts} attempt(s)"
+            if self.degraded:
+                note += ", degraded to the in-process runtime"
+            lines.append(note)
         return "\n".join(lines)
 
     def node_table(self, top: int = 10) -> str:

@@ -38,6 +38,24 @@ once is enough, resets are idempotent), it occupies the receiver's queue
 until delivered (so ``empty_queues()`` still sees it), and the logical
 sent/received accounting weighs it as ``len(rows)`` tuples, leaving the
 Section 3.2 counter argument's meaning unchanged.
+
+Worker *heartbeats* (the supervision layer of the multiprocess runtimes,
+:mod:`repro.runtime.supervision`) do not perturb it either, by
+construction: a heartbeat is a per-worker shared counter bumped by the
+worker loop and read only by the parent supervisor.  It is not a message —
+it travels no channel, lands in no queue, and is never consulted by
+``empty_queues()`` or ``pending_for``, so the visibility invariant the
+protocol rests on ("a computation message keeps ``empty_queues()`` false
+from send to delivery") is untouched; the ``sent``/``received`` transport
+counters and the heartbeat slots are disjoint single-writer arrays.  The
+converse also holds: the protocol never delays a heartbeat, because the
+worker loop bumps it once per iteration including idle polls — only a
+worker truly wedged inside a handler goes silent, which is precisely the
+condition the supervisor is meant to detect.  Recovery after a detected
+failure is whole-query re-execution, sound because evaluation is monotone
+set-semantics Datalog: re-running (or re-delivering) can only re-derive
+tuples that every node deduplicates, so any completed retry computes the
+same least fixpoint the crashed attempt was converging to.
 """
 
 from __future__ import annotations

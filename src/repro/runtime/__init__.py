@@ -1,15 +1,33 @@
-"""Concurrent runtimes for the message network (asyncio, multiprocessing, pool)."""
+"""Concurrent runtimes for the message network (asyncio, multiprocessing, pool).
+
+The multiprocess runtimes are *supervised*: see :mod:`repro.runtime
+.supervision` for crash/stall detection, deterministic retry, and graceful
+degradation, and :mod:`repro.runtime.faults` for the deterministic fault
+injection the chaos suite drives them with.
+"""
 
 from .asyncio_engine import AsyncNetwork, AsyncQueryResult, evaluate_async, run_async
+from .faults import FaultInjectedError, FaultInjector, FaultPlan
 from .multiprocessing_engine import (
     MpNetwork,
     MpQueryResult,
     evaluate_multiprocessing,
 )
 from .pool_engine import PoolQueryResult, ShardRouter, evaluate_pool
+from .supervision import (
+    EvaluationTimeout,
+    RetryPolicy,
+    RuntimeFailure,
+    Supervisor,
+    WorkerCrashError,
+    WorkerStallError,
+)
 
 __all__ = [
     "AsyncNetwork", "AsyncQueryResult", "evaluate_async", "run_async",
     "MpNetwork", "MpQueryResult", "evaluate_multiprocessing",
     "PoolQueryResult", "ShardRouter", "evaluate_pool",
+    "FaultPlan", "FaultInjector", "FaultInjectedError",
+    "RetryPolicy", "Supervisor", "RuntimeFailure",
+    "WorkerCrashError", "WorkerStallError", "EvaluationTimeout",
 ]

@@ -1,0 +1,165 @@
+"""Deterministic fault injection for the multiprocess runtimes.
+
+The chaos suite's contract with the runtimes: a :class:`FaultPlan` describes
+*one* misbehavior — kill a worker after its n-th delivery, wedge it in a
+busy-wait that stops its heartbeat, raise inside a node's message handler,
+drop a STOP sentinel during teardown, or delay a worker's channel ingest —
+and the runtimes apply it at well-defined points of their worker loops.
+Because evaluation is monotone set-semantics Datalog (every node
+deduplicates), any fault that is survived by retry or re-delivery must leave
+the answer set byte-identical to the in-process runtime; the tests in
+``tests/runtime/test_fault_tolerance.py`` assert exactly that.
+
+Plans are deterministic on purpose: "kill worker 0 after 3 deliveries" is
+reproducible, unlike probabilistic chaos, so a failing matrix entry is a
+debuggable bug report.
+
+Worker indices mean: the shard id in the pooled runtime, the spawn-order
+slot in the per-node runtime.  ``only_attempt`` restricts a plan to one
+attempt of a retried query (the recover-via-retry tests arm attempt 1 only);
+``None`` applies it to every attempt (the graceful-degradation tests).
+
+Plans can also come from the environment (``REPRO_FAULTS`` as a JSON object
+of constructor fields), so the CLI and CI can inject faults without code:
+
+    REPRO_FAULTS='{"kill_worker": 0, "kill_after": 3}' \
+        repro-datalog run q.dl --runtime pool --retries 2
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, fields
+from typing import Optional
+
+__all__ = ["FaultInjectedError", "FaultPlan", "FaultInjector"]
+
+#: Environment variable consulted by :meth:`FaultPlan.from_env`.
+FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+
+class FaultInjectedError(RuntimeError):
+    """Raised inside a worker when a plan injects an in-node exception."""
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A single deterministic fault, applied by the runtime worker loops.
+
+    Parameters
+    ----------
+    kill_worker / kill_after:
+        Hard-kill (``os._exit(1)`` — no cleanup, no payload) the given
+        worker after it has delivered ``kill_after`` messages.
+    wedge_worker / wedge_after:
+        Wedge the worker in an endless sleep loop after ``wedge_after``
+        deliveries.  The worker stays alive but stops bumping its
+        heartbeat, which is exactly what the stall detector looks for.
+    raise_in_node / raise_after:
+        Raise :class:`FaultInjectedError` when a node whose label contains
+        ``raise_in_node`` receives its ``raise_after + 1``-th delivery —
+        exercises the worker-exception capture path (structured
+        ``("error", where, traceback)`` payloads).
+    drop_stop_for:
+        During teardown, skip the STOP sentinel for this worker: it must be
+        reaped by the terminate→kill escalation, never hang the caller.
+    delay_worker / delay_seconds:
+        Sleep before every channel ingest at the given worker (a slow
+        channel; answers must not change).
+    only_attempt:
+        Arm the plan only on this (1-based) attempt of a retried query;
+        ``None`` arms it on every attempt.
+    """
+
+    kill_worker: Optional[int] = None
+    kill_after: int = 0
+    wedge_worker: Optional[int] = None
+    wedge_after: int = 0
+    raise_in_node: Optional[str] = None
+    raise_after: int = 0
+    drop_stop_for: Optional[int] = None
+    delay_worker: Optional[int] = None
+    delay_seconds: float = 0.0
+    only_attempt: Optional[int] = None
+
+    def for_attempt(self, attempt: int) -> Optional["FaultPlan"]:
+        """The plan as armed for one attempt (``None`` when inactive)."""
+        if self.only_attempt is None or self.only_attempt == attempt:
+            return self
+        return None
+
+    def injector(self, worker_index: int) -> "FaultInjector":
+        """Per-worker runtime state (delivery counters) for this plan."""
+        return FaultInjector(self, worker_index)
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> Optional["FaultPlan"]:
+        """Parse ``REPRO_FAULTS`` (a JSON object of plan fields), if set."""
+        raw = environ.get(FAULTS_ENV_VAR, "").strip()
+        if not raw or raw.lower() == "none":
+            return None
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{FAULTS_ENV_VAR} must be a JSON object of FaultPlan fields: {exc}"
+            ) from exc
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if not isinstance(data, dict) or unknown:
+            raise ValueError(
+                f"{FAULTS_ENV_VAR}: unknown FaultPlan fields {sorted(unknown)}"
+            )
+        return cls(**data)
+
+
+class FaultInjector:
+    """Per-worker counters that decide *when* a plan's fault fires.
+
+    The worker loops call :meth:`on_delivery` once per delivered message
+    (before handing it to the node) and :meth:`delay` once per channel
+    ingest.  The injector either returns an action for the worker to take
+    (``"kill"`` / ``"wedge"``), raises :class:`FaultInjectedError` (the
+    in-node exception fault), or does nothing.
+    """
+
+    def __init__(self, plan: FaultPlan, worker_index: int) -> None:
+        self.plan = plan
+        self.worker_index = worker_index
+        self.delivered = 0
+        self.raise_hits = 0
+
+    def on_delivery(self, label: Optional[str] = None) -> Optional[str]:
+        """Account one delivery; return an action or raise the injected error."""
+        plan = self.plan
+        self.delivered += 1
+        if (
+            plan.raise_in_node is not None
+            and label is not None
+            and plan.raise_in_node in label
+        ):
+            self.raise_hits += 1
+            if self.raise_hits > plan.raise_after:
+                raise FaultInjectedError(
+                    f"injected failure handling a message at node {label!r} "
+                    f"(delivery {self.raise_hits})"
+                )
+        if plan.kill_worker == self.worker_index and self.delivered > plan.kill_after:
+            return "kill"
+        if plan.wedge_worker == self.worker_index and self.delivered > plan.wedge_after:
+            return "wedge"
+        return None
+
+    def delay(self) -> None:
+        """Sleep if this worker's channel is the one being delayed."""
+        plan = self.plan
+        if plan.delay_worker == self.worker_index and plan.delay_seconds > 0:
+            time.sleep(plan.delay_seconds)
+
+
+def wedge_forever() -> None:  # pragma: no cover - runs in a sacrificed worker
+    """Busy-block without ever bumping a heartbeat (the 'wedged' fault)."""
+    while True:
+        time.sleep(60)

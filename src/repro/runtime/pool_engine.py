@@ -47,14 +47,15 @@ from __future__ import annotations
 import multiprocessing as mp
 import os
 import queue as queue_module
+import traceback
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from multiprocessing.sharedctypes import RawArray
-from typing import Optional
+from typing import Optional, Union
 
 from ..core.adornment import AdornedAtom
 from ..core.program import Program
-from ..core.rulegoal import SipFactory
+from ..core.rulegoal import RuleGoalGraph, SipFactory, build_rule_goal_graph
 from ..core.sips import greedy_sip
 from ..network.engine import MessagePassingEngine, assign_shards
 from ..network.messages import (
@@ -65,6 +66,14 @@ from ..network.messages import (
     logical_size,
 )
 from ..network.nodes import DRIVER_ID
+from ..relational.database import Database
+from .faults import FaultPlan, wedge_forever
+from .supervision import (
+    RetryPolicy,
+    Supervisor,
+    run_with_retry,
+    shutdown_workers,
+)
 
 __all__ = ["PoolQueryResult", "ShardRouter", "evaluate_pool"]
 
@@ -92,6 +101,11 @@ class PoolQueryResult:
     cross_batches: int  # queue puts used to carry them
     driver_last_seq_sent: int  # driver root-stream accounting (parity checks)
     driver_last_upto_ended: int
+    # Supervision accounting: how many executions it took, whether the
+    # answer came from the in-process fallback, and what went wrong.
+    attempts: int = 1
+    degraded: bool = False
+    failure_log: list[str] = field(default_factory=list)
 
     @property
     def batching_factor(self) -> float:
@@ -222,6 +236,62 @@ def _shard_worker(
     batch_size: int,
     result_queue,
     tuple_sets: bool = True,
+    heartbeats=None,
+    poll_interval: float = 0.25,
+    fault_plan: Optional[FaultPlan] = None,
+) -> None:
+    """Supervised entry point: capture worker exceptions as structured payloads.
+
+    Any exception escaping the loop (node code, fault injection, transport)
+    is shipped to the driver as ``("error", where, traceback)`` — flushed
+    through the queue's feeder thread before the hard exit, so the parent
+    re-raises a :class:`WorkerCrashError` with the remote traceback instead
+    of timing out against a silently dead worker.
+    """
+    try:
+        _shard_worker_loop(
+            shard_id,
+            engine,
+            shard_of,
+            inboxes,
+            sent,
+            received,
+            batches,
+            n_shards,
+            batch_size,
+            result_queue,
+            tuple_sets,
+            heartbeats,
+            poll_interval,
+            fault_plan,
+        )
+    except BaseException:  # pragma: no cover - exercised via chaos suite
+        try:
+            result_queue.put(
+                ("error", f"shard {shard_id}", traceback.format_exc())
+            )
+            result_queue.close()
+            result_queue.join_thread()  # flush the payload before dying
+        except Exception:
+            pass
+        os._exit(1)
+
+
+def _shard_worker_loop(
+    shard_id: int,
+    engine: MessagePassingEngine,
+    shard_of: dict[int, int],
+    inboxes: list,
+    sent,
+    received,
+    batches,
+    n_shards: int,
+    batch_size: int,
+    result_queue,
+    tuple_sets: bool,
+    heartbeats,
+    poll_interval: float,
+    fault_plan: Optional[FaultPlan],
 ) -> None:
     """Run one shard's node processes until the stop sentinel arrives."""
     router = ShardRouter(
@@ -241,6 +311,17 @@ def _shard_worker(
         for node_id, process in processes.items()
         if shard_of[node_id] == shard_id
     ]
+    injector = fault_plan.injector(shard_id) if fault_plan is not None else None
+    labels: dict[int, str] = {}
+    if injector is not None:
+        for node_id in processes:
+            if node_id == DRIVER_ID:
+                labels[node_id] = "driver"
+            else:
+                try:
+                    labels[node_id] = engine.graph.node_label(node_id)
+                except KeyError:  # EDB replicas live outside the graph
+                    labels[node_id] = f"edb-replica:{node_id}"
     if shard_of[DRIVER_ID] == shard_id:
         driver = engine.driver
         root_stream = driver.feeders[engine.graph.root]
@@ -263,6 +344,13 @@ def _shard_worker(
     inbox = inboxes[shard_id]
     protocol_spin = 0
     while True:
+        # 0) Heartbeat: one bump per loop iteration.  Idle iterations bump
+        #    too (the blocking get below polls at ``poll_interval``), so a
+        #    healthy worker — busy or blocked on input — always beats; only
+        #    a worker wedged inside a handler goes silent.
+        if heartbeats is not None:
+            heartbeats[shard_id] += 1
+
         # 1) Drain the OS inbox without blocking, so arriving work is
         #    interleaved with local delivery and pending counts stay fresh.
         while True:
@@ -272,6 +360,8 @@ def _shard_worker(
                 break
             if item == _STOP:
                 return
+            if injector is not None:
+                injector.delay()
             router.ingest(item)
 
         # 2) Deliver one local message.
@@ -286,12 +376,20 @@ def _shard_worker(
                 if item is not None:
                     if item == _STOP:
                         return
+                    if injector is not None:
+                        injector.delay()
                     router.ingest(item)
             message = router.local.popleft()
             router.local_pending[message.receiver] -= 1
             protocol_spin = (
                 0 if isinstance(message, COMPUTATION_TYPES) else protocol_spin + 1
             )
+            if injector is not None:
+                action = injector.on_delivery(labels.get(message.receiver))
+                if action == "kill":  # pragma: no cover - the worker dies
+                    os._exit(1)
+                if action == "wedge":  # pragma: no cover - reaped by teardown
+                    wedge_forever()
             process = processes[message.receiver]
             process.handle(message, router)  # type: ignore[arg-type]
             process.on_idle_check(router)  # type: ignore[arg-type]
@@ -301,7 +399,9 @@ def _shard_worker(
         #    check (in the simulator each delivery checks only its receiver,
         #    and the receiver of this shard's *last* delivery may not be the
         #    leader whose probe is now due), ship buffered batches, then
-        #    block for remote input.
+        #    block for remote input.  The block is a bounded poll rather
+        #    than an indefinite get so the heartbeat above keeps beating
+        #    while the worker waits.
         for process in hosted:
             if process._request_buffer:
                 process.flush_requests(router)  # type: ignore[arg-type]
@@ -310,58 +410,60 @@ def _shard_worker(
         router.flush()
         if router.local:
             continue
-        item = inbox.get()
+        try:
+            item = inbox.get(timeout=poll_interval)
+        except queue_module.Empty:
+            continue
         if item == _STOP:
             return
+        if injector is not None:
+            injector.delay()
         router.ingest(item)
 
 
-def evaluate_pool(
+def _pool_attempt(
     program: Program,
-    sip_factory: SipFactory = greedy_sip,
-    query_goal: Optional[AdornedAtom] = None,
-    workers: Optional[int] = None,
-    batch_size: int = 64,
-    timeout: float = 120.0,
-    coalesce: bool = False,
-    package_requests: bool = False,
-    edb_shards: Optional[int] = None,
-    tuple_sets: bool = True,
+    graph: RuleGoalGraph,
+    n_shards: int,
+    batch_size: int,
+    timeout: float,
+    package_requests: bool,
+    replicas: int,
+    tuple_sets: bool,
+    database: Optional[Database],
+    heartbeat_interval: Optional[float],
+    fault_plan: Optional[FaultPlan],
 ) -> PoolQueryResult:
-    """Evaluate the query on a pool of shard workers with batched channels.
-
-    ``workers`` defaults to ``os.cpu_count()``; ``edb_shards`` (how many
-    hash-partition replicas each "d"-bound EDB leaf gets) defaults to
-    ``workers``.  With ``tuple_sets`` on (default), producers emit packaged
-    answer sets, batches carry them natively, and ingest merges adjacent
-    rows, so cross-shard counters (``cross_messages``) are in logical
-    tuples.  Raises ``TimeoutError`` if the distributed computation does
-    not deliver its end message within ``timeout`` seconds.
-    """
-    n_shards = workers if workers is not None else (os.cpu_count() or 1)
-    n_shards = max(1, n_shards)
-    replicas = edb_shards if edb_shards is not None else n_shards
-
+    """One supervised execution: fork, wait under the supervisor, tear down."""
     context = mp.get_context("fork")
+    # A fresh engine per attempt: worker-side state (the driver's posed
+    # query, node relations) dies with the attempt's forks, and the shared
+    # prebuilt graph makes reconstruction a dictionary lookup, not a parse.
     engine = MessagePassingEngine(
         program,
-        sip_factory=sip_factory,
-        query_goal=query_goal,
         validate_protocol=False,  # the oracle belongs to the simulator
-        coalesce=coalesce,
         package_requests=package_requests,
         edb_shards=replicas,
         tuple_sets=tuple_sets,
+        database=database,
+        graph=graph,
     )
     shard_of = assign_shards(engine, n_shards)
 
     inboxes = [context.Queue() for _ in range(n_shards)]
     result_queue = context.Queue()
-    # Single-writer transport counters (see ShardRouter): allocated before
-    # the fork so every worker maps the same shared memory.
+    # Single-writer transport counters (see ShardRouter) plus one heartbeat
+    # slot per worker: allocated before the fork so every worker maps the
+    # same shared memory.  Heartbeats are supervision-only — they are never
+    # read by ``pending_for``/``empty_queues()``, so the Section 3.2
+    # visibility invariant is untouched (see docs/protocol.md).
     sent = RawArray("q", n_shards * n_shards)
     received = RawArray("q", n_shards * n_shards)
     batches = RawArray("q", n_shards * n_shards)
+    heartbeats = RawArray("q", n_shards)
+    poll_interval = (
+        max(0.01, heartbeat_interval / 4.0) if heartbeat_interval else 0.25
+    )
 
     workers_list = [
         context.Process(
@@ -378,6 +480,9 @@ def evaluate_pool(
                 batch_size,
                 result_queue,
                 tuple_sets,
+                heartbeats,
+                poll_interval,
+                fault_plan,
             ),
             daemon=True,
         )
@@ -386,24 +491,34 @@ def evaluate_pool(
     for worker in workers_list:
         worker.start()
 
+    supervisor = Supervisor(
+        workers_list,
+        result_queue,
+        heartbeats=heartbeats,
+        heartbeat_interval=heartbeat_interval,
+        labels=[f"shard {shard_id}" for shard_id in range(n_shards)],
+        what="pooled evaluation",
+    )
     try:
-        kind, answers, driver_accounting = result_queue.get(timeout=timeout)
-    except queue_module.Empty as exc:
-        raise TimeoutError(
-            f"pooled evaluation did not complete within {timeout}s"
-        ) from exc
+        _, answers, driver_accounting = supervisor.wait(timeout)
     finally:
-        for inbox in inboxes:
-            inbox.put(_STOP)
-        for worker in workers_list:
-            worker.join(timeout=5)
-            if worker.is_alive():  # pragma: no cover - cleanup path
-                worker.terminate()
-        for inbox in inboxes:
-            inbox.close()
-            inbox.cancel_join_thread()
+        def send_stop() -> None:
+            for shard_id, inbox in enumerate(inboxes):
+                if fault_plan is not None and fault_plan.drop_stop_for == shard_id:
+                    continue  # injected fault: this worker never hears STOP
+                try:
+                    inbox.put_nowait(_STOP)
+                except Exception:  # full/closed/broken: escalation reaps it
+                    pass
 
-    assert kind == "done"
+        shutdown_workers(workers_list, send_stop)
+        for q in [*inboxes, result_queue]:
+            try:
+                q.close()
+                q.cancel_join_thread()
+            except Exception:  # pragma: no cover - defensive cleanup
+                pass
+
     total_sent = sum(sent)
     total_batches = sum(batches)
     return PoolQueryResult(
@@ -415,3 +530,104 @@ def evaluate_pool(
         driver_last_seq_sent=driver_accounting[0],
         driver_last_upto_ended=driver_accounting[1],
     )
+
+
+def evaluate_pool(
+    program: Program,
+    sip_factory: SipFactory = greedy_sip,
+    query_goal: Optional[AdornedAtom] = None,
+    workers: Optional[int] = None,
+    batch_size: int = 64,
+    timeout: float = 120.0,
+    coalesce: bool = False,
+    package_requests: bool = False,
+    edb_shards: Optional[int] = None,
+    tuple_sets: bool = True,
+    retry: Union[RetryPolicy, int, None] = None,
+    fallback: str = "none",
+    heartbeat_interval: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    graph: Optional[RuleGoalGraph] = None,
+    database: Optional[Database] = None,
+) -> PoolQueryResult:
+    """Evaluate the query on a supervised pool of shard workers.
+
+    ``workers`` defaults to ``os.cpu_count()``; ``edb_shards`` (how many
+    hash-partition replicas each "d"-bound EDB leaf gets) defaults to
+    ``workers``.  With ``tuple_sets`` on (default), producers emit packaged
+    answer sets, batches carry them natively, and ingest merges adjacent
+    rows, so cross-shard counters (``cross_messages``) are in logical
+    tuples.
+
+    Fault tolerance: every attempt runs under a :class:`Supervisor` —
+    a crashed worker raises :class:`~repro.runtime.supervision
+    .WorkerCrashError` (with the remote traceback when the worker could
+    report one), a wedged worker raises ``WorkerStallError`` within
+    ``2 × heartbeat_interval`` when ``heartbeat_interval`` is set, and the
+    global ``timeout`` raises ``EvaluationTimeout`` (a ``TimeoutError``).
+    ``retry`` (a :class:`RetryPolicy` or an attempt count) re-executes the
+    whole query on such failures — sound because monotone set-semantics
+    evaluation reaches the same least fixpoint on re-execution — reusing
+    the prebuilt ``graph`` so retries skip graph construction.
+    ``fallback="inprocess"`` answers from the single-process scheduler
+    after retries are exhausted, with ``degraded=True`` and the per-attempt
+    ``failure_log`` recorded on the result.  ``fault_plan`` (or the
+    ``REPRO_FAULTS`` environment variable) injects deterministic faults
+    for testing.
+    """
+    if fallback not in ("none", "inprocess"):
+        raise ValueError(f"unknown fallback {fallback!r}; use 'none' or 'inprocess'")
+    n_shards = workers if workers is not None else (os.cpu_count() or 1)
+    n_shards = max(1, n_shards)
+    replicas = edb_shards if edb_shards is not None else n_shards
+    policy = RetryPolicy.of(retry)
+    plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+    if graph is None:
+        graph = build_rule_goal_graph(
+            program, sip_factory, query_goal=query_goal, coalesce=coalesce
+        )
+
+    def attempt(number: int) -> PoolQueryResult:
+        return _pool_attempt(
+            program,
+            graph,
+            n_shards,
+            batch_size,
+            timeout,
+            package_requests,
+            replicas,
+            tuple_sets,
+            database,
+            heartbeat_interval,
+            plan.for_attempt(number) if plan is not None else None,
+        )
+
+    def degraded_fallback() -> PoolQueryResult:
+        engine = MessagePassingEngine(
+            program,
+            package_requests=package_requests,
+            tuple_sets=tuple_sets,
+            database=database,
+            graph=graph,
+        )
+        in_process = engine.run()
+        stream = engine.driver.feeders[engine.graph.root]
+        return PoolQueryResult(
+            answers=set(in_process.answers),
+            completed=in_process.completed,
+            workers=0,  # no pool answered this query
+            cross_messages=0,
+            cross_batches=0,
+            driver_last_seq_sent=stream.last_seq_sent,
+            driver_last_upto_ended=stream.last_upto_ended,
+        )
+
+    result, attempts, degraded, failure_log = run_with_retry(
+        attempt,
+        policy,
+        degraded_fallback if fallback == "inprocess" else None,
+    )
+    result.attempts = attempts
+    result.degraded = degraded
+    result.failure_log = list(failure_log)
+    return result

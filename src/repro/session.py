@@ -86,6 +86,27 @@ class Session:
         LRU bound on cached rule/goal graphs (one per distinct query
         variant).  ``0`` disables graph caching — every query rebuilds
         its graph, the pre-cache behavior.
+    runtime:
+        Which substrate answers queries: ``"simulator"`` (default, the
+        in-process scheduler), ``"pool"`` (supervised shard workers), or
+        ``"mp"`` (supervised one-process-per-node).  The multiprocess
+        runtimes reuse the session's cached graphs — a retry after a
+        worker crash skips graph construction — and the shared database
+        (copy-on-write under fork).
+    workers:
+        Pool runtime only: shard worker count (default: CPU count).
+    retries, backoff:
+        Whole-query re-execution policy for the multiprocess runtimes
+        (``retries`` = max attempts; safe by monotonicity).
+    fallback:
+        ``"inprocess"`` to degrade to the simulator after retries are
+        exhausted (the result is flagged ``degraded``); ``"none"`` to
+        propagate the typed error.
+    heartbeat_interval:
+        Arms wedged-worker (stalled heartbeat) detection in the
+        multiprocess runtimes; ``None`` leaves only crash detection on.
+    timeout:
+        Per-attempt deadline for the multiprocess runtimes.
     """
 
     def __init__(
@@ -97,7 +118,19 @@ class Session:
         tuple_sets: bool = True,
         provenance: bool = False,
         graph_cache_size: int = 64,
+        runtime: str = "simulator",
+        workers: Optional[int] = None,
+        retries: int = 1,
+        backoff: float = 0.0,
+        fallback: str = "none",
+        heartbeat_interval: Optional[float] = None,
+        timeout: float = 120.0,
     ) -> None:
+        if runtime not in ("simulator", "pool", "mp"):
+            raise ValueError(
+                f"unknown session runtime {runtime!r}; "
+                "use 'simulator', 'pool', or 'mp'"
+            )
         if isinstance(source, Program):
             program = source
         else:
@@ -114,6 +147,13 @@ class Session:
         self.package_requests = package_requests
         self.tuple_sets = tuple_sets
         self.provenance = provenance
+        self.runtime = runtime
+        self.workers = workers
+        self.retries = retries
+        self.backoff = backoff
+        self.fallback = fallback
+        self.heartbeat_interval = heartbeat_interval
+        self.timeout = timeout
         self.last_result: Optional[QueryResult] = None
         self._last_engine = None
         # The shared, index-preserving EDB (one build; grown incrementally).
@@ -159,7 +199,10 @@ class Session:
         Variable order follows first occurrence in the query, exactly as the
         ``?-`` syntax.  The full :class:`QueryResult` (messages, protocol
         statistics, the graph, cache accounting) is kept in
-        :attr:`last_result`.
+        :attr:`last_result`; multiprocess runtimes store their own result
+        type there, carrying ``attempts`` / ``degraded`` / ``failure_log``
+        supervision accounting instead of simulator statistics.  ``seed``
+        randomizes delivery latencies in the simulator only.
         """
         from .network.engine import MessagePassingEngine
 
@@ -168,6 +211,13 @@ class Session:
             if atom_.predicate == GOAL_PREDICATE:
                 raise ProgramError(f"'goal' may not be queried directly: {atom_}")
         graph, cache_hit = self._graph_for(atoms)
+        if self.runtime != "simulator":
+            result = self._query_multiprocess(graph)
+            result.graph_cache_hit = cache_hit
+            result.cache_stats = self._graph_cache.stats()
+            self.last_result = result
+            self._last_engine = None  # explain() needs the in-process engine
+            return result.answers
         engine = MessagePassingEngine(
             graph.program,
             sip_factory=self.sip_factory,
@@ -185,6 +235,30 @@ class Session:
         self.last_result = result
         self._last_engine = engine
         return result.answers
+
+    def _query_multiprocess(self, graph: RuleGoalGraph):
+        """Dispatch one query to a supervised multiprocess runtime.
+
+        The session's cached graph is passed through, so retries after a
+        worker crash skip graph construction entirely, and the shared
+        database rides into the workers copy-on-write under fork.
+        """
+        from .runtime import RetryPolicy, evaluate_multiprocessing, evaluate_pool
+
+        retry = RetryPolicy(max_attempts=self.retries, backoff=self.backoff)
+        common = dict(
+            timeout=self.timeout,
+            package_requests=self.package_requests,
+            tuple_sets=self.tuple_sets,
+            retry=retry,
+            fallback=self.fallback,
+            heartbeat_interval=self.heartbeat_interval,
+            graph=graph,
+            database=self._database,
+        )
+        if self.runtime == "pool":
+            return evaluate_pool(graph.program, workers=self.workers, **common)
+        return evaluate_multiprocessing(graph.program, **common)
 
     def ask(self, query: Union[str, Atom, Sequence[Atom]]) -> bool:
         """Boolean query: is the (possibly non-ground) query satisfiable?"""

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import sys
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -50,6 +52,43 @@ class TestRun:
         main(["run", program_file, "--coalesce", "--package"])
         out = capsys.readouterr().out.strip().splitlines()
         assert sorted(out) == ["bob", "cal", "dee"]
+
+
+@pytest.mark.skipif(
+    sys.platform not in ("linux", "darwin"), reason="fork start method required"
+)
+class TestRunSupervised:
+    def test_pool_runtime_with_retries(self, program_file, capsys):
+        assert main(["run", program_file, "--runtime", "pool",
+                     "--workers", "2", "--retries", "2", "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert sorted(captured.out.strip().splitlines()) == ["bob", "cal", "dee"]
+        assert "attempts: 1; degraded: False" in captured.err
+
+    def test_crash_summary_on_recovered_query(self, program_file, capsys, monkeypatch):
+        # Inject a first-attempt kill via the environment (the no-code chaos
+        # path); the retry recovers and the CLI must say so on stderr even
+        # without --stats.
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            '{"kill_worker": 0, "kill_after": 2, "only_attempt": 1}',
+        )
+        assert main(["run", program_file, "--runtime", "pool",
+                     "--workers", "2", "--retries", "2"]) == 0
+        captured = capsys.readouterr()
+        assert sorted(captured.out.strip().splitlines()) == ["bob", "cal", "dee"]
+        assert "recovered by retry after 2 attempt(s)" in captured.err
+        assert "WorkerCrashError" in captured.err
+
+    def test_degraded_summary_on_fallback(self, program_file, capsys, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULTS", '{"kill_worker": 0, "kill_after": 2}'
+        )
+        assert main(["run", program_file, "--runtime", "pool", "--workers", "2",
+                     "--retries", "2", "--fallback", "inprocess"]) == 0
+        captured = capsys.readouterr()
+        assert sorted(captured.out.strip().splitlines()) == ["bob", "cal", "dee"]
+        assert "degraded to the in-process runtime" in captured.err
 
 
 class TestGraph:

@@ -19,7 +19,12 @@ import os
 from typing import Iterable, Sequence
 
 RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
-BENCH_JSON_PATH = os.path.join(os.path.dirname(__file__), "BENCH_PR3.json")
+#: Machine-readable bench records live at the *repo root* so the perf
+#: trajectory across PRs is one flat set of BENCH_*.json files (the PR 3
+#: records originally landed under benchmarks/ and were invisible there).
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_JSON_PATH = os.path.join(REPO_ROOT, "BENCH_PR3.json")
+BENCH_PR5_JSON_PATH = os.path.join(REPO_ROOT, "BENCH_PR5.json")
 
 
 def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
@@ -48,25 +53,26 @@ def ratio(a: float, b: float) -> float:
     return a / b if b else float("inf")
 
 
-def emit_json(record: dict) -> dict:
-    """Append one machine-readable benchmark record to ``BENCH_PR3.json``.
+def emit_json(record: dict, path: str = BENCH_JSON_PATH) -> dict:
+    """Append one machine-readable benchmark record to a root BENCH file.
 
     Each record is a flat-ish dict — by convention ``bench`` (the emitting
     experiment), ``workload``, ``runtime``, ``knobs`` (evaluation options),
     ``seconds`` (wall time), and the logical/physical message counts.  The
     file is a JSON array, rewritten on every append so it is always valid;
     CI uploads it as an artifact and the A/B assertions read wall times
-    from the same numbers the humans see.
+    from the same numbers the humans see.  ``path`` defaults to the PR 3
+    file; the service benchmark passes :data:`BENCH_PR5_JSON_PATH`.
     """
     records = []
-    if os.path.exists(BENCH_JSON_PATH):
+    if os.path.exists(path):
         try:
-            with open(BENCH_JSON_PATH) as handle:
+            with open(path) as handle:
                 records = json.load(handle)
         except (json.JSONDecodeError, OSError):
             records = []
     records.append(record)
-    with open(BENCH_JSON_PATH, "w") as handle:
+    with open(path, "w") as handle:
         json.dump(records, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return record

@@ -1,0 +1,301 @@
+"""Service load benchmark: concurrent clients vs sequential sessions.
+
+The PR 5 headline: serving many clients from ONE SharedSession beats
+giving each client its own single-query session, because (a) the
+Theorem 2.1 graph cache is shared across clients, (b) the EDB and its
+indexes are built once, and (c) **in-flight coalescing** collapses a
+spike of identical queries into one evaluation.
+
+Three phases, all on the 20,439-fact bushy transitive closure from the
+PR 3 bench (27-ary tree, depth 3 — every node reachable):
+
+1. *Sequential baseline*: 8 clients served one after another, each by a
+   fresh cold Session (per-client rebuild — the no-service architecture).
+2. *Cold-cache concurrent service*: the same 8 queries fired at once by
+   8 client threads against a cold server.  Coalescing merges them into
+   one evaluation; the asserted headline is ≥3x throughput, and the
+   ``shared_evaluations`` counter proves the dedup happened.
+3. *Warm mixed load*: 200 requests over 8 clients spread across four
+   query variants, reporting client-side throughput/p50/p99 plus the
+   server's own queue-wait and evaluation histograms.
+
+Records land in ``BENCH_PR5.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import threading
+import time
+
+from _support import BENCH_PR5_JSON_PATH, emit_json, emit_table, ratio
+from repro.service import ServerConfig, ServerThread, ServiceClient, SharedSession
+from repro.session import Session
+from repro.workloads import facts_from_tables, left_recursive_tc_program
+
+N_CLIENTS = 8
+
+
+def tc_bushy_workload(branch: int = 27, depth: int = 3):
+    """The PR 3 set-at-a-time workload: a uniform tree TC, all reachable."""
+    edges = []
+    level = [0]
+    next_id = 1
+    for _ in range(depth):
+        new = []
+        for parent in level:
+            for _ in range(branch):
+                edges.append((parent, next_id))
+                new.append(next_id)
+                next_id += 1
+        level = new
+    program = left_recursive_tc_program(0).with_facts(
+        facts_from_tables({"e": edges})
+    )
+    expected = {(i,) for i in range(1, next_id)}
+    return program, expected, len(edges)
+
+
+QUERY = "t(0, Z)"
+
+
+def sequential_baseline(program, expected):
+    """8 cold single-query sessions, one after another (build + query)."""
+    build_secs = 0.0
+    query_secs = 0.0
+    for _ in range(N_CLIENTS):
+        start = time.perf_counter()
+        session = Session(program)
+        build_secs += time.perf_counter() - start
+        start = time.perf_counter()
+        answers = session.query(QUERY)
+        query_secs += time.perf_counter() - start
+        assert answers == expected
+    return build_secs, query_secs
+
+
+def concurrent_cold_service(program, expected):
+    """The same 8 queries, fired at once against a cold shared server."""
+    shared = SharedSession(program)
+    config = ServerConfig(
+        max_concurrent=N_CLIENTS, max_queue=N_CLIENTS, default_deadline=300.0
+    )
+    barrier = threading.Barrier(N_CLIENTS + 1)
+    replies = [None] * N_CLIENTS
+    errors = []
+
+    def client(i, port):
+        try:
+            with ServiceClient(port=port, timeout=300.0) as c:
+                barrier.wait()
+                replies[i] = c.query(QUERY, timeout=300.0)
+        except Exception as exc:  # propagate to the main thread
+            errors.append(exc)
+            try:
+                barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+
+    with ServerThread(shared, config) as port:
+        threads = [
+            threading.Thread(target=client, args=(i, port)) for i in range(N_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        barrier.wait()  # all clients connected: start the clock
+        start = time.perf_counter()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        stats = shared.stats()
+    for reply in replies:
+        assert reply is not None and set(reply.answers) == expected
+    return wall, replies, stats
+
+
+def warm_mixed_load(program, expected, requests_per_client=25):
+    """Warm-cache mixed load over four query variants; client latencies."""
+    shared = SharedSession(program)
+    config = ServerConfig(
+        max_concurrent=N_CLIENTS, max_queue=4 * N_CLIENTS, default_deadline=300.0
+    )
+    queries = ["t(0, Z)", "t(0, W)", "t(1, Z)", "t(2, Y)"]
+    latencies: list[float] = []
+    lat_lock = threading.Lock()
+    errors = []
+
+    def client(i, port):
+        mine = []
+        try:
+            with ServiceClient(port=port, timeout=300.0) as c:
+                for n in range(requests_per_client):
+                    q = queries[(i + n) % len(queries)]
+                    start = time.perf_counter()
+                    c.query(q, timeout=300.0)
+                    mine.append(time.perf_counter() - start)
+        except Exception as exc:
+            errors.append(exc)
+        with lat_lock:
+            latencies.extend(mine)
+
+    with ServerThread(shared, config) as port:
+        # Prime the graph cache so the phase measures warm serving.
+        with ServiceClient(port=port, timeout=300.0) as c:
+            for q in queries:
+                c.query(q, timeout=300.0)
+        threads = [
+            threading.Thread(target=client, args=(i, port)) for i in range(N_CLIENTS)
+        ]
+        start = time.perf_counter()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - start
+        if errors:
+            raise errors[0]
+        with ServiceClient(port=port, timeout=300.0) as c:
+            server_stats = c.stats()
+    total = N_CLIENTS * requests_per_client
+    quantiles = statistics.quantiles(latencies, n=100)
+    return {
+        "requests": total,
+        "wall": wall,
+        "throughput": total / wall,
+        "p50": quantiles[49],
+        "p99": quantiles[98],
+        "server": server_stats,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller tree and fewer warm requests (CI-sized)",
+    )
+    args = parser.parse_args(argv)
+    branch, depth, per_client = (7, 3, 5) if args.quick else (27, 3, 25)
+
+    program, expected, n_facts = tc_bushy_workload(branch, depth)
+    if not args.quick:
+        assert n_facts >= 20_000
+    print(f"workload: {n_facts}-fact bushy TC, {len(expected)} answers")
+
+    build_secs, query_secs = sequential_baseline(program, expected)
+    seq_total = build_secs + query_secs
+    seq_throughput = N_CLIENTS / seq_total
+
+    svc_wall, replies, svc_stats = concurrent_cold_service(program, expected)
+    svc_throughput = N_CLIENTS / svc_wall
+    coalesced = sum(1 for r in replies if r.coalesced)
+    shared_evals = svc_stats["shared_evaluations"]
+
+    factor = ratio(svc_throughput, seq_throughput)
+    factor_query_only = ratio(svc_throughput, N_CLIENTS / query_secs)
+    emit_table(
+        f"cold-cache: {N_CLIENTS} clients, {n_facts}-fact TC",
+        ["architecture", "wall s", "qps", "coalesced", "shared evals"],
+        [
+            (
+                "sequential sessions",
+                f"{seq_total:.2f}",
+                f"{seq_throughput:.2f}",
+                "-",
+                "-",
+            ),
+            (
+                "concurrent service",
+                f"{svc_wall:.2f}",
+                f"{svc_throughput:.2f}",
+                coalesced,
+                shared_evals,
+            ),
+        ],
+    )
+    emit_table(
+        "headline factors",
+        ["comparison", "factor"],
+        [
+            ("service vs sequential (build+query)", f"{factor:.1f}x"),
+            ("service vs sequential (query only)", f"{factor_query_only:.1f}x"),
+        ],
+    )
+    emit_json(
+        {
+            "bench": "service_cold_coalesce",
+            "workload": f"tc-bushy-{n_facts}",
+            "runtime": "service",
+            "knobs": {"clients": N_CLIENTS, "quick": args.quick},
+            "seconds": round(svc_wall, 4),
+            "sequential_seconds": round(seq_total, 4),
+            "sequential_query_seconds": round(query_secs, 4),
+            "throughput_factor": round(factor, 2),
+            "coalesced_replies": coalesced,
+            "shared_evaluations": shared_evals,
+            "answers": len(expected),
+        },
+        path=BENCH_PR5_JSON_PATH,
+    )
+
+    warm = warm_mixed_load(program, expected, per_client)
+    histograms = warm["server"]["metrics"]["histograms"]
+    emit_table(
+        f"warm mixed load: {warm['requests']} requests, {N_CLIENTS} clients, 4 variants",
+        ["metric", "value"],
+        [
+            ("throughput", f"{warm['throughput']:.1f} qps"),
+            ("p50 latency", f"{warm['p50'] * 1e3:.1f} ms"),
+            ("p99 latency", f"{warm['p99'] * 1e3:.1f} ms"),
+            (
+                "server queue wait p99",
+                f"{histograms['queue_wait_seconds']['p99'] * 1e3:.1f} ms",
+            ),
+            (
+                "server eval p50",
+                f"{histograms['evaluation_seconds']['p50'] * 1e3:.1f} ms",
+            ),
+        ],
+    )
+    emit_json(
+        {
+            "bench": "service_warm_load",
+            "workload": f"tc-bushy-{n_facts}",
+            "runtime": "service",
+            "knobs": {"clients": N_CLIENTS, "variants": 4, "quick": args.quick},
+            "seconds": round(warm["wall"], 4),
+            "requests": warm["requests"],
+            "throughput_qps": round(warm["throughput"], 2),
+            "p50_seconds": round(warm["p50"], 5),
+            "p99_seconds": round(warm["p99"], 5),
+        },
+        path=BENCH_PR5_JSON_PATH,
+    )
+
+    # The acceptance bar: ≥3x throughput with measurable deduplication.
+    failures = []
+    if shared_evals < 1:
+        failures.append("coalescing never shared an evaluation")
+    if not args.quick and factor < 3.0:
+        failures.append(f"service only {factor:.1f}x over sequential sessions")
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"ok: {factor:.1f}x throughput, {coalesced}/{N_CLIENTS} requests coalesced "
+        f"onto {N_CLIENTS - coalesced} evaluation(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

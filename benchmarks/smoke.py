@@ -3,8 +3,10 @@
 Runs a small bushy transitive closure (big enough to form real tuple sets,
 small enough for a CI minute) through every runtime with set-at-a-time
 evaluation on and off, verifies all eight runs return the identical answer
-set, and appends machine-readable records to ``BENCH_PR3.json`` (uploaded
-as a CI artifact).  Exits non-zero on any parity mismatch.
+set, and appends machine-readable records to ``BENCH_PR3.json`` at the
+*repo root* (uploaded as a CI artifact; earlier revisions wrote it under
+``benchmarks/`` where the cross-PR perf trajectory never saw it).  Exits
+non-zero on any parity mismatch.
 
 Usage::
 

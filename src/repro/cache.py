@@ -17,6 +17,7 @@ benchmarking the uncached behavior through the same code path.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Hashable, Iterator, Optional, TypeVar
@@ -61,7 +62,14 @@ class GraphCache:
 
     The values are treated as immutable shared structure: a hit returns
     the very same object that was stored, so callers must not mutate
-    cached graphs.  Not thread-safe; sessions are single-threaded.
+    cached graphs.
+
+    Thread-safe: every operation (including the ``move_to_end`` recency
+    bump inside :meth:`get`) runs under one internal lock, so concurrent
+    queries against a shared session cannot corrupt the LRU ordering or
+    the hit/miss/eviction counters.  The lock is re-entrant, so a holder
+    may call back into the cache (e.g. ``stats()`` inside a traced
+    ``put``) without deadlocking.
     """
 
     def __init__(self, capacity: int = 64) -> None:
@@ -69,6 +77,7 @@ class GraphCache:
             raise ValueError(f"cache capacity must be >= 0, got {capacity}")
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -77,50 +86,57 @@ class GraphCache:
     # ------------------------------------------------------------------
     def get(self, key: Hashable) -> Optional[object]:
         """The cached value for ``key`` (refreshing its recency), or None."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Hashable, value: object) -> None:
         """Store ``value`` under ``key``, evicting the LRU entry if full."""
-        if self.capacity == 0:
-            return
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if self.capacity == 0:
+                return
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
 
     def clear(self) -> int:
         """Drop every entry (rule-set invalidation); returns the count dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.invalidations += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.invalidations += dropped
+            return dropped
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def keys(self) -> Iterator[Hashable]:
-        """Cached keys, least- to most-recently used."""
-        return iter(self._entries.keys())
+        """A snapshot of cached keys, least- to most-recently used."""
+        with self._lock:
+            return iter(list(self._entries.keys()))
 
     def stats(self) -> CacheStats:
         """A point-in-time :class:`CacheStats` snapshot."""
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            invalidations=self.invalidations,
-            size=len(self._entries),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                invalidations=self.invalidations,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )

@@ -7,6 +7,7 @@ Usage examples::
     repro-datalog graph program.dl            # print the rule/goal graph
     repro-datalog trace program.dl --limit 40 # show the message conversation
     repro-datalog bench-session program.dl --repeat 200  # serving benchmark
+    repro-datalog serve program.dl --port 7464           # concurrent query service
 
 The file format is the Prolog-style syntax of :mod:`repro.core.parser`:
 facts, rules (``<-`` or ``:-``), and ``?-`` queries.
@@ -232,6 +233,64 @@ def _cmd_bench_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the concurrent query service over one knowledge-base file."""
+    import asyncio
+    import signal
+
+    from .service import QueryServer, ServerConfig, SharedSession
+
+    program = _load_program(args.file, None, args.data)
+    shared = SharedSession(
+        program,
+        sip_factory=_SIPS[args.sip],
+        coalesce=args.coalesce,
+        package_requests=args.package,
+        tuple_sets=not args.no_tuple_sets,
+        graph_cache_size=args.cache_size,
+        runtime=args.eval_runtime,
+        workers=args.workers,
+    )
+    server = QueryServer(
+        shared,
+        ServerConfig(
+            host=args.host,
+            port=args.port,
+            max_concurrent=args.max_concurrent,
+            max_queue=args.max_queue,
+            default_deadline=args.deadline,
+            drain_timeout=args.drain_timeout,
+        ),
+    )
+
+    async def _main() -> None:
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(
+                    sig, lambda: asyncio.ensure_future(server.shutdown())
+                )
+            except (NotImplementedError, RuntimeError, ValueError):
+                # Non-unix platform or not the main thread (embedded use):
+                # Ctrl-C then lands as KeyboardInterrupt below.
+                pass
+        print(
+            f"serving {args.file} on {server.host}:{server.port} "
+            f"(runtime={args.eval_runtime}, max_concurrent={args.max_concurrent}, "
+            f"max_queue={args.max_queue})",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
+    print("drained and stopped", file=sys.stderr)
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .core.analysis import analyze
 
@@ -341,6 +400,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(analyze_p)
     analyze_p.set_defaults(func=_cmd_analyze)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="serve the knowledge base over TCP (NDJSON protocol, "
+        "concurrent queries, admission control)",
+    )
+    common(serve_p)
+    serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve_p.add_argument(
+        "--port", type=int, default=7464, help="TCP port (0 = ephemeral)"
+    )
+    serve_p.add_argument(
+        "--max-concurrent",
+        type=int,
+        default=4,
+        help="evaluation slots: queries running at once",
+    )
+    serve_p.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="requests allowed to wait for a slot before typed rejection",
+    )
+    serve_p.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="default per-request deadline (queue wait + evaluation)",
+    )
+    serve_p.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="grace period for in-flight evaluations at shutdown",
+    )
+    serve_p.add_argument(
+        "--eval-runtime",
+        choices=["simulator", "pool", "mp"],
+        default="simulator",
+        help="substrate each evaluation dispatches to (see Session runtime=)",
+    )
+    serve_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="pool runtime: shard workers per evaluation",
+    )
+    serve_p.add_argument(
+        "--cache-size",
+        type=int,
+        default=64,
+        help="graph-cache LRU capacity shared by all clients",
+    )
+    serve_p.set_defaults(func=_cmd_serve)
 
     bench_p = sub.add_parser(
         "bench-session",

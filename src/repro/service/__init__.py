@@ -1,0 +1,35 @@
+"""The concurrent query service: serve one knowledge base to many clients.
+
+The paper's network of processes evaluates one query; this package
+turns the PR 1 :class:`~repro.session.Session` into a long-lived,
+concurrency-safe service answering a *stream* of queries against one
+shared EDB/IDB — the serving architecture the Section 1 PIDB/EDB split
+implies.  Layers:
+
+* :mod:`~repro.service.locks` — the readers/writer lock (queries share,
+  mutations exclude);
+* :mod:`~repro.service.shared_session` — :class:`SharedSession`:
+  lock discipline plus in-flight coalescing on the Theorem 2.1 cache key;
+* :mod:`~repro.service.metrics` — counters and fixed-bucket latency
+  histograms behind the ``stats`` op;
+* :mod:`~repro.service.protocol` — the NDJSON wire format and its typed
+  error taxonomy;
+* :mod:`~repro.service.server` — the asyncio TCP server with admission
+  control and graceful drain (``repro serve`` on the command line);
+* :mod:`~repro.service.client` — a small blocking client library.
+"""
+
+from .client import QueryReply, ServiceClient, ServiceClientError
+from .locks import ReadWriteLock
+from .metrics import DEFAULT_LATENCY_BUCKETS, Counter, Histogram, MetricsRegistry
+from .protocol import ERROR_TYPES, OPS, ServiceError
+from .server import QueryServer, ServerConfig, ServerThread
+from .shared_session import QueryOutcome, SharedSession
+
+__all__ = [
+    "SharedSession", "QueryOutcome", "ReadWriteLock",
+    "MetricsRegistry", "Counter", "Histogram", "DEFAULT_LATENCY_BUCKETS",
+    "QueryServer", "ServerConfig", "ServerThread",
+    "ServiceClient", "ServiceClientError", "QueryReply",
+    "ServiceError", "ERROR_TYPES", "OPS",
+]

@@ -1,0 +1,185 @@
+"""A small blocking client for the query service.
+
+Speaks the NDJSON protocol of :mod:`repro.service.protocol` over one
+TCP connection.  Typed server failures surface as
+:class:`ServiceClientError` carrying the wire ``error_type``, so
+callers can branch on ``overloaded`` vs ``deadline_exceeded`` vs their
+own ``bad_request`` without string matching.
+
+>>> from repro.service import ServiceClient          # doctest: +SKIP
+>>> with ServiceClient(port=7464) as client:         # doctest: +SKIP
+...     client.query("anc(ann, Z)").answers
+{('bob',), ('cal',)}
+
+One request is in flight per connection at a time (an internal lock
+serializes callers), matching the server's per-connection sequential
+dispatch; use one client per thread for concurrent load.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .protocol import encode, wire_to_rows
+
+__all__ = ["ServiceClient", "ServiceClientError", "QueryReply"]
+
+
+class ServiceClientError(Exception):
+    """A typed failure response (or transport problem) from the service."""
+
+    def __init__(self, error_type: str, message: str, payload: Optional[dict] = None):
+        self.error_type = error_type
+        self.payload = payload or {}
+        super().__init__(f"{error_type}: {message}")
+
+
+@dataclass(frozen=True)
+class QueryReply:
+    """A successful ``query``/``ask`` response, answers restored to tuples."""
+
+    answers: frozenset
+    coalesced: bool
+    shared: int
+    cache_hit: bool
+    elapsed: float
+    attempts: int = 1
+    degraded: bool = False
+    raw: dict = field(default_factory=dict, compare=False, repr=False)
+
+
+class ServiceClient:
+    """A blocking NDJSON client; connects lazily on first call."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7464,
+        timeout: float = 30.0,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.connect_timeout = connect_timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    def connect(self) -> "ServiceClient":
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+            sock.settimeout(self.timeout)
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        file, sock = self._file, self._sock
+        self._file = self._sock = None
+        if file is not None:
+            try:
+                file.close()
+            except OSError:
+                pass
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def call(self, op: str, **fields) -> dict:
+        """One raw request/response round trip; raises on error payloads."""
+        with self._lock:
+            self.connect()
+            self._next_id += 1
+            request = {"id": self._next_id, "op": op, **fields}
+            try:
+                self._file.write(encode(request))
+                self._file.flush()
+                line = self._file.readline()
+            except (OSError, ValueError) as exc:
+                self.close()
+                raise ServiceClientError("transport", f"connection failed: {exc}") from exc
+        if not line:
+            self.close()
+            raise ServiceClientError("transport", "server closed the connection")
+        try:
+            response = json.loads(line)
+        except ValueError as exc:
+            self.close()
+            raise ServiceClientError("transport", f"unparseable response: {exc}") from exc
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise ServiceClientError(
+                error.get("type", "internal"),
+                error.get("message", "unknown failure"),
+                response,
+            )
+        return response
+
+    # ------------------------------------------------------------------
+    def query(self, query: str, timeout: Optional[float] = None) -> QueryReply:
+        """Evaluate; the reply carries answers plus serving accounting."""
+        fields = {"query": query}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        response = self.call("query", **fields)
+        return QueryReply(
+            answers=frozenset(wire_to_rows(response.get("answers"))),
+            coalesced=bool(response.get("coalesced")),
+            shared=int(response.get("shared", 1)),
+            cache_hit=bool(response.get("cache_hit")),
+            elapsed=float(response.get("elapsed", 0.0)),
+            attempts=int(response.get("attempts", 1)),
+            degraded=bool(response.get("degraded", False)),
+            raw=response,
+        )
+
+    def ask(self, query: str, timeout: Optional[float] = None) -> bool:
+        """Boolean query against the service."""
+        fields = {"query": query}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        return bool(self.call("ask", **fields).get("result"))
+
+    def add_facts(self, facts: str, timeout: Optional[float] = None) -> dict:
+        fields = {"facts": facts}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        return self.call("add_facts", **fields)
+
+    def add_rules(self, rules: str, timeout: Optional[float] = None) -> dict:
+        fields = {"rules": rules}
+        if timeout is not None:
+            fields["timeout"] = timeout
+        return self.call("add_rules", **fields)
+
+    def stats(self) -> dict:
+        """The server's metrics/session/server snapshot."""
+        return self.call("stats")["stats"]
+
+    def ping(self) -> bool:
+        return bool(self.call("ping").get("ok"))
+
+    def shutdown(self) -> dict:
+        """Ask the server to drain and stop; closes this connection."""
+        try:
+            return self.call("shutdown")
+        finally:
+            self.close()

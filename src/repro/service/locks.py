@@ -1,0 +1,96 @@
+"""A writer-preferring readers/writer lock for the serving layer.
+
+The serving concurrency discipline (docs/architecture.md, "Serving")
+needs exactly one primitive the stdlib does not provide: many queries
+may evaluate against the shared ``Database``/``GraphCache`` at once
+(Theorem 2.1 — evaluation never mutates the EDB or the IDB), while
+``add_facts``/``add_rules`` need the structures to themselves for their
+validate-then-commit flush.  That is a classic readers/writer lock.
+
+Writer preference: once a writer is waiting, new readers queue behind
+it.  Queries are frequent and short; without preference a steady read
+load would starve mutations forever.  The lock is **not** re-entrant —
+a reader acquiring the write lock (or vice versa) deadlocks, which is
+fine here because :class:`~repro.service.shared_session.SharedSession`
+is the only caller and keeps its critical sections flat.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+__all__ = ["ReadWriteLock"]
+
+
+class ReadWriteLock:
+    """Many concurrent readers or one writer, writers preferred.
+
+    Use the :meth:`read_locked` / :meth:`write_locked` context managers;
+    the raw acquire/release pairs exist for callers that cannot scope
+    the hold to one frame.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+        # Lifetime accounting (test/observability hooks, no lock needed
+        # beyond _cond which every mutation already holds).
+        self.reads_acquired = 0
+        self.writes_acquired = 0
+        self.max_concurrent_readers = 0
+
+    # ------------------------------------------------------------------
+    def acquire_read(self) -> None:
+        """Block until no writer is active or waiting, then join the readers."""
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+            self.reads_acquired += 1
+            if self._readers > self.max_concurrent_readers:
+                self.max_concurrent_readers = self._readers
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        """Block until the structure is quiescent, then take exclusive hold."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer_active or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer_active = True
+            self.writes_acquired += 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._writer_active = False
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def read_locked(self):
+        """``with rw.read_locked(): ...`` — shared (query) critical section."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """``with rw.write_locked(): ...`` — exclusive (mutation) section."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()

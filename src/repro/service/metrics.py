@@ -1,0 +1,211 @@
+"""Serving metrics: thread-safe counters and fixed-bucket latency histograms.
+
+A tiny prometheus-shaped registry — enough for the ``stats`` op to
+answer "what has this server been doing" without any dependency.  Two
+instrument kinds:
+
+* :class:`Counter` — a monotonically increasing integer (requests,
+  rejections, cache hits, messages, retries …);
+* :class:`Histogram` — observations bucketed against a *fixed* ladder
+  of upper bounds (cumulative, prometheus ``le`` style), carrying count
+  and sum so both averages and percentile estimates fall out.  Fixed
+  buckets keep ``observe()`` O(#buckets) with zero allocation, and make
+  snapshots from different servers mergeable by simple addition.
+
+Percentiles are *estimates*: :meth:`Histogram.quantile` interpolates
+linearly inside the bucket that crosses the requested rank, which is
+exact at bucket edges and at worst one bucket wide in error — the usual
+trade for never storing raw samples.
+
+Every instrument takes its own lock (uncontended in the common case);
+:meth:`MetricsRegistry.snapshot` is therefore a consistent-per-
+instrument (not globally atomic) JSON-safe view.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Upper bounds (seconds) spanning sub-millisecond protocol work up to
+#: the multiprocess runtimes' default 120s deadline; +Inf is implicit.
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0,
+)
+
+
+class Counter:
+    """A named, thread-safe, monotonically increasing counter."""
+
+    __slots__ = ("name", "help", "_value", "_lock")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be >= 0: counters never go down)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease ({amount})")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self._value})"
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram with count/sum and quantiles."""
+
+    def __init__(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> None:
+        if not buckets:
+            raise ValueError(f"histogram {name} needs at least one bucket")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram {name} has duplicate bucket bounds")
+        self.name = name
+        self.help = help
+        self.bounds = bounds  # finite upper bounds; +Inf is implicit
+        self._counts = [0] * (len(bounds) + 1)  # last slot = +Inf overflow
+        self._count = 0
+        self._sum = 0.0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def observe(self, value: float) -> None:
+        """Record one observation (e.g. a latency in seconds)."""
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self._counts[i] += 1
+                    return
+            self._counts[-1] += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 < q <= 1) from the bucket counts.
+
+        Linear interpolation within the crossing bucket; observations in
+        the +Inf overflow bucket clamp to the largest finite bound (the
+        estimate is then a lower bound).  Returns 0.0 with no data.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile must be in (0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            cumulative = 0
+            lower = 0.0
+            for i, bound in enumerate(self.bounds):
+                in_bucket = self._counts[i]
+                if cumulative + in_bucket >= rank:
+                    fraction = (rank - cumulative) / in_bucket
+                    return lower + fraction * (bound - lower)
+                cumulative += in_bucket
+                lower = bound
+            return self.bounds[-1]
+
+    def snapshot(self) -> dict:
+        """JSON-safe view: count, sum, cumulative buckets, p50/p90/p99."""
+        with self._lock:
+            cumulative = 0
+            buckets: Dict[str, int] = {}
+            for i, bound in enumerate(self.bounds):
+                cumulative += self._counts[i]
+                buckets[repr(bound)] = cumulative
+            buckets["+Inf"] = cumulative + self._counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "buckets": buckets,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self._count})"
+
+
+class MetricsRegistry:
+    """Named instruments, created on first use, snapshotted as one dict.
+
+    ``counter``/``histogram`` are get-or-create and idempotent, so any
+    layer (shared session, server, client-visible ops) can grab the same
+    instrument by name without plumbing objects around.  Re-requesting a
+    name as the *other* kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        with self._lock:
+            existing = self._counters.get(name)
+            if existing is None:
+                if name in self._histograms:
+                    raise ValueError(f"{name!r} is already a histogram")
+                existing = self._counters[name] = Counter(name, help)
+            return existing
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+        help: str = "",
+    ) -> Histogram:
+        with self._lock:
+            existing = self._histograms.get(name)
+            if existing is None:
+                if name in self._counters:
+                    raise ValueError(f"{name!r} is already a counter")
+                existing = self._histograms[name] = Histogram(name, buckets, help)
+            return existing
+
+    def get(self, name: str) -> Optional[object]:
+        """The instrument registered under ``name``, if any."""
+        with self._lock:
+            return self._counters.get(name) or self._histograms.get(name)
+
+    def snapshot(self) -> dict:
+        """A JSON-safe snapshot of every instrument (the ``stats`` payload)."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "histograms": {
+                name: h.snapshot() for name, h in sorted(histograms.items())
+            },
+        }

@@ -1,0 +1,485 @@
+"""The concurrent query service: an asyncio TCP frontend over a SharedSession.
+
+The paper evaluates one query per network of processes; the serving
+layer multiplexes *many* queries over one permanent PIDB/EDB.  The
+server speaks the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` and applies three serving disciplines the
+single-query engine has no notion of:
+
+**Admission control.**  At most ``max_concurrent`` evaluations run at
+once (an asyncio semaphore; each evaluation occupies one thread of a
+dedicated executor).  At most ``max_queue`` further requests may wait
+for a slot; beyond that the server answers ``overloaded`` *immediately*
+— a typed rejection in microseconds beats an unbounded queue melting
+down under a spike.  Every request carries a deadline (its ``timeout``
+field, else ``default_deadline``) spanning queue wait plus evaluation;
+a miss answers ``deadline_exceeded`` (the orphaned evaluation finishes
+on its thread, releases its slot, and — thanks to coalescing and the
+graph cache — its work is not wasted for later identical queries).
+
+**Evaluation offload.**  Evaluations run in a thread pool via
+``run_in_executor``, keeping the event loop free for protocol work.
+The SharedSession's ``runtime=`` option decides what each evaluation
+thread actually does: simulate in-process, or drive the supervised
+pool/mp runtimes from PRs 2–4 (in which case real parallelism comes
+from worker processes, and ``EvaluationTimeout``/retry/degradation
+surface through the same typed error path).
+
+**Graceful drain.**  ``shutdown`` (the op, or :meth:`QueryServer.
+shutdown`) stops accepting connections, lets in-flight evaluations
+finish within ``drain_timeout``, then stops — no severed evaluations,
+no zombie executor threads.
+
+Metrics flow into the same :class:`~repro.service.metrics
+.MetricsRegistry` the SharedSession reports into; the ``stats`` op
+snapshots everything.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.program import ProgramError
+from ..runtime.supervision import EvaluationTimeout, RuntimeFailure
+from .metrics import MetricsRegistry
+from .protocol import (
+    MAX_REQUEST_BYTES,
+    ServiceError,
+    decode_request,
+    encode,
+    error_payload,
+    rows_to_wire,
+)
+from .shared_session import SharedSession
+
+__all__ = ["ServerConfig", "QueryServer", "ServerThread"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables for one :class:`QueryServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port lands on server.port
+    max_concurrent: int = 4  # evaluation slots (executor threads)
+    max_queue: int = 16  # admitted-but-waiting ceiling before rejection
+    default_deadline: float = 30.0  # seconds, queue wait + evaluation
+    max_request_bytes: int = MAX_REQUEST_BYTES
+    drain_timeout: float = 10.0  # grace for in-flight work at shutdown
+
+
+class QueryServer:
+    """Serve one :class:`SharedSession` over TCP with admission control."""
+
+    def __init__(
+        self,
+        shared: SharedSession,
+        config: Optional[ServerConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.shared = shared
+        self.config = config or ServerConfig()
+        self.metrics = metrics if metrics is not None else shared.metrics
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._slots: Optional[asyncio.Semaphore] = None
+        self._stopped: Optional[asyncio.Event] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrent,
+            thread_name_prefix="repro-eval",
+        )
+        self._pending: set = set()  # in-flight evaluation futures
+        self._writers: set = set()  # open connection writers (for drain)
+        self._queue_depth = 0
+        self._draining = False
+        self._shutdown_started = False
+        m = self.metrics
+        self._requests = m.counter("server_requests_total", "requests received")
+        self._rejections = m.counter(
+            "server_rejections_total", "typed overload rejections"
+        )
+        self._deadline_misses = m.counter(
+            "server_deadline_exceeded_total", "requests that outran their deadline"
+        )
+        self._errors = m.counter(
+            "server_errors_total", "requests answered with any error payload"
+        )
+        self._queue_wait = m.histogram(
+            "queue_wait_seconds", help="admission wait before an evaluation slot"
+        )
+        self._request_seconds = m.histogram(
+            "request_seconds", help="full request wall time, admission included"
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and begin accepting; ``self.port`` carries the bound port."""
+        self._slots = asyncio.Semaphore(self.config.max_concurrent)
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_request_bytes + 2,
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    async def serve_forever(self) -> None:
+        """Block until :meth:`shutdown` has fully completed."""
+        assert self._stopped is not None, "call start() first"
+        await self._stopped.wait()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting, drain in-flight evaluations, release the executor."""
+        if self._shutdown_started:
+            await self._stopped.wait()  # type: ignore[union-attr]
+            return
+        self._shutdown_started = True
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        orphans: set = set()
+        pending = set(self._pending)
+        if drain and pending:
+            _, orphans = await asyncio.wait(
+                pending, timeout=self.config.drain_timeout
+            )
+        for writer in list(self._writers):
+            writer.close()
+        # wait=True would block the loop if an orphan is still evaluating;
+        # with no orphans it returns immediately and every thread is joined.
+        self._executor.shutdown(wait=not orphans)
+        self._stopped.set()  # type: ignore[union-attr]
+
+    def run(self) -> None:
+        """Blocking convenience: start and serve until shutdown or Ctrl-C."""
+
+        async def _main() -> None:
+            await self.start()
+            try:
+                await self.serve_forever()
+            finally:
+                await self.shutdown()
+
+        try:
+            asyncio.run(_main())
+        except KeyboardInterrupt:
+            pass
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _send(self, writer: asyncio.StreamWriter, payload: dict) -> bool:
+        if not payload.get("ok", False):
+            self._errors.inc()
+        try:
+            writer.write(encode(payload))
+            await writer.drain()
+            return True
+        except (ConnectionError, RuntimeError):
+            return False
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # The stream limit tripped: the line is longer than
+                    # max_request_bytes and framing is unrecoverable.
+                    await self._send(
+                        writer,
+                        error_payload(
+                            "oversized",
+                            f"request line exceeds {self.config.max_request_bytes} bytes",
+                        ),
+                    )
+                    break
+                if not line:
+                    break  # EOF: client closed
+                if not line.strip():
+                    continue
+                try:
+                    request = decode_request(line, self.config.max_request_bytes)
+                except ServiceError as exc:
+                    rid = getattr(exc, "request_id", None)
+                    if not await self._send(writer, exc.payload(rid)):
+                        break
+                    if exc.error_type == "oversized":
+                        break
+                    continue
+                response, close = await self._dispatch(request)
+                if not await self._send(writer, response):
+                    break
+                if close:
+                    break
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-conversation; evaluations finish solo
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: dict) -> tuple[dict, bool]:
+        """One validated request to one response; (payload, close-conn)."""
+        op = request["op"]
+        rid = request.get("id")
+        self._requests.inc()
+        if op == "ping":
+            return {"id": rid, "ok": True, "op": "ping"}, False
+        if op == "stats":
+            return {"id": rid, "ok": True, "op": "stats", "stats": self._stats()}, False
+        if op == "shutdown":
+            asyncio.get_running_loop().create_task(self.shutdown())
+            return {"id": rid, "ok": True, "op": "shutdown", "draining": True}, True
+        if self._draining:
+            return (
+                error_payload("shutting_down", "server is draining", rid),
+                True,
+            )
+        try:
+            fn = self._work_for(op, request)
+        except ServiceError as exc:
+            return exc.payload(rid), False
+        start = asyncio.get_running_loop().time()
+        deadline = float(request.get("timeout") or self.config.default_deadline)
+        try:
+            await self._admit(deadline)
+        except ServiceError as exc:
+            if exc.error_type == "overloaded":
+                self._rejections.inc()
+            return exc.payload(rid), False
+        queue_wait = asyncio.get_running_loop().time() - start
+        self._queue_wait.observe(queue_wait)
+        try:
+            value = await self._evaluate(fn, deadline - queue_wait)
+        except asyncio.TimeoutError:
+            self._deadline_misses.inc()
+            return (
+                error_payload(
+                    "deadline_exceeded",
+                    f"request missed its {deadline}s deadline "
+                    f"({queue_wait:.3f}s of it queued)",
+                    rid,
+                ),
+                False,
+            )
+        except Exception as exc:
+            return self._failure(exc, rid), False
+        elapsed = asyncio.get_running_loop().time() - start
+        self._request_seconds.observe(elapsed)
+        return self._success(op, rid, value, elapsed), False
+
+    def _work_for(self, op: str, request: dict) -> Callable[[], object]:
+        """The executor thunk for one evaluated op; validates its fields."""
+        if op in ("query", "ask"):
+            text = request.get("query")
+            if not isinstance(text, str) or not text.strip():
+                raise ServiceError("bad_request", f"{op} needs a 'query' string")
+            return lambda: self.shared.query_detailed(text)
+        if op == "add_facts":
+            text = request.get("facts")
+            if not isinstance(text, str):
+                raise ServiceError("bad_request", "add_facts needs a 'facts' string")
+            return lambda: self.shared.add_facts(text)
+        if op == "add_rules":
+            text = request.get("rules")
+            if not isinstance(text, str):
+                raise ServiceError("bad_request", "add_rules needs a 'rules' string")
+            return lambda: self.shared.add_rules(text)
+        raise ServiceError("unknown_op", f"unhandled op {op!r}")  # pragma: no cover
+
+    async def _admit(self, deadline: float) -> None:
+        """Take an evaluation slot, or reject typed — never queue unboundedly."""
+        assert self._slots is not None
+        if self._slots.locked() and self._queue_depth >= self.config.max_queue:
+            raise ServiceError(
+                "overloaded",
+                f"{self.config.max_concurrent} evaluations active, "
+                f"{self._queue_depth} queued (max_queue={self.config.max_queue}); "
+                "retry with backoff",
+            )
+        self._queue_depth += 1
+        try:
+            try:
+                await asyncio.wait_for(self._slots.acquire(), timeout=deadline)
+            except asyncio.TimeoutError:
+                raise ServiceError(
+                    "deadline_exceeded",
+                    f"deadline passed after {deadline:.3f}s waiting for a slot",
+                ) from None
+        finally:
+            self._queue_depth -= 1
+
+    async def _evaluate(self, fn: Callable[[], object], remaining: float):
+        """Offload ``fn`` to the executor under the remaining deadline.
+
+        The slot is released by the future's completion callback — on a
+        deadline miss the evaluation is *orphaned*, keeps its slot until
+        it actually finishes, and its result still lands in the caches.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, fn)
+        self._pending.add(future)
+        future.add_done_callback(self._evaluation_finished)
+        return await asyncio.wait_for(asyncio.shield(future), max(remaining, 0.001))
+
+    def _evaluation_finished(self, future) -> None:
+        self._pending.discard(future)
+        if self._slots is not None:
+            self._slots.release()
+        if not future.cancelled():
+            future.exception()  # retrieve, so orphans never warn at GC
+
+    # ------------------------------------------------------------------
+    # Responses
+    # ------------------------------------------------------------------
+    def _success(self, op: str, rid, value, elapsed: float) -> dict:
+        payload = {"id": rid, "ok": True, "op": op, "elapsed": round(elapsed, 6)}
+        if op in ("query", "ask"):
+            outcome = value  # a QueryOutcome
+            payload.update(
+                coalesced=outcome.coalesced,
+                shared=outcome.shared,
+                cache_hit=outcome.cache_hit,
+                attempts=outcome.attempts,
+                degraded=outcome.degraded,
+            )
+            if op == "query":
+                payload["answers"] = rows_to_wire(outcome.answers)
+                payload["count"] = len(outcome.answers)
+            else:
+                payload["result"] = bool(outcome.answers)
+        return payload
+
+    def _failure(self, exc: Exception, rid) -> dict:
+        if isinstance(exc, ServiceError):
+            return exc.payload(rid)
+        if isinstance(exc, EvaluationTimeout):
+            self._deadline_misses.inc()
+            return error_payload("deadline_exceeded", str(exc), rid)
+        if isinstance(exc, RuntimeFailure):
+            return error_payload(
+                "evaluation_error", str(exc).splitlines()[0], rid
+            )
+        if isinstance(exc, (ProgramError, ValueError, SyntaxError)):
+            return error_payload("bad_request", str(exc), rid)
+        return error_payload(
+            "internal", f"{type(exc).__name__}: {exc}", rid
+        )
+
+    def _stats(self) -> dict:
+        return {
+            "metrics": self.metrics.snapshot(),
+            "session": self.shared.stats(),
+            "server": {
+                "active_evaluations": len(self._pending),
+                "queued": self._queue_depth,
+                "draining": self._draining,
+                "max_concurrent": self.config.max_concurrent,
+                "max_queue": self.config.max_queue,
+            },
+        }
+
+
+# ----------------------------------------------------------------------
+class ServerThread:
+    """A :class:`QueryServer` on a background thread (tests and benchmarks).
+
+    ``start()`` blocks until the server is bound and returns the port;
+    ``stop()`` triggers a graceful drain from any thread and joins.
+    Usable as a context manager::
+
+        with ServerThread(shared) as port:
+            ServiceClient(port=port) ...
+    """
+
+    def __init__(
+        self,
+        shared: SharedSession,
+        config: Optional[ServerConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._shared = shared
+        self._config = config
+        self._metrics = metrics
+        self.server: Optional[QueryServer] = None
+        self.port: Optional[int] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self, timeout: float = 10.0) -> int:
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("query server did not start in time")
+        if self._startup_error is not None:
+            raise RuntimeError("query server failed to start") from self._startup_error
+        assert self.port is not None
+        return self.port
+
+    def _main(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # pragma: no cover - defensive
+            if not self._ready.is_set():
+                self._startup_error = exc
+                self._ready.set()
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self.server = QueryServer(self._shared, self._config, self._metrics)
+        try:
+            await self.server.start()
+        except BaseException as exc:
+            self._startup_error = exc
+            self._ready.set()
+            return
+        self.port = self.server.port
+        self._ready.set()
+        await self.server.serve_forever()
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Graceful drain from any thread; join the server thread."""
+        loop, server, thread = self._loop, self.server, self._thread
+        if thread is None:
+            return
+        if loop is not None and server is not None and thread.is_alive():
+            def _trigger() -> None:
+                asyncio.ensure_future(server.shutdown())
+
+            try:
+                loop.call_soon_threadsafe(_trigger)
+            except RuntimeError:
+                pass  # loop already closed — thread is on its way out
+        thread.join(timeout)
+        if thread.is_alive():
+            raise RuntimeError("query server thread did not stop")
+
+    def __enter__(self) -> int:
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

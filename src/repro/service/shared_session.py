@@ -1,0 +1,292 @@
+"""A concurrency-safe facade over :class:`repro.session.Session`.
+
+The PR 1 session is the serving engine the paper's Section 1 PIDB/EDB
+split implies — one permanent knowledge base, many transient queries —
+but it is single-threaded.  :class:`SharedSession` makes it safe (and
+profitable) to share across threads:
+
+* **Readers/writer discipline** — queries hold a shared read lock for
+  the duration of evaluation, so any number run at once against the
+  immutable-during-read ``Database``/``GraphCache``; ``add_facts`` and
+  ``add_rules`` take the write lock, keeping the session's existing
+  validate-then-commit flush atomic with respect to every in-flight
+  query (a query observes the base either entirely before or entirely
+  after a mutation, never mid-commit).
+
+* **In-flight request coalescing** — the Theorem 2.1 cache key
+  (:meth:`Session.cache_key_for`) is equal exactly when two queries
+  must have equal answers (same IDB fingerprint, same variant
+  signature, same SIP/coalesce options).  A query whose key matches an
+  evaluation already in flight *joins* it: one leader evaluates, every
+  follower waits on the leader's completion event and shares the same
+  answer set.  Under a traffic spike of identical queries the work
+  collapses from N evaluations to one — the in-flight analogue of the
+  graph cache's across-time reuse.
+
+Evaluation itself dispatches through :meth:`Session.run_query`, which
+never touches the session's ``last_result`` slots, so overlapping
+leaders cannot race; the session's ``runtime=`` option still selects
+the simulator or the supervised pool/mp substrates per evaluation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Union
+
+from ..cache import CacheStats
+from ..core.atoms import Atom
+from ..runtime.supervision import EvaluationTimeout
+from ..session import Session
+from .locks import ReadWriteLock
+from .metrics import MetricsRegistry
+
+__all__ = ["SharedSession", "QueryOutcome"]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """One caller's view of one (possibly shared) evaluation."""
+
+    answers: frozenset
+    coalesced: bool  # this caller joined an evaluation another one led
+    shared: int  # total callers served by the evaluation (1 = exclusive)
+    cache_hit: bool  # the rule/goal graph came from the LRU
+    elapsed: float  # evaluation wall seconds (the leader's clock)
+    attempts: int = 1
+    degraded: bool = False
+    failure_log: tuple[str, ...] = ()
+    logical_messages: Optional[int] = None
+    physical_messages: Optional[int] = None
+
+
+class _InFlight:
+    """One in-progress evaluation: completion event + shared outcome."""
+
+    __slots__ = ("done", "joiners", "outcome", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.joiners = 0  # followers that joined before completion
+        self.outcome: Optional[QueryOutcome] = None
+        self.error: Optional[BaseException] = None
+
+
+class SharedSession:
+    """A :class:`Session` safe for concurrent readers and serialized writers.
+
+    Accepts the same construction arguments as :class:`Session` (pass a
+    prebuilt ``session=`` to wrap one instead), plus an optional
+    ``metrics`` registry every operation reports into:
+
+    ``queries_total``, ``coalesced_joins_total``,
+    ``shared_evaluations_total``, ``graph_cache_hits_total`` /
+    ``graph_cache_misses_total``, ``writes_total``, ``retries_total``,
+    ``degraded_total``, ``logical_messages_total`` /
+    ``physical_messages_total`` (counters) and ``evaluation_seconds``
+    (histogram).  The same registry is shared with
+    :class:`repro.service.server.QueryServer` when serving.
+    """
+
+    def __init__(
+        self,
+        source=None,
+        *,
+        session: Optional[Session] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        **session_options,
+    ) -> None:
+        if (source is None) == (session is None):
+            raise ValueError("pass exactly one of source= or session=")
+        self._session = session if session is not None else Session(
+            source, **session_options
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._rw = ReadWriteLock()
+        self._inflight: dict[tuple, _InFlight] = {}
+        self._inflight_lock = threading.Lock()
+        m = self.metrics
+        self._queries = m.counter(
+            "queries_total", "query/ask evaluations requested"
+        )
+        self._joins = m.counter(
+            "coalesced_joins_total", "requests served by joining an in-flight evaluation"
+        )
+        self._shared_evals = m.counter(
+            "shared_evaluations_total", "evaluations that served more than one request"
+        )
+        self._cache_hits = m.counter("graph_cache_hits_total")
+        self._cache_misses = m.counter("graph_cache_misses_total")
+        self._writes = m.counter("writes_total", "add_facts/add_rules commits")
+        self._retries = m.counter(
+            "retries_total", "extra attempts spent by supervised runtimes"
+        )
+        self._degraded = m.counter(
+            "degraded_total", "queries answered by the in-process fallback"
+        )
+        self._logical = m.counter("logical_messages_total")
+        self._physical = m.counter("physical_messages_total")
+        self._eval_seconds = m.histogram(
+            "evaluation_seconds", help="evaluation wall time per leader run"
+        )
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def query(
+        self, query: Union[str, Atom, Sequence[Atom]], timeout: Optional[float] = None
+    ) -> set[tuple]:
+        """Evaluate (possibly by joining an in-flight twin); the answer set."""
+        return set(self.query_detailed(query, timeout=timeout).answers)
+
+    def ask(
+        self, query: Union[str, Atom, Sequence[Atom]], timeout: Optional[float] = None
+    ) -> bool:
+        """Boolean query: is the (possibly non-ground) query satisfiable?"""
+        return bool(self.query_detailed(query, timeout=timeout).answers)
+
+    def query_detailed(
+        self, query: Union[str, Atom, Sequence[Atom]], timeout: Optional[float] = None
+    ) -> QueryOutcome:
+        """Evaluate with full serving accounting (:class:`QueryOutcome`).
+
+        ``timeout`` bounds only a *follower's* wait on the leader it
+        joined — the leader's own evaluation deadline belongs to the
+        runtime (``Session(timeout=...)``) or to the server's admission
+        layer, which enforces per-request deadlines around this call.
+        """
+        self._queries.inc()
+        key = self._session.cache_key_for(query)
+        with self._inflight_lock:
+            entry = self._inflight.get(key)
+            if entry is not None:
+                entry.joiners += 1
+                leader = False
+            else:
+                entry = _InFlight()
+                self._inflight[key] = entry
+                leader = True
+        if leader:
+            return self._lead(key, entry, query)
+        return self._follow(entry, timeout)
+
+    def _lead(self, key: tuple, entry: _InFlight, query) -> QueryOutcome:
+        start = time.perf_counter()
+        try:
+            with self._rw.read_locked():
+                result = self._session.run_query(query)
+            elapsed = time.perf_counter() - start
+            outcome = QueryOutcome(
+                answers=frozenset(result.answers),
+                coalesced=False,
+                shared=1,
+                cache_hit=bool(result.graph_cache_hit),
+                elapsed=elapsed,
+                attempts=getattr(result, "attempts", 1),
+                degraded=bool(getattr(result, "degraded", False)),
+                failure_log=tuple(getattr(result, "failure_log", ()) or ()),
+                logical_messages=getattr(result, "total_messages", None),
+                physical_messages=getattr(result, "physical_messages", None),
+            )
+        except BaseException as exc:
+            with self._inflight_lock:
+                self._inflight.pop(key, None)
+            entry.error = exc
+            entry.done.set()
+            raise
+        # Close the join window, then publish: joiners counted so far (and
+        # only those) share this evaluation.
+        with self._inflight_lock:
+            self._inflight.pop(key, None)
+            shared = 1 + entry.joiners
+        outcome = replace(outcome, shared=shared)
+        entry.outcome = outcome
+        entry.done.set()
+        self._account(outcome)
+        if shared > 1:
+            self._shared_evals.inc()
+        return outcome
+
+    def _follow(self, entry: _InFlight, timeout: Optional[float]) -> QueryOutcome:
+        if not entry.done.wait(timeout):
+            raise EvaluationTimeout(
+                f"coalesced evaluation did not complete within {timeout}s"
+            )
+        self._joins.inc()
+        if entry.error is not None:
+            raise entry.error
+        assert entry.outcome is not None
+        return replace(entry.outcome, coalesced=True)
+
+    def _account(self, outcome: QueryOutcome) -> None:
+        self._eval_seconds.observe(outcome.elapsed)
+        (self._cache_hits if outcome.cache_hit else self._cache_misses).inc()
+        if outcome.attempts > 1:
+            self._retries.inc(outcome.attempts - 1)
+        if outcome.degraded:
+            self._degraded.inc()
+        if outcome.logical_messages is not None:
+            self._logical.inc(outcome.logical_messages)
+        if outcome.physical_messages is not None:
+            self._physical.inc(outcome.physical_messages)
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def add_facts(self, facts) -> None:
+        """Extend the EDB under the write lock (validate-then-commit)."""
+        with self._rw.write_locked():
+            self._session.add_facts(facts)
+        self._writes.inc()
+
+    def add_rules(self, source) -> None:
+        """Extend the IDB under the write lock; flushes the graph cache."""
+        with self._rw.write_locked():
+            self._session.add_rules(source)
+        self._writes.inc()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def session(self) -> Session:
+        """The wrapped single-threaded session (locking is *your* job)."""
+        return self._session
+
+    @property
+    def lock(self) -> ReadWriteLock:
+        return self._rw
+
+    def cache_stats(self) -> CacheStats:
+        return self._session.cache_stats()
+
+    def inflight_count(self) -> int:
+        """How many distinct evaluations are running right now."""
+        with self._inflight_lock:
+            return len(self._inflight)
+
+    def stats(self) -> dict:
+        """A JSON-safe serving summary (cache + coalescing + lock)."""
+        cache = self.cache_stats()
+        return {
+            "queries": self._queries.value,
+            "coalesced_joins": self._joins.value,
+            "shared_evaluations": self._shared_evals.value,
+            "writes": self._writes.value,
+            "inflight": self.inflight_count(),
+            "graph_cache": {
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "evictions": cache.evictions,
+                "invalidations": cache.invalidations,
+                "size": cache.size,
+                "capacity": cache.capacity,
+            },
+            "lock": {
+                "reads_acquired": self._rw.reads_acquired,
+                "writes_acquired": self._rw.writes_acquired,
+                "max_concurrent_readers": self._rw.max_concurrent_readers,
+            },
+        }

@@ -171,6 +171,19 @@ class Session:
         rules.append(query_to_rule(atoms))
         return Program(rules, self._facts)
 
+    def cache_key_for(self, query: Union[str, Atom, Sequence[Atom]]) -> tuple:
+        """The graph-cache key a query resolves to (Theorem 2.1 key).
+
+        Identical for *variant* queries (same predicates, constants, and
+        repeated-variable pattern), different whenever the answer could
+        differ — which also makes it the in-flight coalescing key used by
+        :class:`repro.service.SharedSession`.
+        """
+        atoms = _parse_query_atoms(query)
+        return graph_cache_key(
+            self._rules_fingerprint, atoms, self.sip_factory, self.coalesce
+        )
+
     def _graph_for(self, atoms: Sequence[Atom]) -> tuple[RuleGoalGraph, bool]:
         """The (possibly cached) rule/goal graph for a query; (graph, hit)."""
         key = graph_cache_key(
@@ -204,6 +217,28 @@ class Session:
         supervision accounting instead of simulator statistics.  ``seed``
         randomizes delivery latencies in the simulator only.
         """
+        result, engine = self._run_query(query, seed)
+        self.last_result = result
+        self._last_engine = engine
+        return result.answers
+
+    def run_query(
+        self, query: Union[str, Atom, Sequence[Atom]], seed: Optional[int] = None
+    ):
+        """Evaluate and return the full result *without* touching session state.
+
+        Unlike :meth:`query` this does not update :attr:`last_result` /
+        :meth:`explain` state, so overlapping calls from different threads
+        (e.g. :class:`repro.service.SharedSession` readers) never race on
+        the result slots.  Shared structures it *does* touch — the graph
+        cache and the database counters — are individually thread-safe or
+        monotone.
+        """
+        result, _ = self._run_query(query, seed)
+        return result
+
+    def _run_query(self, query, seed=None):
+        """Shared evaluation path; returns ``(result, engine_or_None)``."""
         from .network.engine import MessagePassingEngine
 
         atoms = _parse_query_atoms(query)
@@ -215,9 +250,8 @@ class Session:
             result = self._query_multiprocess(graph)
             result.graph_cache_hit = cache_hit
             result.cache_stats = self._graph_cache.stats()
-            self.last_result = result
-            self._last_engine = None  # explain() needs the in-process engine
-            return result.answers
+            # explain() needs the in-process engine; none exists here.
+            return result, None
         engine = MessagePassingEngine(
             graph.program,
             sip_factory=self.sip_factory,
@@ -232,9 +266,7 @@ class Session:
         result = engine.run()
         result.graph_cache_hit = cache_hit
         result.cache_stats = self._graph_cache.stats()
-        self.last_result = result
-        self._last_engine = engine
-        return result.answers
+        return result, engine
 
     def _query_multiprocess(self, graph: RuleGoalGraph):
         """Dispatch one query to a supervised multiprocess runtime.

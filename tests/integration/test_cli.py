@@ -170,3 +170,37 @@ class TestParser:
     def test_unknown_sip_rejected(self, program_file):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", program_file, "--sip", "bogus"])
+
+
+class TestServeParser:
+    def test_serve_defaults(self, program_file):
+        args = build_parser().parse_args(["serve", program_file])
+        assert args.func.__name__ == "_cmd_serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 7464
+        assert args.max_concurrent == 4
+        assert args.max_queue == 16
+        assert args.deadline == 30.0
+        assert args.drain_timeout == 10.0
+        assert args.eval_runtime == "simulator"
+        assert args.cache_size == 64
+
+    def test_serve_flags_parse(self, program_file):
+        args = build_parser().parse_args(
+            ["serve", program_file, "--port", "0", "--max-concurrent", "8",
+             "--max-queue", "0", "--deadline", "5", "--eval-runtime", "pool",
+             "--workers", "2", "--cache-size", "16"]
+        )
+        assert args.port == 0
+        assert args.max_concurrent == 8
+        assert args.max_queue == 0
+        assert args.deadline == 5.0
+        assert args.eval_runtime == "pool"
+        assert args.workers == 2
+        assert args.cache_size == 16
+
+    def test_serve_rejects_unknown_runtime(self, program_file):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["serve", program_file, "--eval-runtime", "bogus"]
+            )

@@ -239,3 +239,63 @@ class TestCacheCorrectness:
         for seed in range(3):
             assert session.query("anc(ann, Z)", seed=seed) == baseline
             assert session.last_result.graph_cache_hit is True
+
+
+class TestGraphCacheThreadSafety:
+    """The LRU is shared across serving threads; counters must stay exact."""
+
+    def test_concurrent_get_put_preserve_counter_invariants(self):
+        import threading
+
+        from repro.cache import GraphCache
+
+        cache = GraphCache(capacity=8)
+        lookups_per_thread = 2000
+
+        def hammer(worker):
+            for i in range(lookups_per_thread):
+                key = (worker * 7 + i) % 16  # 16 keys over 8 slots: evictions
+                if cache.get(key) is None:
+                    cache.put(key, ("graph", key))
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+            assert not t.is_alive()
+        stats = cache.stats()
+        assert stats.hits + stats.misses == 8 * lookups_per_thread
+        assert stats.size <= stats.capacity
+        assert len(list(cache.keys())) == stats.size
+
+    def test_concurrent_clear_never_corrupts(self):
+        import threading
+
+        from repro.cache import GraphCache
+
+        cache = GraphCache(capacity=4)
+        stop = threading.Event()
+
+        def reader_writer():
+            i = 0
+            while not stop.is_set():
+                cache.put(i % 6, i)
+                cache.get((i + 1) % 6)
+                i += 1
+
+        def clearer():
+            for _ in range(50):
+                cache.clear()
+            stop.set()
+
+        threads = [threading.Thread(target=reader_writer) for _ in range(4)]
+        threads.append(threading.Thread(target=clearer))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(30)
+            assert not t.is_alive()
+        stats = cache.stats()
+        assert stats.size <= stats.capacity
+        assert stats.invalidations >= 0  # snapshot is internally consistent

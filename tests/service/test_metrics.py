@@ -1,0 +1,122 @@
+"""The serving metrics registry: counters, histograms, snapshots."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service import Counter, Histogram, MetricsRegistry
+from repro.service.metrics import DEFAULT_LATENCY_BUCKETS
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("requests")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_never_decreases(self):
+        c = Counter("requests")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_concurrent_increments_all_land(self):
+        c = Counter("hammered")
+
+        def hammer():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+
+class TestHistogram:
+    def test_observations_land_in_cumulative_buckets(self):
+        h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(value)
+        snap = h.snapshot()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+        assert snap["buckets"] == {"0.1": 1, "1.0": 3, "10.0": 4, "+Inf": 5}
+
+    def test_quantile_interpolates_within_the_crossing_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(100):
+            h.observe(1.5)  # all in the (1, 2] bucket
+        p50 = h.quantile(0.5)
+        assert 1.0 < p50 <= 2.0
+
+    def test_quantile_overflow_clamps_to_largest_finite_bound(self):
+        h = Histogram("lat", buckets=(1.0,))
+        for _ in range(10):
+            h.observe(100.0)
+        assert h.quantile(0.99) == 1.0
+
+    def test_quantile_empty_and_bad_q(self):
+        h = Histogram("lat", buckets=(1.0,))
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(0.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_rejects_empty_or_duplicate_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=())
+        with pytest.raises(ValueError):
+            Histogram("bad", buckets=(1.0, 1.0))
+
+    def test_default_buckets_span_protocol_to_deadline(self):
+        assert DEFAULT_LATENCY_BUCKETS[0] <= 0.001
+        assert DEFAULT_LATENCY_BUCKETS[-1] >= 120.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x")
+        b = registry.counter("x")
+        assert a is b
+        h1 = registry.histogram("y")
+        h2 = registry.histogram("y")
+        assert h1 is h2
+
+    def test_name_kind_conflicts_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.histogram("x")
+        registry.histogram("y")
+        with pytest.raises(ValueError):
+            registry.counter("y")
+
+    def test_snapshot_is_json_safe(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.histogram("b").observe(0.42)
+        snap = registry.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+        assert snap["counters"]["a"] == 3
+        assert snap["histograms"]["b"]["count"] == 1
+
+    def test_concurrent_creation_yields_one_instrument(self):
+        registry = MetricsRegistry()
+        seen = []
+
+        def create():
+            seen.append(registry.counter("shared"))
+
+        threads = [threading.Thread(target=create) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(c) for c in seen}) == 1

@@ -1,0 +1,102 @@
+"""The NDJSON wire protocol: framing, validation, typed errors, rows."""
+
+import json
+
+import pytest
+
+from repro.service.protocol import (
+    ERROR_TYPES,
+    OPS,
+    ServiceError,
+    decode_request,
+    encode,
+    error_payload,
+    rows_to_wire,
+    wire_to_rows,
+)
+
+
+class TestDecodeRequest:
+    def test_valid_request_round_trips(self):
+        line = encode({"id": 7, "op": "query", "query": "p(X)"})
+        request = decode_request(line)
+        assert request == {"id": 7, "op": "query", "query": "p(X)"}
+
+    def test_malformed_json_is_bad_request(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode_request(b"{nope}")
+        assert excinfo.value.error_type == "bad_request"
+
+    def test_non_object_is_bad_request(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode_request(b"[1, 2, 3]")
+        assert excinfo.value.error_type == "bad_request"
+
+    def test_missing_op_is_bad_request(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode_request(b'{"id": 3}')
+        assert excinfo.value.error_type == "bad_request"
+        assert excinfo.value.request_id == 3  # id still echoed
+
+    def test_unknown_op_is_typed(self):
+        with pytest.raises(ServiceError) as excinfo:
+            decode_request(b'{"op": "explode"}')
+        assert excinfo.value.error_type == "unknown_op"
+
+    def test_oversized_line_is_typed(self):
+        line = encode({"op": "query", "query": "x" * 100})
+        with pytest.raises(ServiceError) as excinfo:
+            decode_request(line, max_bytes=50)
+        assert excinfo.value.error_type == "oversized"
+
+    @pytest.mark.parametrize("timeout", [0, -1, "fast", True])
+    def test_bad_timeout_is_bad_request(self, timeout):
+        line = encode({"op": "ping", "timeout": timeout})
+        with pytest.raises(ServiceError) as excinfo:
+            decode_request(line)
+        assert excinfo.value.error_type == "bad_request"
+
+    def test_every_op_is_accepted(self):
+        for op in OPS:
+            assert decode_request(encode({"op": op}))["op"] == op
+
+
+class TestErrorTaxonomy:
+    def test_service_error_requires_known_type(self):
+        with pytest.raises(ValueError):
+            ServiceError("nonsense", "boom")
+
+    def test_payload_shape(self):
+        payload = ServiceError("overloaded", "queue full").payload(request_id=4)
+        assert payload == {
+            "id": 4,
+            "ok": False,
+            "error": {"type": "overloaded", "message": "queue full"},
+        }
+        assert payload["error"]["type"] in ERROR_TYPES
+
+    def test_error_payload_helper_matches(self):
+        assert error_payload("internal", "x", 1)["error"]["type"] == "internal"
+
+
+class TestRows:
+    def test_round_trip_preserves_primitives(self):
+        rows = {(1, "bob"), (2, "cal")}
+        assert wire_to_rows(rows_to_wire(rows)) == rows
+
+    def test_wire_rows_are_sorted_and_json_safe(self):
+        wire = rows_to_wire({(3,), (1,), (2,)})
+        assert wire == sorted(wire, key=repr)
+        json.dumps(wire)
+
+    def test_rich_values_stringify(self):
+        class Odd:
+            def __str__(self):
+                return "odd"
+
+        assert rows_to_wire([(Odd(),)]) == [["odd"]]
+
+    def test_empty_and_none(self):
+        assert wire_to_rows(None) == set()
+        assert wire_to_rows([]) == set()
+        assert rows_to_wire([]) == []

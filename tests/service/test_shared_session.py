@@ -1,0 +1,323 @@
+"""Concurrency matrix for SharedSession: locks, coalescing, serial parity.
+
+The satellite contract: N threads issuing overlapping queries (identical
+and distinct variants) interleaved with ``add_facts``/``add_rules`` must
+(a) answer exactly what a serial run answers, (b) keep cache stats
+consistent, and (c) report shared evaluations when identical queries
+coalesce.  The coalescing tests make the race window deterministic by
+wrapping the wrapped session's ``run_query`` with a short sleep.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.runtime.supervision import EvaluationTimeout, RuntimeFailure
+from repro.service import ReadWriteLock, SharedSession
+from repro.session import Session
+
+BASE = """
+anc(X, Y) <- par(X, Y).
+anc(X, Y) <- par(X, U), anc(U, Y).
+par(ann, bob).  par(bob, cal).  par(cal, dee).
+par(ann, abe).  par(abe, ada).
+"""
+
+
+def run_threads(n, fn):
+    """Start ``n`` threads over ``fn(i)``; surface the first exception."""
+    errors = []
+    results = [None] * n
+
+    def wrap(i):
+        try:
+            results[i] = fn(i)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrap, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+        assert not t.is_alive(), "worker thread wedged"
+    if errors:
+        raise errors[0]
+    return results
+
+
+def slow_evaluations(shared, delay=0.25):
+    """Widen the coalescing window: every evaluation sleeps first."""
+    original = shared.session.run_query
+
+    def slowed(query, seed=None):
+        time.sleep(delay)
+        return original(query, seed)
+
+    shared.session.run_query = slowed
+    return original
+
+
+class TestReadWriteLock:
+    def test_readers_run_concurrently(self):
+        rw = ReadWriteLock()
+        inside = threading.Barrier(3, timeout=5)
+
+        def reader(_):
+            with rw.read_locked():
+                inside.wait()  # all three must be inside at once
+
+        run_threads(3, reader)
+        assert rw.max_concurrent_readers == 3
+
+    def test_writer_excludes_readers(self):
+        rw = ReadWriteLock()
+        observed = []
+        writing = threading.Event()
+
+        def writer(_):
+            with rw.write_locked():
+                writing.set()
+                time.sleep(0.2)
+                observed.append("write-done")
+
+        def reader(_):
+            writing.wait(5)
+            with rw.read_locked():
+                observed.append("read")
+
+        run_threads(3, lambda i: writer(i) if i == 0 else reader(i))
+        assert observed[0] == "write-done"
+
+    def test_waiting_writer_blocks_new_readers(self):
+        rw = ReadWriteLock()
+        first_reader_in = threading.Event()
+        release_first_reader = threading.Event()
+        order = []
+
+        def long_reader(_):
+            with rw.read_locked():
+                first_reader_in.set()
+                release_first_reader.wait(5)
+
+        def writer(_):
+            first_reader_in.wait(5)
+            with rw.write_locked():
+                order.append("writer")
+
+        def late_reader(_):
+            first_reader_in.wait(5)
+            time.sleep(0.1)  # arrive after the writer queued
+            with rw.read_locked():
+                order.append("late-reader")
+
+        t = threading.Thread(target=long_reader, args=(0,))
+        t.start()
+        first_reader_in.wait(5)
+        tw = threading.Thread(target=writer, args=(0,))
+        tr = threading.Thread(target=late_reader, args=(0,))
+        tw.start()
+        time.sleep(0.05)
+        tr.start()
+        time.sleep(0.2)
+        release_first_reader.set()
+        for thread in (t, tw, tr):
+            thread.join(10)
+            assert not thread.is_alive()
+        assert order == ["writer", "late-reader"]  # writer preference held
+
+
+class TestCoalescing:
+    def test_identical_concurrent_queries_share_one_evaluation(self):
+        shared = SharedSession(BASE)
+        serial = Session(BASE).query("anc(ann, Z)")
+        slow_evaluations(shared)
+        barrier = threading.Barrier(6, timeout=5)
+
+        def client(_):
+            barrier.wait()
+            return shared.query_detailed("anc(ann, Z)")
+
+        outcomes = run_threads(6, client)
+        answer_sets = {frozenset(o.answers) for o in outcomes}
+        assert answer_sets == {frozenset(serial)}
+        leaders = [o for o in outcomes if not o.coalesced]
+        followers = [o for o in outcomes if o.coalesced]
+        assert len(leaders) == 1 and len(followers) == 5
+        assert all(o.shared == 6 for o in outcomes)
+        stats = shared.stats()
+        assert stats["shared_evaluations"] == 1
+        assert stats["coalesced_joins"] == 5
+        assert stats["queries"] == 6
+
+    def test_variant_queries_coalesce_distinct_ones_do_not(self):
+        shared = SharedSession(BASE)
+        slow_evaluations(shared, delay=0.3)
+        barrier = threading.Barrier(3, timeout=5)
+        queries = ["anc(ann, Z)", "anc(ann, W)", "anc(bob, Z)"]  # 2 variants + 1
+
+        def client(i):
+            barrier.wait()
+            return shared.query_detailed(queries[i])
+
+        outcomes = run_threads(3, client)
+        by_query = dict(zip(queries, outcomes))
+        # The two variants share; the different-constant query does not.
+        assert {by_query["anc(ann, Z)"].shared, by_query["anc(ann, W)"].shared} == {2}
+        assert by_query["anc(bob, Z)"].shared == 1
+        assert shared.stats()["shared_evaluations"] == 1
+
+    def test_sequential_identical_queries_do_not_coalesce(self):
+        shared = SharedSession(BASE)
+        first = shared.query_detailed("anc(ann, Z)")
+        second = shared.query_detailed("anc(ann, Z)")
+        assert not first.coalesced and not second.coalesced
+        assert first.shared == second.shared == 1
+        assert shared.stats()["shared_evaluations"] == 0
+        assert second.cache_hit  # across-time reuse is the graph cache's job
+
+    def test_leader_failure_propagates_to_followers(self):
+        shared = SharedSession(BASE)
+
+        def explode(query, seed=None):
+            time.sleep(0.2)
+            raise RuntimeFailure("synthetic evaluation failure")
+
+        shared.session.run_query = explode
+        barrier = threading.Barrier(3, timeout=5)
+
+        def client(_):
+            barrier.wait()
+            with pytest.raises(RuntimeFailure):
+                shared.query_detailed("anc(ann, Z)")
+            return True
+
+        assert run_threads(3, client) == [True, True, True]
+        assert shared.inflight_count() == 0  # the failed entry was reaped
+
+    def test_follower_timeout_is_typed(self):
+        shared = SharedSession(BASE)
+        slow_evaluations(shared, delay=0.6)
+        barrier = threading.Barrier(2, timeout=5)
+
+        def leader(_):
+            barrier.wait()
+            return shared.query_detailed("anc(ann, Z)")
+
+        def impatient(_):
+            barrier.wait()
+            time.sleep(0.1)  # guarantee join, not leadership
+            with pytest.raises(EvaluationTimeout):
+                shared.query_detailed("anc(ann, Z)", timeout=0.05)
+            return True
+
+        results = run_threads(2, lambda i: leader(i) if i == 0 else impatient(i))
+        assert results[1] is True
+        assert frozenset(results[0].answers)  # leader unaffected
+
+
+class TestConcurrencyMatrix:
+    def test_distinct_concurrent_queries_match_serial_run(self):
+        queries = [
+            "anc(ann, Z)",
+            "anc(bob, Z)",
+            "anc(abe, Z)",
+            "anc(cal, Z)",
+            "anc(ann, W)",  # variant of the first
+            "anc(Q, dee)",
+        ]
+        serial_session = Session(BASE)
+        serial = {q: serial_session.query(q) for q in queries}
+        shared = SharedSession(BASE)
+        barrier = threading.Barrier(len(queries), timeout=5)
+
+        def client(i):
+            barrier.wait()
+            return shared.query(queries[i])
+
+        results = run_threads(len(queries), client)
+        for query, answers in zip(queries, results):
+            assert answers == serial[query], query
+        # Cache stats stay consistent: every leader did one lookup.
+        cache = shared.cache_stats()
+        assert cache.hits + cache.misses == shared.stats()["queries"] - shared.stats()["coalesced_joins"]
+        assert cache.size <= cache.capacity
+
+    def test_queries_interleaved_with_add_facts_stay_monotone(self):
+        chain = "t(X, Y) <- e(X, Y). t(X, Y) <- t(X, U), e(U, Y). e(0, 1)."
+        shared = SharedSession(chain)
+        stop = threading.Event()
+        observed = []
+        observed_lock = threading.Lock()
+
+        def reader(_):
+            seen = []
+            while not stop.is_set():
+                seen.append(frozenset(shared.query("t(0, Z)")))
+            with observed_lock:
+                observed.extend(seen)
+            return True
+
+        def writer(_):
+            for nxt in range(2, 10):
+                shared.add_facts(f"e({nxt - 1}, {nxt}).")
+                time.sleep(0.01)
+            stop.set()
+            return True
+
+        run_threads(4, lambda i: writer(i) if i == 0 else reader(i))
+        # Monotone growth: every observation is a closed prefix {1..k}.
+        valid = {frozenset((i,) for i in range(1, k + 1)) for k in range(1, 10)}
+        assert observed, "readers never completed a query"
+        assert set(observed) <= valid
+        # And the final state matches a serial session over the final base.
+        final = Session(chain)
+        final.add_facts(". ".join(f"e({n - 1}, {n})" for n in range(2, 10)) + ".")
+        assert shared.query("t(0, Z)") == final.query("t(0, Z)")
+
+    def test_queries_interleaved_with_add_rules(self):
+        shared = SharedSession(BASE)
+        stop = threading.Event()
+
+        def reader(_):
+            count = 0
+            while not stop.is_set():
+                assert shared.query("anc(ann, Z)")  # must never fail mid-write
+                count += 1
+            return count
+
+        def writer(_):
+            shared.add_rules("desc(X, Y) <- anc(Y, X).")
+            time.sleep(0.05)
+            shared.add_rules("kin(X, Y) <- anc(X, Y). kin(X, Y) <- desc(X, Y).")
+            time.sleep(0.05)
+            stop.set()
+            return 0
+
+        run_threads(3, lambda i: writer(i) if i == 0 else reader(i))
+        assert shared.query("desc(dee, ann)") == {()}
+        assert shared.ask("kin(ann, dee)")
+        # add_rules flushed the cache; the registry saw both invalidations.
+        assert shared.cache_stats().invalidations >= 1
+        assert shared.stats()["writes"] == 2
+        assert shared.lock.writes_acquired == 2
+
+    def test_rejected_write_leaves_session_intact(self):
+        shared = SharedSession(BASE)
+        before = shared.query("anc(ann, Z)")
+        with pytest.raises(Exception):
+            shared.add_facts("anc(x, y).")  # IDB predicate: rejected
+        with pytest.raises(Exception):
+            shared.add_rules("anc(X) <- par(X, Y), missing(Y, Z)")
+        assert shared.query("anc(ann, Z)") == before
+
+    def test_wrapping_an_existing_session(self):
+        session = Session(BASE, graph_cache_size=8)
+        shared = SharedSession(session=session)
+        assert shared.session is session
+        assert shared.query("anc(ann, Z)") == {("bob",), ("cal",), ("dee",), ("abe",), ("ada",)}
+        with pytest.raises(ValueError):
+            SharedSession(BASE, session=session)
+        with pytest.raises(ValueError):
+            SharedSession()

@@ -25,6 +25,7 @@ RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results.txt")
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_JSON_PATH = os.path.join(REPO_ROOT, "BENCH_PR3.json")
 BENCH_PR5_JSON_PATH = os.path.join(REPO_ROOT, "BENCH_PR5.json")
+BENCH_PR6_JSON_PATH = os.path.join(REPO_ROOT, "BENCH_PR6.json")
 
 
 def emit_table(title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:

@@ -1,0 +1,282 @@
+"""Answer-cache benchmark: zipf-mix repeat queries under the service.
+
+The PR 6 headline: real query streams are skewed — a few hot queries
+repeat constantly — and a completed answer set served from the
+versioned answer cache costs a dictionary lookup instead of a fixpoint.
+The workload here is a zipf-distributed mix over distinct TC queries
+(hot head, long tail) fired by concurrent clients at the TCP server,
+run twice: answer cache **off** (every repeat re-evaluates; the PR 5
+architecture) and **on** (repeats under an unchanged ``db_version``
+skip evaluation entirely).
+
+Reported per configuration: throughput, p50/p99, and — for the cached
+run — the *cold* (first-occurrence) vs *repeat* latency split.  The
+acceptance bar from the issue: repeat-query p99 at least **10x** below
+cold p99.  Records land in ``BENCH_PR6.json`` at the repo root, next to
+the PR 5 baseline (7.1 qps / 2.55 s p99 warm mixed load) they improve
+on.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_answer_cache.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import threading
+import time
+
+from _support import (
+    BENCH_PR5_JSON_PATH,
+    BENCH_PR6_JSON_PATH,
+    emit_json,
+    emit_table,
+    ratio,
+)
+from bench_service import tc_bushy_workload
+from repro.service import ServerConfig, ServerThread, ServiceClient, SharedSession
+
+N_CLIENTS = 8
+ZIPF_S = 1.1  # skew exponent: rank r drawn with weight 1/r**s
+
+
+def zipf_schedule(variants: int, requests: int, seed: int = 7464) -> list[str]:
+    """A fixed, seeded zipf-mix request schedule over distinct TC queries.
+
+    Each variant queries reachability from a different start node, so
+    every variant is a distinct Theorem 2.1 cache key (not mere variable
+    renamings of one another).
+    """
+    queries = [f"t({node}, Z)" for node in range(variants)]
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(variants)]
+    rng = random.Random(seed)
+    return [rng.choices(queries, weights=weights)[0] for _ in range(requests)]
+
+
+def drive_load(program, variants, schedule, answer_cache_size):
+    """Prime each variant cold, then fire the zipf mix from N clients.
+
+    The prime phase measures *cold* latencies (one evaluation per
+    distinct query, serial, uncontended); the mix phase then measures
+    the steady state the cache is for — repeat queries under an
+    unchanged ``db_version``.  Returns ``(cold_latencies, records,
+    server_stats, mix_wall)`` with one ``(query, latency,
+    answer_cached, coalesced)`` record per mix request.
+    """
+    shared = SharedSession(program, answer_cache_size=answer_cache_size)
+    config = ServerConfig(
+        max_concurrent=N_CLIENTS, max_queue=4 * N_CLIENTS, default_deadline=300.0
+    )
+    per_client = [schedule[i::N_CLIENTS] for i in range(N_CLIENTS)]
+    records = []
+    rec_lock = threading.Lock()
+    errors = []
+    start_barrier = threading.Barrier(N_CLIENTS + 1)
+
+    def client(i, port):
+        mine = []
+        try:
+            with ServiceClient(port=port, timeout=300.0) as c:
+                start_barrier.wait()
+                for q in per_client[i]:
+                    t0 = time.perf_counter()
+                    reply = c.query(q, timeout=300.0)
+                    mine.append(
+                        (
+                            q,
+                            time.perf_counter() - t0,
+                            reply.answer_cached,
+                            reply.coalesced,
+                        )
+                    )
+        except Exception as exc:  # noqa: BLE001 - surface after join
+            errors.append(exc)
+            try:
+                start_barrier.abort()
+            except threading.BrokenBarrierError:
+                pass
+        with rec_lock:
+            records.extend(mine)
+
+    with ServerThread(shared, config) as port:
+        cold = []
+        with ServiceClient(port=port, timeout=300.0) as c:
+            for node in range(variants):
+                t0 = time.perf_counter()
+                reply = c.query(f"t({node}, Z)", timeout=300.0)
+                cold.append(time.perf_counter() - t0)
+                assert not reply.answer_cached  # genuinely cold
+        threads = [
+            threading.Thread(target=client, args=(i, port)) for i in range(N_CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        start_barrier.wait()
+        wall_start = time.perf_counter()
+        for t in threads:
+            t.join()
+        wall = time.perf_counter() - wall_start
+        if errors:
+            raise errors[0]
+        stats = shared.stats()
+    return cold, records, stats, wall
+
+
+def p(latencies, q):
+    if not latencies:
+        return 0.0
+    if len(latencies) == 1:
+        return latencies[0]
+    return statistics.quantiles(latencies, n=100)[q - 1]
+
+
+def pr5_baseline():
+    """The PR 5 warm-load record this benchmark is measured against."""
+    try:
+        with open(BENCH_PR5_JSON_PATH) as handle:
+            for line in handle:
+                record = json.loads(line)
+                if record.get("bench") == "service_warm_load":
+                    return record
+    except (OSError, ValueError):
+        pass
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller tree and fewer requests (CI-sized)"
+    )
+    args = parser.parse_args(argv)
+    branch, depth, requests, variants = (
+        (7, 3, 96, 8) if args.quick else (27, 3, 240, 16)
+    )
+
+    program, expected, n_facts = tc_bushy_workload(branch, depth)
+    schedule = zipf_schedule(variants, requests)
+    hot_share = schedule.count(schedule[0]) / len(schedule)
+    print(
+        f"workload: {n_facts}-fact bushy TC, {variants} zipf variants over "
+        f"{requests} requests ({hot_share:.0%} to the hottest)"
+    )
+
+    rows = []
+    results = {}
+    for label, cache_size in (("cache off", 0), ("cache on", 256)):
+        cold, records, stats, wall = drive_load(program, variants, schedule, cache_size)
+        latencies = [latency for _, latency, _, _ in records]
+        hits = (stats["answer_cache"] or {}).get("hits", 0)
+        results[label] = {
+            "wall": wall,
+            "qps": len(records) / wall,
+            "p50": p(latencies, 50),
+            "p99": p(latencies, 99),
+            "cold_p99": p(cold, 99),
+            "hits": hits,
+            "evaluations": stats["queries"] - stats["coalesced_joins"] - hits,
+        }
+        r = results[label]
+        rows.append(
+            (
+                label,
+                f"{r['qps']:.1f}",
+                f"{r['cold_p99'] * 1e3:.1f}",
+                f"{r['p50'] * 1e3:.1f}",
+                f"{r['p99'] * 1e3:.1f}",
+                r["hits"],
+                r["evaluations"],
+            )
+        )
+
+    emit_table(
+        f"zipf mix, {N_CLIENTS} clients, {requests} requests, {variants} variants",
+        ["config", "mix qps", "cold p99 ms", "mix p50 ms", "mix p99 ms", "hits", "evals"],
+        rows,
+    )
+
+    on, off = results["cache on"], results["cache off"]
+    # The acceptance bar: with the cache on, the repeat-query (mix) p99
+    # sits >= 10x below the cold (first-evaluation) p99.
+    repeat_factor = ratio(on["cold_p99"], on["p99"])
+    qps_factor = ratio(on["qps"], off["qps"])
+    comparison = [
+        ("repeat p99 vs cold p99 (cache on)", f"{repeat_factor:.0f}x lower"),
+        ("throughput, cache on vs off", f"{qps_factor:.1f}x"),
+    ]
+    baseline = pr5_baseline()
+    if baseline is not None:
+        comparison.append(
+            (
+                "throughput vs PR 5 warm-load baseline",
+                f"{ratio(on['qps'], baseline['throughput_qps']):.1f}x "
+                f"({baseline['throughput_qps']} qps recorded)",
+            )
+        )
+        comparison.append(
+            (
+                "p99 vs PR 5 warm-load baseline",
+                f"{ratio(baseline['p99_seconds'], on['p99']):.1f}x lower "
+                f"({baseline['p99_seconds']} s recorded)",
+            )
+        )
+    emit_table("headline factors", ["comparison", "factor"], comparison)
+
+    emit_json(
+        {
+            "bench": "answer_cache_zipf",
+            "workload": f"tc-bushy-{n_facts}",
+            "runtime": "service",
+            "knobs": {
+                "clients": N_CLIENTS,
+                "variants": variants,
+                "requests": requests,
+                "zipf_s": ZIPF_S,
+                "quick": args.quick,
+            },
+            "seconds": round(on["wall"], 4),
+            "throughput_qps": round(on["qps"], 2),
+            "p50_seconds": round(on["p50"], 6),
+            "p99_seconds": round(on["p99"], 6),
+            "cold_p99_seconds": round(on["cold_p99"], 6),
+            "repeat_vs_cold_factor": round(repeat_factor, 1),
+            "cache_off_qps": round(off["qps"], 2),
+            "cache_off_p99_seconds": round(off["p99"], 6),
+            "answer_cache_hits": on["hits"],
+            "evaluations": on["evaluations"],
+        },
+        path=BENCH_PR6_JSON_PATH,
+    )
+
+    # The full workload's cold evaluations run seconds; quick mode's run
+    # tens of milliseconds, where connection/loop tail latency — not
+    # evaluation — bounds the hit path, so the 10x bar binds full runs
+    # and quick (CI) runs assert a looser sanity factor.
+    required = 10.0 if not args.quick else 2.0
+    failures = []
+    if on["hits"] < 1:
+        failures.append("the answer cache never served a hit")
+    if repeat_factor < required:
+        failures.append(
+            f"repeat p99 only {repeat_factor:.1f}x below cold p99 "
+            f"(need >= {required:.0f}x)"
+        )
+    if failures:
+        print("FAIL: " + "; ".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"ok: repeat p99 {repeat_factor:.0f}x below cold p99, "
+        f"{on['hits']} answer-cache hits over {requests} requests, "
+        f"{qps_factor:.1f}x throughput vs cache off"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,168 @@
+"""CI warm-restart smoke: hard-kill the server, restart, identical answers.
+
+The durability contract under test, end to end through the real CLI:
+
+1. ``repro serve <file> --data-dir D`` boots fresh (bootstrap snapshot);
+2. a client adds facts and rules, then records the answers to a set of
+   queries — every one of these writes was *acknowledged*, so every one
+   must survive;
+3. the server is **hard-killed** (SIGKILL: no drain, no atexit, the
+   worst case short of power loss);
+4. a second ``repro serve`` over the same ``--data-dir`` replays the
+   snapshot + fact log and must answer **identically** without any
+   re-ingest — including on queries whose answers depend on the logged
+   writes;
+5. finally the restarted server gets SIGTERM and must exit 0 via the
+   graceful drain path ("drained and stopped").
+
+Exits non-zero on any violation.  Budget: a few CI seconds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/restart_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BASE_PROGRAM = """
+anc(X, Y) <- par(X, Y).
+anc(X, Y) <- par(X, U), anc(U, Y).
+par(ann, bob).  par(bob, cal).  par(cal, dee).
+"""
+
+EXTRA_FACTS = "par(dee, eve).  par(eve, fay)."
+EXTRA_RULES = "desc(X, Y) <- anc(Y, X)."
+
+QUERIES = ["anc(ann, Z)", "anc(dee, Z)", "desc(fay, ann)"]
+
+SERVING_RE = re.compile(r"^serving .* on (\S+):(\d+) ", re.MULTILINE)
+
+
+def start_server(kb_path: str, data_dir: str) -> tuple[subprocess.Popen, int]:
+    """Launch ``repro serve --port 0 --data-dir`` and parse the bound port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            kb_path,
+            "--port",
+            "0",
+            "--data-dir",
+            data_dir,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    banner = []
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        banner.append(line)
+        match = SERVING_RE.search(line)
+        if match:
+            return proc, int(match.group(2))
+    proc.kill()
+    raise RuntimeError(f"server never announced its port; output: {''.join(banner)}")
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.service import ServiceClient
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        kb_path = os.path.join(tmp, "base.dl")
+        with open(kb_path, "w") as handle:
+            handle.write(BASE_PROGRAM)
+        data_dir = os.path.join(tmp, "state")
+
+        # -- Life 1: boot, write, record answers, hard-kill. ----------
+        proc, port = start_server(kb_path, data_dir)
+        try:
+            with ServiceClient(port=port, timeout=30.0) as client:
+                client.add_facts(EXTRA_FACTS)
+                client.add_rules(EXTRA_RULES)
+                before = {q: client.query(q, timeout=30.0).answers for q in QUERIES}
+                stats = client.stats()
+                if stats["session"]["persistence"]["appends"] != 2:
+                    failures.append(
+                        "expected 2 log appends, saw "
+                        f"{stats['session']['persistence']['appends']}"
+                    )
+        finally:
+            proc.kill()  # SIGKILL: no drain, no flush beyond the log's fsync
+            proc.wait(30)
+        if not before.get("anc(ann, Z)"):
+            failures.append("life 1 produced no answers to compare against")
+        if ("eve",) not in before.get("anc(ann, Z)", set()):
+            failures.append("life 1 never saw the added facts")
+
+        # -- Life 2: restart over the same data-dir, compare. ---------
+        proc, port = start_server(kb_path, data_dir)
+        try:
+            with ServiceClient(port=port, timeout=30.0) as client:
+                for query, expected in before.items():
+                    got = client.query(query, timeout=30.0).answers
+                    if got != expected:
+                        failures.append(
+                            f"restart answer drift on {query!r}: "
+                            f"{sorted(got)} != {sorted(expected)}"
+                        )
+                replay = client.stats()["session"]["persistence"]["replay"]
+                if replay["bootstrapped"]:
+                    failures.append("restart bootstrapped instead of replaying")
+                if replay["records_replayed"] != 2:
+                    failures.append(
+                        f"expected 2 replayed records, saw {replay['records_replayed']}"
+                    )
+
+            # -- Graceful path: SIGTERM must drain and exit 0. --------
+            proc.send_signal(signal.SIGTERM)
+            try:
+                code = proc.wait(30)
+            except subprocess.TimeoutExpired:
+                failures.append("SIGTERM did not stop the server within 30s")
+                proc.kill()
+                code = proc.wait(10)
+            output = proc.stdout.read()
+            if code != 0:
+                failures.append(f"SIGTERM exit code {code}, expected 0: {output}")
+            if "drained and stopped" not in output:
+                failures.append(f"graceful-drain banner missing from: {output!r}")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+
+    if failures:
+        print("FAIL:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print(
+        "ok: hard-killed server restarted from --data-dir with identical "
+        f"answers on {len(QUERIES)} queries (2 records replayed); "
+        "SIGTERM drained cleanly"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -236,13 +236,11 @@ def _cmd_bench_session(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the concurrent query service over one knowledge-base file."""
     import asyncio
-    import signal
 
-    from .service import QueryServer, ServerConfig, SharedSession
+    from .service import DurableStore, QueryServer, ServerConfig, SharedSession
 
     program = _load_program(args.file, None, args.data)
-    shared = SharedSession(
-        program,
+    session_options = dict(
         sip_factory=_SIPS[args.sip],
         coalesce=args.coalesce,
         package_requests=args.package,
@@ -251,6 +249,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         runtime=args.eval_runtime,
         workers=args.workers,
     )
+    store = None
+    if args.data_dir:
+        store = DurableStore(
+            args.data_dir,
+            fsync_interval=args.fsync_interval,
+            snapshot_every=args.snapshot_every,
+        )
+        session, report = store.restore(program, **session_options)
+        shared = SharedSession(
+            session=session,
+            store=store,
+            answer_cache_size=args.answer_cache_size,
+        )
+        print(
+            f"data-dir {args.data_dir}: "
+            + (
+                f"replayed {report.records_replayed} logged writes on top of "
+                f"snapshot (db_version={session.db_version}"
+                + (", torn tail dropped" if report.torn_tail_dropped else "")
+                + ")"
+                if not report.bootstrapped
+                else "bootstrapped from the knowledge-base file"
+            ),
+            flush=True,
+        )
+    else:
+        shared = SharedSession(
+            program,
+            answer_cache_size=args.answer_cache_size,
+            **session_options,
+        )
     server = QueryServer(
         shared,
         ServerConfig(
@@ -265,16 +294,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     async def _main() -> None:
         await server.start()
-        loop = asyncio.get_running_loop()
-        for sig in (signal.SIGINT, signal.SIGTERM):
-            try:
-                loop.add_signal_handler(
-                    sig, lambda: asyncio.ensure_future(server.shutdown())
-                )
-            except (NotImplementedError, RuntimeError, ValueError):
-                # Non-unix platform or not the main thread (embedded use):
-                # Ctrl-C then lands as KeyboardInterrupt below.
-                pass
+        server.install_signal_handlers()
         print(
             f"serving {args.file} on {server.host}:{server.port} "
             f"(runtime={args.eval_runtime}, max_concurrent={args.max_concurrent}, "
@@ -287,6 +307,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         asyncio.run(_main())
     except KeyboardInterrupt:  # pragma: no cover - signal-handler race
         pass
+    finally:
+        if store is not None:
+            store.close()
     print("drained and stopped", file=sys.stderr)
     return 0
 
@@ -454,6 +477,37 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=64,
         help="graph-cache LRU capacity shared by all clients",
+    )
+    serve_p.add_argument(
+        "--answer-cache-size",
+        type=int,
+        default=256,
+        metavar="ENTRIES",
+        help="answer-cache LRU capacity (full answer sets keyed by query "
+        "signature + db_version; 0 disables)",
+    )
+    serve_p.add_argument(
+        "--data-dir",
+        default=None,
+        metavar="DIR",
+        help="durable state directory: replay snapshot + fact log on boot, "
+        "append every accepted add_facts/add_rules before acknowledging",
+    )
+    serve_p.add_argument(
+        "--fsync-interval",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="with --data-dir: batch fsyncs at most this often "
+        "(0 = fsync every write, strongest durability)",
+    )
+    serve_p.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=1000,
+        metavar="RECORDS",
+        help="with --data-dir: compact the log into a fresh snapshot after "
+        "this many appended records",
     )
     serve_p.set_defaults(func=_cmd_serve)
 

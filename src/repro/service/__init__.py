@@ -9,7 +9,12 @@ implies.  Layers:
 * :mod:`~repro.service.locks` — the readers/writer lock (queries share,
   mutations exclude);
 * :mod:`~repro.service.shared_session` — :class:`SharedSession`:
-  lock discipline plus in-flight coalescing on the Theorem 2.1 cache key;
+  lock discipline plus in-flight coalescing and answer caching on the
+  Theorem 2.1 cache key versioned by ``Session.db_version``;
+* :mod:`~repro.service.answer_cache` — completed answer sets served
+  without evaluation, invalidated by version mismatch;
+* :mod:`~repro.service.persistence` — snapshot + append-only NDJSON
+  fact/rule log so ``repro serve --data-dir`` restarts warm;
 * :mod:`~repro.service.metrics` — counters and fixed-bucket latency
   histograms behind the ``stats`` op;
 * :mod:`~repro.service.protocol` — the NDJSON wire format and its typed
@@ -19,15 +24,19 @@ implies.  Layers:
 * :mod:`~repro.service.client` — a small blocking client library.
 """
 
+from .answer_cache import AnswerCache, AnswerCacheStats, CachedAnswer
 from .client import QueryReply, ServiceClient, ServiceClientError
 from .locks import ReadWriteLock
 from .metrics import DEFAULT_LATENCY_BUCKETS, Counter, Histogram, MetricsRegistry
+from .persistence import DurableStore, LogCorruptionError, ReplayReport
 from .protocol import ERROR_TYPES, OPS, ServiceError
 from .server import QueryServer, ServerConfig, ServerThread
 from .shared_session import QueryOutcome, SharedSession
 
 __all__ = [
     "SharedSession", "QueryOutcome", "ReadWriteLock",
+    "AnswerCache", "AnswerCacheStats", "CachedAnswer",
+    "DurableStore", "ReplayReport", "LogCorruptionError",
     "MetricsRegistry", "Counter", "Histogram", "DEFAULT_LATENCY_BUCKETS",
     "QueryServer", "ServerConfig", "ServerThread",
     "ServiceClient", "ServiceClientError", "QueryReply",

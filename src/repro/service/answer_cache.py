@@ -1,0 +1,241 @@
+"""A versioned answer cache: completed answer sets served without evaluation.
+
+The graph cache (PR 1) reuses the *structure* of a query across time;
+in-flight coalescing (PR 5) shares one evaluation across concurrent
+twins.  Both still evaluate.  This module closes the remaining gap: a
+*completed* answer set is kept and served directly, so a repeat query
+under an unchanged knowledge base costs a dictionary lookup instead of
+a fixpoint.
+
+Soundness is the same two-part argument the serving layer already
+leans on:
+
+* **Theorem 2.1** — the graph-cache key (IDB fingerprint + query
+  variant signature + SIP/coalesce options) is equal exactly when two
+  queries must have equal answers *over the same EDB/IDB*;
+* **the database version** — :attr:`repro.session.Session.db_version`
+  is bumped by every committed mutation, so two requests seeing the
+  same version see the same EDB/IDB.
+
+Entries are therefore keyed by ``(graph_cache_key, db_version)``.  A
+write never touches the cache: it bumps the version, every existing
+entry's key stops matching, and the stale entries age out of the LRU
+(or are reclaimed eagerly via :meth:`AnswerCache.purge_below`, which is
+what :class:`~repro.service.shared_session.SharedSession` does after
+each commit).  There is no flush to race with in-flight evaluations —
+an evaluation that started before a write commits is stored under the
+version it actually read, where no post-write lookup will find it.
+
+The cache is bounded twice: by entry count (LRU) and by an approximate
+byte budget, since answer sets vary from empty to millions of rows.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+__all__ = ["AnswerCacheStats", "CachedAnswer", "AnswerCache", "estimate_answer_bytes"]
+
+
+def estimate_answer_bytes(answers: frozenset) -> int:
+    """A cheap upper-ish estimate of one answer set's memory footprint.
+
+    Sums ``sys.getsizeof`` over the container, each row tuple, and each
+    value.  Shared/interned values make this an overestimate, which is
+    the safe direction for a budget.
+    """
+    total = sys.getsizeof(answers)
+    for row in answers:
+        total += sys.getsizeof(row)
+        for value in row:
+            total += sys.getsizeof(value)
+    return total
+
+
+@dataclass(frozen=True)
+class CachedAnswer:
+    """One stored answer set plus the accounting needed to serve it."""
+
+    answers: frozenset
+    version: int  # db_version the evaluation read
+    nbytes: int  # estimate_answer_bytes at store time
+    elapsed: float  # wall seconds the original evaluation cost (saved per hit)
+    #: Lazily attached derived forms of ``answers`` (e.g. the server's
+    #: wire-encoded row list), computed by whoever serves the entry and
+    #: reused on later hits.  Purely derived data: the entry — and with
+    #: it this memo — dies with its version, so it can never go stale.
+    renders: dict = field(default_factory=dict, compare=False, repr=False)
+
+
+@dataclass(frozen=True)
+class AnswerCacheStats:
+    """An immutable snapshot of one answer cache's counters.
+
+    ``evictions`` counts entries dropped by the count/byte bounds;
+    ``invalidations`` counts entries reclaimed because a write made
+    their version unreachable (:meth:`AnswerCache.purge_below`).
+    """
+
+    hits: int
+    misses: int
+    stores: int
+    evictions: int
+    invalidations: int
+    entries: int
+    bytes: int
+    capacity: int
+    max_bytes: int
+    seconds_saved: float
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """JSON-safe view for the ``stats`` op."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": self.entries,
+            "bytes": self.bytes,
+            "capacity": self.capacity,
+            "max_bytes": self.max_bytes,
+            "seconds_saved": round(self.seconds_saved, 6),
+        }
+
+
+class AnswerCache:
+    """A bounded LRU of completed answer sets keyed by (graph key, version).
+
+    ``capacity`` bounds the entry count, ``max_bytes`` the summed
+    :func:`estimate_answer_bytes` of stored answer sets; exceeding
+    either evicts least-recently-used entries.  ``capacity=0`` disables
+    the cache (every lookup misses, nothing is stored) so the disabled
+    path exercises the same code.
+
+    Thread-safe: one internal lock covers every operation, matching the
+    :class:`~repro.cache.GraphCache` discipline.  A single answer set
+    larger than ``max_bytes`` is simply not stored — caching it would
+    evict everything else for one entry that may never repeat.
+    """
+
+    def __init__(self, capacity: int = 256, max_bytes: int = 64 * 1024 * 1024) -> None:
+        if capacity < 0:
+            raise ValueError(f"answer cache capacity must be >= 0, got {capacity}")
+        if max_bytes < 0:
+            raise ValueError(f"answer cache byte budget must be >= 0, got {max_bytes}")
+        self.capacity = capacity
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[Hashable, CachedAnswer]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.seconds_saved = 0.0
+
+    # ------------------------------------------------------------------
+    def get(self, key: Hashable, version: int) -> Optional[CachedAnswer]:
+        """The answer set stored for ``key`` at exactly ``version``, or None."""
+        with self._lock:
+            entry = self._entries.get((key, version))
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end((key, version))
+            self.hits += 1
+            self.seconds_saved += entry.elapsed
+            return entry
+
+    def put(
+        self, key: Hashable, version: int, answers: frozenset, elapsed: float = 0.0
+    ) -> Optional[CachedAnswer]:
+        """Store one completed answer set; returns the entry (None if not stored)."""
+        if self.capacity == 0 or self.max_bytes == 0:
+            return None
+        nbytes = estimate_answer_bytes(answers)
+        if nbytes > self.max_bytes:
+            return None  # one oversized set must not flush the whole cache
+        entry = CachedAnswer(
+            answers=answers, version=version, nbytes=nbytes, elapsed=elapsed
+        )
+        with self._lock:
+            full_key = (key, version)
+            previous = self._entries.pop(full_key, None)
+            if previous is not None:
+                self._bytes -= previous.nbytes
+            self._entries[full_key] = entry
+            self._bytes += nbytes
+            self.stores += 1
+            while self._entries and (
+                len(self._entries) > self.capacity or self._bytes > self.max_bytes
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self._bytes -= evicted.nbytes
+                self.evictions += 1
+        return entry
+
+    def purge_below(self, version: int) -> int:
+        """Reclaim entries whose version a lookup can no longer present.
+
+        Lookups always use the *current* ``db_version`` and the counter
+        is strictly monotone, so after a commit to ``version`` every
+        entry below it is unreachable garbage.  Called by the serving
+        layer after each write; returns the number reclaimed (counted
+        as ``invalidations``).
+        """
+        with self._lock:
+            stale = [fk for fk in self._entries if fk[1] < version]
+            for full_key in stale:
+                self._bytes -= self._entries.pop(full_key).nbytes
+                self.invalidations += 1
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything (counted as invalidations); returns the count."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._bytes = 0
+            self.invalidations += dropped
+            return dropped
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, full_key: Hashable) -> bool:
+        with self._lock:
+            return full_key in self._entries
+
+    @property
+    def nbytes(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def stats(self) -> AnswerCacheStats:
+        """A point-in-time :class:`AnswerCacheStats` snapshot."""
+        with self._lock:
+            return AnswerCacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                stores=self.stores,
+                evictions=self.evictions,
+                invalidations=self.invalidations,
+                entries=len(self._entries),
+                bytes=self._bytes,
+                capacity=self.capacity,
+                max_bytes=self.max_bytes,
+                seconds_saved=self.seconds_saved,
+            )

@@ -49,6 +49,7 @@ class QueryReply:
     elapsed: float
     attempts: int = 1
     degraded: bool = False
+    answer_cached: bool = False  # served from the answer cache, no evaluation
     raw: dict = field(default_factory=dict, compare=False, repr=False)
 
 
@@ -148,6 +149,7 @@ class ServiceClient:
             elapsed=float(response.get("elapsed", 0.0)),
             attempts=int(response.get("attempts", 1)),
             degraded=bool(response.get("degraded", False)),
+            answer_cached=bool(response.get("answer_cached", False)),
             raw=response,
         )
 

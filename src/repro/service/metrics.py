@@ -117,25 +117,43 @@ class Histogram:
         the +Inf overflow bucket clamp to the largest finite bound (the
         estimate is then a lower bound).  Returns 0.0 with no data.
         """
+        with self._lock:
+            return self._quantile_locked(q)
+
+    def _quantile_locked(self, q: float) -> float:
+        """Quantile from the current counts; the caller holds ``_lock``.
+
+        The interpolated estimate is clamped to the crossing bucket's
+        ``[lower, upper]`` edges: the rank arithmetic is float, and
+        without the clamp an epsilon of rounding could report a value
+        just outside the only bucket that holds any samples.
+        """
         if not 0.0 < q <= 1.0:
             raise ValueError(f"quantile must be in (0, 1], got {q}")
-        with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = q * self._count
-            cumulative = 0
-            lower = 0.0
-            for i, bound in enumerate(self.bounds):
-                in_bucket = self._counts[i]
-                if cumulative + in_bucket >= rank:
-                    fraction = (rank - cumulative) / in_bucket
-                    return lower + fraction * (bound - lower)
-                cumulative += in_bucket
-                lower = bound
-            return self.bounds[-1]
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        lower = 0.0
+        for i, bound in enumerate(self.bounds):
+            in_bucket = self._counts[i]
+            if in_bucket and cumulative + in_bucket >= rank:
+                fraction = (rank - cumulative) / in_bucket
+                estimate = lower + fraction * (bound - lower)
+                return min(max(estimate, lower), bound)
+            cumulative += in_bucket
+            lower = bound
+        return self.bounds[-1]
 
     def snapshot(self) -> dict:
-        """JSON-safe view: count, sum, cumulative buckets, p50/p90/p99."""
+        """JSON-safe view: count, sum, cumulative buckets, p50/p90/p99.
+
+        One atomic view: buckets, count, sum, and every quantile are
+        computed under a single lock hold, so a snapshot can never pair
+        one instant's buckets with a later instant's percentiles (the
+        mismatch used to let a concurrent ``observe`` push p99 outside
+        the bucket range the same snapshot reported).
+        """
         with self._lock:
             cumulative = 0
             buckets: Dict[str, int] = {}
@@ -143,14 +161,14 @@ class Histogram:
                 cumulative += self._counts[i]
                 buckets[repr(bound)] = cumulative
             buckets["+Inf"] = cumulative + self._counts[-1]
-        return {
-            "count": self.count,
-            "sum": self.sum,
-            "buckets": buckets,
-            "p50": self.quantile(0.50),
-            "p90": self.quantile(0.90),
-            "p99": self.quantile(0.99),
-        }
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "buckets": buckets,
+                "p50": self._quantile_locked(0.50),
+                "p90": self._quantile_locked(0.90),
+                "p99": self._quantile_locked(0.99),
+            }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Histogram({self.name}, n={self._count})"

@@ -38,10 +38,11 @@ snapshots everything.
 from __future__ import annotations
 
 import asyncio
+import signal as signal_module
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
 from ..core.program import ProgramError
 from ..runtime.supervision import EvaluationTimeout, RuntimeFailure
@@ -89,6 +90,8 @@ class QueryServer:
         self._server: Optional[asyncio.AbstractServer] = None
         self._slots: Optional[asyncio.Semaphore] = None
         self._stopped: Optional[asyncio.Event] = None
+        self._drain_abort: Optional[asyncio.Event] = None
+        self._shutdown_task: Optional[asyncio.Task] = None  # strong ref: no GC mid-drain
         self._executor = ThreadPoolExecutor(
             max_workers=self.config.max_concurrent,
             thread_name_prefix="repro-eval",
@@ -96,6 +99,7 @@ class QueryServer:
         self._pending: set = set()  # in-flight evaluation futures
         self._writers: set = set()  # open connection writers (for drain)
         self._queue_depth = 0
+        self._active_dispatches = 0  # requests between decode and response write
         self._draining = False
         self._shutdown_started = False
         m = self.metrics
@@ -123,6 +127,7 @@ class QueryServer:
         """Bind and begin accepting; ``self.port`` carries the bound port."""
         self._slots = asyncio.Semaphore(self.config.max_concurrent)
         self._stopped = asyncio.Event()
+        self._drain_abort = asyncio.Event()
         self._server = await asyncio.start_server(
             self._handle_connection,
             self.config.host,
@@ -147,24 +152,89 @@ class QueryServer:
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        orphans: set = set()
-        pending = set(self._pending)
-        if drain and pending:
-            _, orphans = await asyncio.wait(
-                pending, timeout=self.config.drain_timeout
-            )
+        orphans: set = set(self._pending)
+        if drain:
+            # Wait in short slices so a second shutdown signal (the
+            # universal "stop NOW" convention) can abandon the drain.
+            # Draining means *responses delivered*, not just evaluations
+            # finished: a request's answer is written by its dispatch
+            # coroutine after the evaluation future completes, so wait
+            # for the active-dispatch count too — closing writers on
+            # future completion alone would sever the final responses.
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.config.drain_timeout
+            abort = self._drain_abort
+            while (orphans or self._active_dispatches) and (
+                abort is None or not abort.is_set()
+            ):
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                if orphans:
+                    _, orphans = await asyncio.wait(
+                        orphans, timeout=min(0.05, remaining)
+                    )
+                else:
+                    await asyncio.sleep(min(0.05, remaining))
         for writer in list(self._writers):
             writer.close()
         # wait=True would block the loop if an orphan is still evaluating;
         # with no orphans it returns immediately and every thread is joined.
         self._executor.shutdown(wait=not orphans)
+        if self.shared.store is not None:
+            # Make any batched-but-unsynced log records durable before
+            # the process goes away.
+            self.shared.store.close()
         self._stopped.set()  # type: ignore[union-attr]
 
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain; a repeat call abandons the drain.
+
+        Sync and idempotent, so it is directly usable as a signal
+        handler on the event loop's thread (``loop.add_signal_handler``).
+        The created task is retained on the server — asyncio keeps only
+        weak references to tasks, and a garbage-collected drain would
+        stop half way.
+        """
+        if self._shutdown_task is None and not self._shutdown_started:
+            self._shutdown_task = asyncio.get_running_loop().create_task(
+                self.shutdown()
+            )
+        elif self._drain_abort is not None:
+            self._drain_abort.set()
+
+    def install_signal_handlers(
+        self, signals: Iterable[int] = (signal_module.SIGINT, signal_module.SIGTERM)
+    ) -> bool:
+        """SIGINT/SIGTERM → graceful drain (twice → immediate stop).
+
+        Must run on the event loop's (main) thread.  Returns False where
+        loop signal handlers are unsupported (non-unix platforms or an
+        embedded non-main thread); Ctrl-C then surfaces as
+        KeyboardInterrupt and :meth:`run` falls back to a best-effort
+        executor join.
+        """
+        loop = asyncio.get_running_loop()
+        installed = False
+        for sig in signals:
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+                installed = True
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        return installed
+
     def run(self) -> None:
-        """Blocking convenience: start and serve until shutdown or Ctrl-C."""
+        """Blocking convenience: start and serve until shutdown or Ctrl-C.
+
+        Installs the SIGINT/SIGTERM handlers, so an interrupt triggers
+        the same graceful drain as the ``shutdown`` op instead of
+        tearing down mid-evaluation.
+        """
 
         async def _main() -> None:
             await self.start()
+            self.install_signal_handlers()
             try:
                 await self.serve_forever()
             finally:
@@ -173,7 +243,12 @@ class QueryServer:
         try:
             asyncio.run(_main())
         except KeyboardInterrupt:
-            pass
+            # Signal handlers were unavailable, so the interrupt tore the
+            # loop down uncleanly; join evaluation threads off-loop so
+            # nothing leaks even on this path.
+            self._executor.shutdown(wait=True)
+            if self.shared.store is not None:
+                self.shared.store.close()
 
     # ------------------------------------------------------------------
     # Connection handling
@@ -220,10 +295,13 @@ class QueryServer:
                     if exc.error_type == "oversized":
                         break
                     continue
-                response, close = await self._dispatch(request)
-                if not await self._send(writer, response):
-                    break
-                if close:
+                self._active_dispatches += 1
+                try:
+                    response, close = await self._dispatch(request)
+                    sent = await self._send(writer, response)
+                finally:
+                    self._active_dispatches -= 1
+                if not sent or close:
                     break
         except (ConnectionError, asyncio.IncompleteReadError):
             pass  # client went away mid-conversation; evaluations finish solo
@@ -360,15 +438,39 @@ class QueryServer:
                 coalesced=outcome.coalesced,
                 shared=outcome.shared,
                 cache_hit=outcome.cache_hit,
+                answer_cached=outcome.answer_cached,
                 attempts=outcome.attempts,
                 degraded=outcome.degraded,
             )
+            if outcome.db_version is not None:
+                payload["db_version"] = outcome.db_version
             if op == "query":
-                payload["answers"] = rows_to_wire(outcome.answers)
+                payload["answers"] = self._wire_answers(outcome)
                 payload["count"] = len(outcome.answers)
             else:
                 payload["result"] = bool(outcome.answers)
         return payload
+
+    @staticmethod
+    def _wire_answers(outcome) -> list:
+        """Wire-encoded answer rows, memoised on the answer-cache entry.
+
+        Every cache hit at a given version hands back the *same*
+        :class:`CachedAnswer` object, so rendering a hot answer set once
+        and hanging the rows off its ``renders`` memo turns repeat
+        responses from O(rows) encoding work on the event loop into a
+        dict lookup.  Runs on the loop thread only, so a duplicate
+        render between check and store is impossible; the memo dies
+        with its entry, which dies with its version.
+        """
+        entry = outcome.cache_entry
+        if entry is None:
+            return rows_to_wire(outcome.answers)
+        wire = entry.renders.get("wire")
+        if wire is None:
+            wire = rows_to_wire(entry.answers)
+            entry.renders["wire"] = wire
+        return wire
 
     def _failure(self, exc: Exception, rid) -> dict:
         if isinstance(exc, ServiceError):
@@ -467,11 +569,10 @@ class ServerThread:
         if thread is None:
             return
         if loop is not None and server is not None and thread.is_alive():
-            def _trigger() -> None:
-                asyncio.ensure_future(server.shutdown())
-
             try:
-                loop.call_soon_threadsafe(_trigger)
+                # request_shutdown retains its task; a bare ensure_future
+                # could be garbage-collected mid-drain (weak task refs).
+                loop.call_soon_threadsafe(server.request_shutdown)
             except RuntimeError:
                 pass  # loop already closed — thread is on its way out
         thread.join(timeout)

@@ -16,12 +16,27 @@ profitable) to share across threads:
 * **In-flight request coalescing** — the Theorem 2.1 cache key
   (:meth:`Session.cache_key_for`) is equal exactly when two queries
   must have equal answers (same IDB fingerprint, same variant
-  signature, same SIP/coalesce options).  A query whose key matches an
-  evaluation already in flight *joins* it: one leader evaluates, every
-  follower waits on the leader's completion event and shares the same
-  answer set.  Under a traffic spike of identical queries the work
-  collapses from N evaluations to one — the in-flight analogue of the
-  graph cache's across-time reuse.
+  signature, same SIP/coalesce options) *over the same base*, so the
+  coalescing key is the cache key **plus the database version**: a
+  query whose (key, version) matches an evaluation already in flight
+  *joins* it — one leader evaluates, every follower waits on the
+  leader's completion event and shares the same answer set.  Keying by
+  version closes a linearizability hole the bare key had: a request
+  arriving *after* a write commits can never join (and be served by)
+  an evaluation that read the pre-write base.
+
+* **Answer caching** — the same ``(cache_key, db_version)`` pair keys
+  a bounded :class:`~repro.service.answer_cache.AnswerCache` of
+  *completed* answer sets: a repeat query under an unchanged base is
+  answered without evaluating at all.  Writes invalidate purely by
+  version mismatch (plus an eager purge of the now-unreachable
+  entries), so there is no flush to race with in-flight evaluations.
+
+* **Durability** (optional) — pass a
+  :class:`~repro.service.persistence.DurableStore` and every committed
+  ``add_facts``/``add_rules`` is appended to its log *inside the write
+  lock* (log order = commit order) before the caller is acknowledged;
+  a restart replays snapshot + log and answers identically.
 
 Evaluation itself dispatches through :meth:`Session.run_query`, which
 never touches the session's ``last_result`` slots, so overlapping
@@ -40,8 +55,10 @@ from ..cache import CacheStats
 from ..core.atoms import Atom
 from ..runtime.supervision import EvaluationTimeout
 from ..session import Session
+from .answer_cache import AnswerCache
 from .locks import ReadWriteLock
 from .metrics import MetricsRegistry
+from .persistence import DurableStore
 
 __all__ = ["SharedSession", "QueryOutcome"]
 
@@ -60,6 +77,30 @@ class QueryOutcome:
     failure_log: tuple[str, ...] = ()
     logical_messages: Optional[int] = None
     physical_messages: Optional[int] = None
+    answer_cached: bool = False  # served straight from the answer cache
+    db_version: Optional[int] = None  # base version the answers reflect
+    #: The answer-cache entry backing this outcome (when one exists).
+    #: Transport layers hang rendered forms of the answer set off its
+    #: ``renders`` memo, so a hot query's rows are wire-encoded once,
+    #: not once per repeat response.
+    cache_entry: Optional[object] = field(default=None, repr=False, compare=False)
+
+
+def _per_caller_error(error: BaseException) -> BaseException:
+    """A fresh copy of the leader's failure for one follower to raise.
+
+    Re-raising the *same* exception object from N follower threads at
+    once mutates its ``__traceback__`` concurrently; each follower gets
+    its own instance of the same type (chained to the original for the
+    full story), falling back to the shared object for exception types
+    that cannot be rebuilt from their args.
+    """
+    try:
+        clone = type(error)(*error.args)
+    except Exception:
+        return error
+    clone.__cause__ = error
+    return clone
 
 
 class _InFlight:
@@ -83,11 +124,20 @@ class SharedSession:
 
     ``queries_total``, ``coalesced_joins_total``,
     ``shared_evaluations_total``, ``graph_cache_hits_total`` /
-    ``graph_cache_misses_total``, ``writes_total``, ``retries_total``,
-    ``degraded_total``, ``logical_messages_total`` /
-    ``physical_messages_total`` (counters) and ``evaluation_seconds``
-    (histogram).  The same registry is shared with
-    :class:`repro.service.server.QueryServer` when serving.
+    ``graph_cache_misses_total``, ``answer_cache_hits_total`` /
+    ``answer_cache_misses_total`` / ``answer_cache_invalidations_total``,
+    ``writes_total``, ``retries_total``, ``degraded_total``,
+    ``logical_messages_total`` / ``physical_messages_total``,
+    ``log_appends_total`` / ``log_snapshots_total`` /
+    ``replayed_records_total`` / ``replay_torn_tail_total`` (counters)
+    and ``evaluation_seconds`` (histogram).  The same registry is
+    shared with :class:`repro.service.server.QueryServer` when serving.
+
+    ``answer_cache_size``/``answer_cache_bytes`` bound the answer cache
+    (``answer_cache_size=0`` disables it; coalescing still applies).
+    ``store`` attaches a :class:`DurableStore` the writes append to —
+    wrap the session that store's :meth:`DurableStore.restore` built,
+    or the log would repeat mutations the snapshot already holds.
     """
 
     def __init__(
@@ -96,6 +146,9 @@ class SharedSession:
         *,
         session: Optional[Session] = None,
         metrics: Optional[MetricsRegistry] = None,
+        store: Optional[DurableStore] = None,
+        answer_cache_size: int = 256,
+        answer_cache_bytes: int = 64 * 1024 * 1024,
         **session_options,
     ) -> None:
         if (source is None) == (session is None):
@@ -104,6 +157,12 @@ class SharedSession:
             source, **session_options
         )
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._store = store
+        self._answers = (
+            AnswerCache(answer_cache_size, answer_cache_bytes)
+            if answer_cache_size > 0
+            else None
+        )
         self._rw = ReadWriteLock()
         self._inflight: dict[tuple, _InFlight] = {}
         self._inflight_lock = threading.Lock()
@@ -119,7 +178,30 @@ class SharedSession:
         )
         self._cache_hits = m.counter("graph_cache_hits_total")
         self._cache_misses = m.counter("graph_cache_misses_total")
+        self._answer_hits = m.counter(
+            "answer_cache_hits_total", "queries answered without evaluation"
+        )
+        self._answer_misses = m.counter("answer_cache_misses_total")
+        self._answer_invalidations = m.counter(
+            "answer_cache_invalidations_total",
+            "cached answer sets made unreachable by a committed write",
+        )
         self._writes = m.counter("writes_total", "add_facts/add_rules commits")
+        self._log_appends = m.counter(
+            "log_appends_total", "mutations appended to the durable log"
+        )
+        self._log_snapshots = m.counter(
+            "log_snapshots_total", "compacted snapshots written"
+        )
+        replayed = m.counter(
+            "replayed_records_total", "log records replayed at the last boot"
+        )
+        torn = m.counter(
+            "replay_torn_tail_total", "torn final log records dropped at boot"
+        )
+        if store is not None and store.last_report is not None:
+            replayed.inc(store.last_report.records_replayed)
+            torn.inc(store.last_report.torn_tail_dropped)
         self._retries = m.counter(
             "retries_total", "extra attempts spent by supervised runtimes"
         )
@@ -159,23 +241,47 @@ class SharedSession:
         """
         self._queries.inc()
         key = self._session.cache_key_for(query)
+        version = self._session.db_version
+        if self._answers is not None:
+            cached = self._answers.get(key, version)
+            if cached is not None:
+                self._answer_hits.inc()
+                return QueryOutcome(
+                    answers=cached.answers,
+                    coalesced=False,
+                    shared=1,
+                    cache_hit=True,
+                    elapsed=0.0,
+                    answer_cached=True,
+                    db_version=version,
+                    cache_entry=cached,
+                )
+            self._answer_misses.inc()
+        # Coalesce on (key, version): joining is only sound when the
+        # in-flight evaluation reads the same base this request sees.
+        ckey = (key, version)
         with self._inflight_lock:
-            entry = self._inflight.get(key)
+            entry = self._inflight.get(ckey)
             if entry is not None:
                 entry.joiners += 1
                 leader = False
             else:
                 entry = _InFlight()
-                self._inflight[key] = entry
+                self._inflight[ckey] = entry
                 leader = True
         if leader:
-            return self._lead(key, entry, query)
+            return self._lead(key, ckey, entry, query)
         return self._follow(entry, timeout)
 
-    def _lead(self, key: tuple, entry: _InFlight, query) -> QueryOutcome:
+    def _lead(self, key: tuple, ckey: tuple, entry: _InFlight, query) -> QueryOutcome:
         start = time.perf_counter()
         try:
             with self._rw.read_locked():
+                # Writers are excluded while we hold the read lock, so
+                # this is the version the whole evaluation reads.  It can
+                # exceed ckey's version if a write slipped in before the
+                # lock; answers are then stored under what was truly read.
+                version = self._session.db_version
                 result = self._session.run_query(query)
             elapsed = time.perf_counter() - start
             outcome = QueryOutcome(
@@ -189,21 +295,31 @@ class SharedSession:
                 failure_log=tuple(getattr(result, "failure_log", ()) or ()),
                 logical_messages=getattr(result, "total_messages", None),
                 physical_messages=getattr(result, "physical_messages", None),
+                db_version=version,
             )
-        except BaseException as exc:
+            if self._answers is not None:
+                # Store before closing the join window so no identical
+                # request falls in the gap between the two.
+                stored = self._answers.put(key, version, outcome.answers, elapsed)
+                if stored is not None:
+                    outcome = replace(outcome, cache_entry=stored)
             with self._inflight_lock:
-                self._inflight.pop(key, None)
+                self._inflight.pop(ckey, None)
+                shared = 1 + entry.joiners
+            outcome = replace(outcome, shared=shared)
+            entry.outcome = outcome
+        except BaseException as exc:
+            # Publish the failure itself: followers must observe the
+            # same typed error, never a stale or partial entry.
             entry.error = exc
-            entry.done.set()
             raise
-        # Close the join window, then publish: joiners counted so far (and
-        # only those) share this evaluation.
-        with self._inflight_lock:
-            self._inflight.pop(key, None)
-            shared = 1 + entry.joiners
-        outcome = replace(outcome, shared=shared)
-        entry.outcome = outcome
-        entry.done.set()
+        finally:
+            # Whatever happened above, close the join window and wake
+            # every follower; a leader that leaves without publishing
+            # would hang them on the completion event forever.
+            with self._inflight_lock:
+                self._inflight.pop(ckey, None)
+            entry.done.set()
         self._account(outcome)
         if shared > 1:
             self._shared_evals.inc()
@@ -216,7 +332,7 @@ class SharedSession:
             )
         self._joins.inc()
         if entry.error is not None:
-            raise entry.error
+            raise _per_caller_error(entry.error)
         assert entry.outcome is not None
         return replace(entry.outcome, coalesced=True)
 
@@ -236,16 +352,48 @@ class SharedSession:
     # Writes
     # ------------------------------------------------------------------
     def add_facts(self, facts) -> None:
-        """Extend the EDB under the write lock (validate-then-commit)."""
+        """Extend the EDB under the write lock (validate-then-commit).
+
+        With a durable store attached, the committed mutation is logged
+        (and fsynced per the store's policy) before this method — and
+        therefore the server's acknowledgement — returns.
+        """
         with self._rw.write_locked():
+            before = self._session.db_version
             self._session.add_facts(facts)
+            self._record_write("add_facts", facts, changed=self._session.db_version != before)
         self._writes.inc()
+        self._reclaim_stale_answers()
 
     def add_rules(self, source) -> None:
         """Extend the IDB under the write lock; flushes the graph cache."""
         with self._rw.write_locked():
+            before = self._session.db_version
             self._session.add_rules(source)
+            self._record_write("add_rules", source, changed=self._session.db_version != before)
         self._writes.inc()
+        self._reclaim_stale_answers()
+
+    def _record_write(self, op: str, payload, changed: bool) -> None:
+        """Append one committed mutation to the durable log (write lock held)."""
+        if self._store is None or not changed:
+            return  # a no-op commit has nothing worth replaying
+        self._store.record(op, payload)
+        self._log_appends.inc()
+        if self._store.should_compact():
+            self._store.compact(self._session)
+            self._log_snapshots.inc()
+
+    def _reclaim_stale_answers(self) -> None:
+        """Free answer-cache entries the version bump made unreachable.
+
+        Purely an eager memory reclaim — correctness needs nothing
+        here, because lookups already key on the current version.
+        """
+        if self._answers is not None:
+            purged = self._answers.purge_below(self._session.db_version)
+            if purged:
+                self._answer_invalidations.inc(purged)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -258,6 +406,20 @@ class SharedSession:
     @property
     def lock(self) -> ReadWriteLock:
         return self._rw
+
+    @property
+    def answer_cache(self) -> Optional[AnswerCache]:
+        """The answer cache (None when disabled)."""
+        return self._answers
+
+    @property
+    def store(self) -> Optional[DurableStore]:
+        """The attached durability layer (None when serving in-memory)."""
+        return self._store
+
+    @property
+    def db_version(self) -> int:
+        return self._session.db_version
 
     def cache_stats(self) -> CacheStats:
         return self._session.cache_stats()
@@ -276,6 +438,13 @@ class SharedSession:
             "shared_evaluations": self._shared_evals.value,
             "writes": self._writes.value,
             "inflight": self.inflight_count(),
+            "db_version": self._session.db_version,
+            "answer_cache": (
+                self._answers.stats().as_dict() if self._answers is not None else None
+            ),
+            "persistence": (
+                self._store.stats() if self._store is not None else None
+            ),
             "graph_cache": {
                 "hits": cache.hits,
                 "misses": cache.misses,

@@ -162,6 +162,12 @@ class Session:
         # The graph cache and the IDB fingerprint that keys it.
         self._graph_cache = GraphCache(graph_cache_size)
         self._rules_fingerprint = rule_set_fingerprint(self._rules)
+        # Monotone knowledge-base version: bumped by every committed
+        # mutation (add_facts/add_rules), never by queries.  Anything
+        # derived from the base at version v — notably the serving
+        # layer's answer cache — stays valid exactly while the counter
+        # still reads v, so version mismatch *is* the invalidation.
+        self._db_version = 0
 
     # ------------------------------------------------------------------
     def program_for(self, query: Union[str, Atom, Sequence[Atom]]) -> Program:
@@ -344,6 +350,8 @@ class Session:
         self._database.add_facts(new_facts)
         self._facts = self._facts + new_facts
         self._edb_predicates |= {f.predicate for f in new_facts}
+        if new_facts:
+            self._db_version += 1
 
     def add_rules(self, source: Union[str, Iterable[Rule]]) -> None:
         """Extend the permanent IDB with more rules.
@@ -376,6 +384,8 @@ class Session:
         if new_rules:
             self._rules_fingerprint = rule_set_fingerprint(self._rules)
             self._graph_cache.clear()
+        if new_rules or new_facts:
+            self._db_version += 1
 
     # ------------------------------------------------------------------
     # Introspection
@@ -399,6 +409,19 @@ class Session:
         per-query deltas.
         """
         return self._database
+
+    @property
+    def db_version(self) -> int:
+        """The monotone version of the knowledge base (mutation counter).
+
+        Bumped once per committed ``add_facts``/``add_rules`` that
+        actually changed something.  Two reads of the session at the
+        same version are guaranteed to see the same rules and facts, so
+        ``(cache_key_for(q), db_version)`` keys an answer set soundly:
+        Theorem 2.1 covers the graph/query side, the version covers the
+        EDB/IDB side.
+        """
+        return self._db_version
 
     @property
     def graph_cache(self) -> GraphCache:

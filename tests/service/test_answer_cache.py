@@ -1,0 +1,235 @@
+"""The versioned answer cache: unit bounds + concurrency soundness.
+
+Unit tests pin the LRU/byte-budget mechanics; the integration tests pin
+the serving-layer contract from the issue: entries keyed by
+``(graph_cache_key, db_version)`` never serve a pre-write answer set
+after ``add_facts`` commits, even when the write interleaves with
+concurrent evaluations of the same query.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.service import AnswerCache, SharedSession
+from repro.service.answer_cache import estimate_answer_bytes
+from repro.session import Session
+
+BASE = """
+anc(X, Y) <- par(X, Y).
+anc(X, Y) <- par(X, U), anc(U, Y).
+par(ann, bob).  par(bob, cal).  par(cal, dee).
+"""
+
+
+def run_threads(n, fn):
+    errors = []
+    results = [None] * n
+
+    def wrap(i):
+        try:
+            results[i] = fn(i)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrap, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+        assert not t.is_alive(), "worker thread wedged"
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestAnswerCacheUnit:
+    def test_get_miss_then_put_then_hit(self):
+        cache = AnswerCache(capacity=4)
+        answers = frozenset({("a",), ("b",)})
+        assert cache.get("k", 0) is None
+        cache.put("k", 0, answers, elapsed=0.25)
+        entry = cache.get("k", 0)
+        assert entry is not None and entry.answers == answers
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.stores) == (1, 1, 1)
+        assert stats.seconds_saved == pytest.approx(0.25)
+
+    def test_version_mismatch_is_a_miss(self):
+        cache = AnswerCache(capacity=4)
+        cache.put("k", 3, frozenset({("a",)}))
+        assert cache.get("k", 4) is None  # post-write version: stale entry hidden
+        assert cache.get("k", 2) is None
+
+    def test_lru_eviction_by_count(self):
+        cache = AnswerCache(capacity=2)
+        for i in range(3):
+            cache.put(f"k{i}", 0, frozenset({(i,)}))
+        assert cache.get("k0", 0) is None  # oldest evicted
+        assert cache.get("k2", 0) is not None
+        assert cache.stats().evictions == 1
+
+    def test_lookup_refreshes_recency(self):
+        cache = AnswerCache(capacity=2)
+        cache.put("k0", 0, frozenset({(0,)}))
+        cache.put("k1", 0, frozenset({(1,)}))
+        cache.get("k0", 0)  # k0 becomes most-recent
+        cache.put("k2", 0, frozenset({(2,)}))
+        assert cache.get("k0", 0) is not None
+        assert cache.get("k1", 0) is None
+
+    def test_byte_budget_evicts_and_oversized_sets_are_not_stored(self):
+        small = frozenset({("x",)})
+        big = frozenset({(f"row-{i}", i) for i in range(64)})
+        budget = estimate_answer_bytes(big) + estimate_answer_bytes(small) // 2
+        cache = AnswerCache(capacity=100, max_bytes=budget)
+        cache.put("small", 0, small)
+        cache.put("big", 0, big)  # over budget together: small is evicted
+        assert cache.get("big", 0) is not None
+        assert cache.get("small", 0) is None
+        assert cache.stats().bytes <= budget
+        # A single set larger than the whole budget is refused outright.
+        tiny = AnswerCache(capacity=100, max_bytes=estimate_answer_bytes(big) - 1)
+        assert tiny.put("big", 0, big) is None
+        assert len(tiny) == 0
+
+    def test_capacity_zero_disables(self):
+        cache = AnswerCache(capacity=0)
+        assert cache.put("k", 0, frozenset()) is None
+        assert cache.get("k", 0) is None
+        assert len(cache) == 0
+
+    def test_purge_below_reclaims_only_stale_versions(self):
+        cache = AnswerCache(capacity=8)
+        cache.put("a", 1, frozenset({(1,)}))
+        cache.put("b", 1, frozenset({(1,)}))
+        cache.put("c", 2, frozenset({(2,)}))
+        assert cache.purge_below(2) == 2
+        assert cache.get("c", 2) is not None
+        assert cache.stats().invalidations == 2
+        assert cache.stats().entries == 1
+
+    def test_clear_and_validation(self):
+        cache = AnswerCache(capacity=8)
+        cache.put("a", 0, frozenset({(1,)}))
+        assert cache.clear() == 1
+        assert len(cache) == 0 and cache.nbytes == 0
+        with pytest.raises(ValueError):
+            AnswerCache(capacity=-1)
+        with pytest.raises(ValueError):
+            AnswerCache(max_bytes=-1)
+
+
+class TestSharedSessionAnswerCache:
+    def test_repeat_query_is_served_without_evaluation(self):
+        shared = SharedSession(BASE)
+        evaluations = []
+        original = shared.session.run_query
+
+        def counting(query, seed=None):
+            evaluations.append(query)
+            return original(query, seed)
+
+        shared.session.run_query = counting
+        first = shared.query_detailed("anc(ann, Z)")
+        second = shared.query_detailed("anc(ann, Z)")
+        assert not first.answer_cached and second.answer_cached
+        assert second.answers == first.answers
+        assert second.db_version == first.db_version
+        assert len(evaluations) == 1  # the repeat never reached evaluation
+        assert shared.stats()["answer_cache"]["hits"] == 1
+
+    def test_variant_query_shares_the_cached_answer(self):
+        shared = SharedSession(BASE)
+        shared.query("anc(ann, Z)")
+        outcome = shared.query_detailed("anc(ann, W)")  # same Theorem 2.1 key
+        assert outcome.answer_cached
+
+    def test_write_invalidates_by_version(self):
+        shared = SharedSession(BASE)
+        before = shared.query_detailed("anc(ann, Z)")
+        shared.add_facts("par(dee, eve).")
+        after = shared.query_detailed("anc(ann, Z)")
+        assert not after.answer_cached  # version bumped: stale entry unreachable
+        assert after.db_version == before.db_version + 1
+        assert after.answers > before.answers
+        assert shared.stats()["answer_cache"]["invalidations"] >= 1
+        # The post-write answer is itself cached under the new version.
+        assert shared.query_detailed("anc(ann, Z)").answer_cached
+
+    def test_disabled_cache_still_serves_correctly(self):
+        shared = SharedSession(BASE, answer_cache_size=0)
+        first = shared.query_detailed("anc(ann, Z)")
+        second = shared.query_detailed("anc(ann, Z)")
+        assert not second.answer_cached
+        assert second.answers == first.answers
+        assert shared.stats()["answer_cache"] is None
+
+    def test_interleaved_writes_never_serve_pre_write_answers(self):
+        """The issue's soundness matrix: concurrent readers vs add_facts.
+
+        Readers hammer one query while a writer extends the chain.  After
+        every commit the writer immediately re-queries: the answer must
+        include the just-added edge (a version-stale cache entry would
+        serve the pre-write set).  Reader results must always be a closed
+        prefix, and post-write answers a superset of pre-write answers.
+        """
+        chain = "t(X, Y) <- e(X, Y). t(X, Y) <- t(X, U), e(U, Y). e(0, 1)."
+        shared = SharedSession(chain)
+        stop = threading.Event()
+        post_commit = []
+
+        def reader(_):
+            seen = []
+            while not stop.is_set():
+                out = shared.query_detailed("t(0, Z)")
+                seen.append((out.db_version, frozenset(out.answers)))
+            return seen
+
+        def writer(_):
+            for nxt in range(2, 12):
+                shared.add_facts(f"e({nxt - 1}, {nxt}).")
+                out = shared.query_detailed("t(0, Z)")
+                post_commit.append((nxt, frozenset(out.answers)))
+                time.sleep(0.005)
+            stop.set()
+            return []
+
+        results = run_threads(5, lambda i: writer(i) if i == 0 else reader(i))
+        # Post-commit reads always include the just-committed edge.
+        for nxt, answers in post_commit:
+            assert (nxt,) in answers, f"stale answer served after adding edge {nxt}"
+        # Reader observations are closed prefixes, monotone in db_version.
+        valid = {frozenset((i,) for i in range(1, k + 1)) for k in range(1, 12)}
+        by_version = {}
+        for seen in results[1:]:
+            for version, answers in seen:
+                assert answers in valid
+                assert by_version.setdefault(version, answers) == answers
+        # Higher version => superset (monotone growth, never regression).
+        ordered = sorted(by_version.items())
+        for (_, a), (_, b) in zip(ordered, ordered[1:]):
+            assert a <= b
+
+    def test_concurrent_identical_repeats_all_hit(self):
+        shared = SharedSession(BASE)
+        shared.query("anc(ann, Z)")  # populate
+        barrier = threading.Barrier(6, timeout=5)
+
+        def client(_):
+            barrier.wait()
+            return shared.query_detailed("anc(ann, Z)")
+
+        outcomes = run_threads(6, client)
+        assert all(o.answer_cached for o in outcomes)
+        assert shared.stats()["answer_cache"]["hits"] == 6
+
+    def test_cached_answers_match_a_fresh_serial_session(self):
+        shared = SharedSession(BASE)
+        queries = ["anc(ann, Z)", "anc(bob, Z)", "anc(Q, dee)"]
+        for q in queries:
+            shared.query(q)
+        serial = Session(BASE)
+        for q in queries:
+            assert shared.query(q) == serial.query(q), q

@@ -79,6 +79,95 @@ class TestHistogram:
         assert DEFAULT_LATENCY_BUCKETS[-1] >= 120.0
 
 
+class TestHistogramQuantileEdges:
+    """Boundary regressions: empty, single sample, exact edges, overflow."""
+
+    def test_single_sample_stays_inside_its_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        for q in (0.01, 0.5, 0.9, 0.99, 1.0):
+            assert 1.0 <= h.quantile(q) <= 2.0, q
+
+    def test_rank_exactly_at_a_bucket_boundary(self):
+        # 10 samples in (0,1], 10 in (1,2]: the 0.5 rank (=10) lands
+        # exactly on the first bucket's cumulative edge and must come
+        # from that bucket, not spill into the next.
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(0.5)
+        for _ in range(10):
+            h.observe(1.5)
+        assert h.quantile(0.5) == 1.0  # exact at the edge
+        assert 1.0 < h.quantile(0.75) <= 2.0
+
+    def test_quantile_skips_empty_leading_buckets(self):
+        # All mass in the last finite bucket: low quantiles must not be
+        # interpolated out of the empty buckets below it.
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        for _ in range(7):
+            h.observe(3.0)
+        assert 2.0 <= h.quantile(0.01) <= 4.0
+        assert 2.0 <= h.quantile(0.99) <= 4.0
+
+    def test_all_samples_in_overflow_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0))
+        for _ in range(5):
+            h.observe(99.0)
+        for q in (0.01, 0.5, 0.99, 1.0):
+            assert h.quantile(q) == 2.0  # clamped lower bound, never 0
+
+    def test_q_of_one_is_the_maximum_bucket(self):
+        h = Histogram("lat", buckets=(1.0, 2.0, 4.0))
+        h.observe(0.5)
+        h.observe(3.5)
+        assert 2.0 <= h.quantile(1.0) <= 4.0
+
+    def test_float_rank_wobble_is_clamped_to_the_bucket(self):
+        # 0.3 * 10 = 3.0000000000000004 in floats; the estimate must
+        # still land inside the crossing bucket's [lower, upper].
+        h = Histogram("lat", buckets=(0.1, 0.2, 0.4))
+        for _ in range(3):
+            h.observe(0.15)
+        for _ in range(7):
+            h.observe(0.3)
+        q = h.quantile(0.3)
+        assert 0.1 <= q <= 0.2
+
+    def test_snapshot_quantiles_agree_with_snapshot_buckets(self):
+        # The old bug: snapshot() recomputed quantiles under a second
+        # lock acquisition, so a racing observe() could push p99 outside
+        # the bucket counts the same snapshot reported.  Hammer it.
+        h = Histogram("lat", buckets=(0.001, 0.01, 0.1, 1.0))
+        stop = threading.Event()
+
+        def observer():
+            value = 0.0005
+            while not stop.is_set():
+                h.observe(value)
+                value = 0.5 if value == 0.0005 else 0.0005
+
+        t = threading.Thread(target=observer)
+        t.start()
+        try:
+            for _ in range(300):
+                snap = h.snapshot()
+                count = snap["count"]
+                assert snap["buckets"]["+Inf"] == count
+                if count:
+                    # p99's bucket must hold >= 99% of the snapshot count.
+                    p99 = snap["p99"]
+                    covered = 0
+                    for bound_repr, cumulative in snap["buckets"].items():
+                        if bound_repr != "+Inf" and float(bound_repr) >= p99:
+                            covered = cumulative
+                            break
+                    assert covered >= 0.99 * count - 1
+        finally:
+            stop.set()
+            t.join(5)
+            assert not t.is_alive()
+
+
 class TestMetricsRegistry:
     def test_get_or_create_is_idempotent(self):
         registry = MetricsRegistry()

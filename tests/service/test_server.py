@@ -8,13 +8,18 @@ each must answer a *typed* error payload (or close cleanly) and leave
 the server serving the next request.
 """
 
+import asyncio
 import json
+import os
+import signal
 import socket
+import threading
 import time
 
 import pytest
 
 from repro.service import (
+    QueryServer,
     ServerConfig,
     ServerThread,
     ServiceClient,
@@ -253,3 +258,99 @@ class TestShutdown:
                 break
             time.sleep(0.05)
         assert threading.active_count() <= before
+
+
+class TestSignalShutdown:
+    """Satellite (b): SIGINT/SIGTERM → graceful drain, twice → force stop.
+
+    These run the server loop on the *main* thread (``asyncio.run`` in
+    the test itself) because loop signal handlers can only be installed
+    there; clients drive it from side threads.
+    """
+
+    def test_sigint_drains_in_flight_evaluation_then_stops(self):
+        shared = SharedSession(BASE)
+        slow_evaluations(shared, 0.4)
+        server = QueryServer(shared, ServerConfig())
+        results = {}
+
+        def client_call():
+            with ServiceClient(port=server.port) as client:
+                results["reply"] = client.query("anc(ann, Z)")
+
+        async def main():
+            await server.start()
+            assert server.install_signal_handlers()
+            worker = threading.Thread(target=client_call)
+            worker.start()
+            await asyncio.sleep(0.15)  # the evaluation is now in flight
+            os.kill(os.getpid(), signal.SIGINT)
+            await asyncio.wait_for(server.serve_forever(), timeout=10)
+            worker.join(10)
+            assert not worker.is_alive()
+
+        asyncio.run(main())
+        # The interrupted-mid-evaluation query still got its full answer.
+        assert set(results["reply"].answers) == ANC_ANN
+        # Clean drain: the executor joined, nothing leaks.
+        assert not any(
+            t.name.startswith("repro-eval") for t in threading.enumerate()
+        )
+
+    def test_sigterm_is_equivalent_to_sigint(self):
+        shared = SharedSession(BASE)
+        server = QueryServer(shared, ServerConfig())
+
+        async def main():
+            await server.start()
+            assert server.install_signal_handlers()
+            os.kill(os.getpid(), signal.SIGTERM)
+            await asyncio.wait_for(server.serve_forever(), timeout=10)
+
+        asyncio.run(main())
+
+    def test_second_signal_abandons_the_drain(self):
+        shared = SharedSession(BASE)
+        slow_evaluations(shared, 1.5)
+        # A huge drain timeout: only the second signal can end this fast.
+        server = QueryServer(shared, ServerConfig(drain_timeout=60.0))
+
+        def client_call():
+            try:
+                with ServiceClient(port=server.port) as client:
+                    client.query("anc(ann, Z)")
+            except ServiceClientError:
+                pass  # the abandoned drain severs the connection
+
+        async def main():
+            await server.start()
+            assert server.install_signal_handlers()
+            worker = threading.Thread(target=client_call)
+            worker.start()
+            await asyncio.sleep(0.2)  # evaluation in flight
+            os.kill(os.getpid(), signal.SIGINT)  # begin graceful drain
+            await asyncio.sleep(0.1)
+            os.kill(os.getpid(), signal.SIGINT)  # "stop NOW"
+            start = time.monotonic()
+            await asyncio.wait_for(server.serve_forever(), timeout=5)
+            assert time.monotonic() - start < 2.0  # not the 60s drain
+            worker.join(10)
+            assert not worker.is_alive()
+
+        asyncio.run(main())
+        # The orphaned evaluation finishes on its thread; join it so the
+        # test leaves no straggler behind.
+        server._executor.shutdown(wait=True)
+
+    def test_request_shutdown_is_idempotent_and_retains_its_task(self):
+        shared = SharedSession(BASE)
+        server = QueryServer(shared, ServerConfig())
+
+        async def main():
+            await server.start()
+            server.request_shutdown()
+            assert server._shutdown_task is not None  # strong ref held
+            server.request_shutdown()  # second call: abort path, no error
+            await asyncio.wait_for(server.serve_forever(), timeout=10)
+
+        asyncio.run(main())

@@ -196,6 +196,122 @@ class TestCoalescing:
         assert run_threads(3, client) == [True, True, True]
         assert shared.inflight_count() == 0  # the failed entry was reaped
 
+    def test_followers_get_fresh_error_instances_and_session_recovers(self):
+        """Regression: N followers must each raise their own typed error.
+
+        The leader's exception used to be re-raised as the *same object*
+        from every follower thread (concurrent ``__traceback__``
+        mutation); and a failed entry left behind would wedge every
+        later identical query.  Both must stay fixed.
+        """
+        shared = SharedSession(BASE)
+        original = shared.session.run_query
+        calls = []
+
+        def explode_once(query, seed=None):
+            calls.append(1)
+            if len(calls) == 1:
+                time.sleep(0.2)
+                raise RuntimeFailure("synthetic evaluation failure")
+            return original(query, seed)
+
+        shared.session.run_query = explode_once
+        barrier = threading.Barrier(6, timeout=5)
+        raised = []
+        raised_lock = threading.Lock()
+
+        def client(_):
+            barrier.wait()
+            try:
+                shared.query_detailed("anc(ann, Z)")
+            except RuntimeFailure as exc:
+                with raised_lock:
+                    raised.append(exc)
+                return True
+            return False
+
+        assert run_threads(6, client) == [True] * 6
+        assert len(raised) == 6
+        # One typed failure per caller, every instance distinct.
+        assert len({id(exc) for exc in raised}) == 6
+        assert {type(exc) for exc in raised} == {RuntimeFailure}
+        assert {exc.args for exc in raised} == {("synthetic evaluation failure",)}
+        # The failed entry was reaped: the next identical query runs clean.
+        assert shared.inflight_count() == 0
+        assert shared.query("anc(ann, Z)") == {
+            ("bob",), ("cal",), ("dee",), ("abe",), ("ada",),
+        }
+
+    def test_base_exception_in_leader_still_releases_followers(self):
+        """Even a BaseException (not Exception) must set the done event."""
+
+        class Abort(BaseException):
+            pass
+
+        shared = SharedSession(BASE)
+
+        def explode(query, seed=None):
+            time.sleep(0.2)
+            raise Abort("hard abort")
+
+        shared.session.run_query = explode
+        barrier = threading.Barrier(3, timeout=5)
+
+        def client(_):
+            barrier.wait()
+            with pytest.raises(Abort):
+                shared.query_detailed("anc(ann, Z)")
+            return True
+
+        assert run_threads(3, client) == [True, True, True]
+        assert shared.inflight_count() == 0
+
+    def test_post_write_request_never_joins_a_pre_write_evaluation(self):
+        """Regression: coalescing is keyed by (query key, db_version).
+
+        Window under test: the leader has finished evaluating (read lock
+        released) but its in-flight entry is still posted; a write
+        commits; a new identical request arrives.  With bare-key
+        coalescing the new request would join the pre-write evaluation
+        and serve answers missing the committed fact.  Version-keyed
+        coalescing forces it to lead its own evaluation.  The window is
+        made deterministic by delaying the leader's answer-cache store
+        (which sits between lock release and the in-flight pop).
+        """
+        shared = SharedSession(BASE)
+        cache = shared.answer_cache
+        original_put = cache.put
+        leader_past_eval = threading.Event()
+        release_leader = threading.Event()
+
+        def slow_put(key, version, answers, elapsed=0.0):
+            leader_past_eval.set()
+            release_leader.wait(5)
+            return original_put(key, version, answers, elapsed)
+
+        cache.put = slow_put
+        outcomes = {}
+
+        def leader():
+            outcomes["leader"] = shared.query_detailed("anc(ann, Z)")
+
+        t = threading.Thread(target=leader)
+        t.start()
+        assert leader_past_eval.wait(5)
+        cache.put = original_put  # only the first store is delayed
+        assert shared.inflight_count() == 1  # entry still posted
+        shared.add_facts("par(dee, eve).")  # commits: version bumps
+        late = shared.query_detailed("anc(ann, Z)")
+        release_leader.set()
+        t.join(10)
+        assert not t.is_alive()
+        # The late request did not coalesce into the stale evaluation...
+        assert not late.coalesced and not late.answer_cached
+        assert ("eve",) in late.answers
+        # ...while the leader still faithfully reports what it read.
+        assert ("eve",) not in outcomes["leader"].answers
+        assert late.db_version == outcomes["leader"].db_version + 1
+
     def test_follower_timeout_is_typed(self):
         shared = SharedSession(BASE)
         slow_evaluations(shared, delay=0.6)
@@ -239,9 +355,14 @@ class TestConcurrencyMatrix:
         results = run_threads(len(queries), client)
         for query, answers in zip(queries, results):
             assert answers == serial[query], query
-        # Cache stats stay consistent: every leader did one lookup.
+        # Cache stats stay consistent: every leader did one graph lookup
+        # (answer-cache hits and coalesced joins never reach the graph).
         cache = shared.cache_stats()
-        assert cache.hits + cache.misses == shared.stats()["queries"] - shared.stats()["coalesced_joins"]
+        stats = shared.stats()
+        assert (
+            cache.hits + cache.misses
+            == stats["queries"] - stats["coalesced_joins"] - stats["answer_cache"]["hits"]
+        )
         assert cache.size <= cache.capacity
 
     def test_queries_interleaved_with_add_facts_stay_monotone(self):

@@ -261,6 +261,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             session=session,
             store=store,
             answer_cache_size=args.answer_cache_size,
+            materialize=args.materialize,
+            materialize_pool=args.materialize_pool,
         )
         print(
             f"data-dir {args.data_dir}: "
@@ -278,6 +280,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         shared = SharedSession(
             program,
             answer_cache_size=args.answer_cache_size,
+            materialize=args.materialize,
+            materialize_pool=args.materialize_pool,
             **session_options,
         )
     server = QueryServer(
@@ -298,7 +302,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"serving {args.file} on {server.host}:{server.port} "
             f"(runtime={args.eval_runtime}, max_concurrent={args.max_concurrent}, "
-            f"max_queue={args.max_queue})",
+            f"max_queue={args.max_queue}"
+            + (", materialize=on" if args.materialize else "")
+            + ")",
             flush=True,
         )
         await server.serve_forever()
@@ -485,6 +491,22 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="ENTRIES",
         help="answer-cache LRU capacity (full answer sets keyed by query "
         "signature + db_version; 0 disables)",
+    )
+    serve_p.add_argument(
+        "--materialize",
+        action="store_true",
+        help="keep evaluated networks warm and propagate add_facts deltas "
+        "semi-naively instead of re-deriving fixpoints (simulator runtime "
+        "only; hot answer-cache entries are refreshed across writes, not "
+        "invalidated)",
+    )
+    serve_p.add_argument(
+        "--materialize-pool",
+        type=int,
+        default=32,
+        metavar="NETWORKS",
+        help="with --materialize: LRU bound on warm networks kept per "
+        "distinct query signature",
     )
     serve_p.add_argument(
         "--data-dir",

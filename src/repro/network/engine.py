@@ -99,6 +99,12 @@ class QueryResult:
     attempts: int = 1
     degraded: bool = False
     failure_log: list[str] = field(default_factory=list)
+    # True when this result came from a semi-naive delta wave through a
+    # warm network (MessagePassingEngine.run_delta) rather than a cold
+    # fixpoint.  Message and db counters then cover the wave alone, while
+    # tuples_stored/join_lookups/envs_materialized stay cumulative — they
+    # describe the retained network's footprint, not one wave's work.
+    incremental: bool = False
 
     @property
     def total_messages(self) -> int:
@@ -477,12 +483,59 @@ class MessagePassingEngine:
         """Evaluate the query and collect the result with full accounting."""
         # The database may be shared across queries (session caching), so its
         # counters are cumulative; snapshot now and report per-query deltas.
-        scans_before = self.database.scans
-        lookups_before = self.database.indexed_lookups
-        rows_before = self.database.rows_retrieved
+        snapshot = self._db_snapshot()
         self.driver.start(self.scheduler)
         stats = self.scheduler.run()
+        return self._collect_result(stats, snapshot)
 
+    def run_delta(self, facts) -> QueryResult:
+        """Semi-naive continuation: inject delta tuples, reconverge, re-collect.
+
+        ``facts`` are ground EDB atoms **already committed to the shared
+        database** (the session's ``add_facts`` path guarantees this; a
+        direct caller must ``self.database.add_facts(...)`` first).  Each
+        delta row is offered to the EDB leaves serving its predicate
+        (:meth:`EdbLeafProcess.inject_delta`), which re-serve exactly the
+        open streams that would have carried the row in a cold run; the
+        scheduler then drains to a new fixpoint.  Sound because evaluation
+        is monotone under set semantics: every node deduplicates, so the
+        warm network's relations converge to the same least fixpoint a
+        from-scratch evaluation over the grown EDB computes, and the §3.2
+        end-wave machinery re-arms itself for the new work.
+
+        The returned result's message/db counters cover this wave only
+        (``scheduler.stats`` is reset per wave, which also makes the
+        ``max_messages`` budget per-wave); answers and storage counters
+        are cumulative across the materialization's lifetime.
+        """
+        snapshot = self._db_snapshot()
+        self.scheduler.stats = SchedulerStats()
+        by_predicate: dict[str, list[tuple]] = {}
+        for fact in facts:
+            by_predicate.setdefault(fact.predicate, []).append(fact.ground_tuple())
+        if by_predicate:
+            for process in self.processes.values():
+                if not isinstance(process, EdbLeafProcess):
+                    continue
+                rows = by_predicate.get(process.adorned.predicate)
+                if rows:
+                    process.inject_delta(rows, self.scheduler)
+        stats = self.scheduler.run()
+        result = self._collect_result(stats, snapshot)
+        result.incremental = True
+        return result
+
+    def _db_snapshot(self) -> tuple[int, int, int]:
+        return (
+            self.database.scans,
+            self.database.indexed_lookups,
+            self.database.rows_retrieved,
+        )
+
+    def _collect_result(
+        self, stats: SchedulerStats, snapshot: tuple[int, int, int]
+    ) -> QueryResult:
+        scans_before, lookups_before, rows_before = snapshot
         tuples_by_node: dict[str, int] = {}
         tuples_total = 0
         join_lookups = 0

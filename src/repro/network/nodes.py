@@ -711,6 +711,44 @@ class EdbLeafProcess(NodeProcess):
         stream.last_seq_received = max(stream.last_seq_received, message.seq)
         self.serve_binding(stream, message.binding, network)
 
+    def inject_delta(self, rows: Iterable[tuple], network: "Scheduler") -> None:
+        """Feed newly committed database rows into every open stream.
+
+        The delta-propagation entry point
+        (:meth:`~repro.network.engine.MessagePassingEngine.run_delta`): a
+        warm network's EDB leaves are the only places base rows ever
+        entered the computation, so re-serving exactly the streams that
+        would have received each row had it been present originally —
+        full-relation streams get every matching row, "d" streams the
+        rows matching a binding they already requested — restarts the
+        monotone fixpoint from the delta alone.  Per-stream ``sent_rows``
+        dedup keeps re-injection idempotent; bindings requested *after*
+        the injection are served straight from the (already grown)
+        database as usual.
+        """
+        self._relation_size = None  # the cached scan-vs-lookup pivot moved
+        matching = [row for row in rows if self._matches(row)]
+        if not matching:
+            return
+        if not self.shape.d_positions:
+            for stream in self.consumers.values():
+                if stream.last_seq_received >= 0:
+                    self._emit(stream, matching, network)
+            return
+        for stream in self.consumers.values():
+            if not stream.requested:
+                continue
+            self._emit(
+                stream,
+                [
+                    row
+                    for row in matching
+                    if tuple(row[p] for p in self.shape.d_positions)
+                    in stream.requested
+                ],
+                network,
+            )
+
     def _lookup_binding(self, binding: tuple) -> Iterable[tuple]:
         """Indexed retrieval for one "d" binding (empty on constant clash)."""
         bound = dict(self.constant_filter)
@@ -721,7 +759,13 @@ class EdbLeafProcess(NodeProcess):
         return self.database.lookup(self.adorned.predicate, bound)
 
     def serve_binding(self, stream: ConsumerStream, binding: tuple, network: "Scheduler") -> None:
-        """Indexed retrieval for one "d" binding."""
+        """Indexed retrieval for one "d" binding.
+
+        The binding is remembered on the stream so a later
+        :meth:`inject_delta` can re-serve it when new matching rows are
+        committed — the leaf-side half of the semi-naive contract.
+        """
+        stream.requested.add(binding)
         self._emit(stream, self._lookup_binding(binding), network)
 
     def on_packaged_request(self, message: PackagedTupleRequest, network: "Scheduler") -> None:
@@ -736,6 +780,7 @@ class EdbLeafProcess(NodeProcess):
         """
         stream = self.consumers[message.sender]
         stream.last_seq_received = max(stream.last_seq_received, message.seq)
+        stream.requested.update(message.bindings)
         if self._relation_size is None:
             self._relation_size = len(self.database.relation(self.adorned.predicate))
         if (

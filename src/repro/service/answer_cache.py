@@ -36,7 +36,7 @@ import sys
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Hashable, Optional
+from typing import Callable, Hashable, Optional
 
 __all__ = ["AnswerCacheStats", "CachedAnswer", "AnswerCache", "estimate_answer_bytes"]
 
@@ -56,6 +56,15 @@ def estimate_answer_bytes(answers: frozenset) -> int:
     return total
 
 
+def _estimate_render_bytes(value) -> int:
+    """Footprint estimate for one attached render (list/bytes/str-ish)."""
+    total = sys.getsizeof(value)
+    if isinstance(value, (list, tuple, set, frozenset)):
+        for item in value:
+            total += sys.getsizeof(item)
+    return total
+
+
 @dataclass(frozen=True)
 class CachedAnswer:
     """One stored answer set plus the accounting needed to serve it."""
@@ -68,7 +77,42 @@ class CachedAnswer:
     #: wire-encoded row list), computed by whoever serves the entry and
     #: reused on later hits.  Purely derived data: the entry — and with
     #: it this memo — dies with its version, so it can never go stale.
+    #: Mutate only through :meth:`render` — direct check-then-set from
+    #: concurrent server threads is the race this method exists to fix.
     renders: dict = field(default_factory=dict, compare=False, repr=False)
+    #: Serializes render computation/attachment per entry.
+    _render_lock: threading.Lock = field(
+        default_factory=threading.Lock, compare=False, repr=False
+    )
+    #: Set by the owning :class:`AnswerCache` at store time so attached
+    #: renders are charged against its byte budget; None for entries
+    #: that were never stored (oversized, cache disabled).
+    _charge: Optional[Callable[[int], None]] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def render(self, kind: Hashable, compute: Callable[[frozenset], object]):
+        """``compute(answers)``, memoized race-free under ``kind``.
+
+        Exactly one thread computes each kind; concurrent callers block
+        briefly and reuse its value, so a hot entry is wire-encoded once
+        rather than once per racing response thread.  The render's
+        estimated footprint is charged to the owning cache's byte budget
+        (entries hold renders comparable in size to the answers
+        themselves — uncounted, the cache could hold ~2x ``max_bytes``).
+        """
+        value = self.renders.get(kind)
+        if value is not None:
+            return value
+        with self._render_lock:
+            value = self.renders.get(kind)
+            if value is not None:
+                return value
+            value = compute(self.answers)
+            self.renders[kind] = value
+        if self._charge is not None:
+            self._charge(_estimate_render_bytes(value))
+        return value
 
 
 @dataclass(frozen=True)
@@ -78,6 +122,9 @@ class AnswerCacheStats:
     ``evictions`` counts entries dropped by the count/byte bounds;
     ``invalidations`` counts entries reclaimed because a write made
     their version unreachable (:meth:`AnswerCache.purge_below`).
+    ``render_bytes`` is the portion of ``bytes`` held by renders
+    attached to resident entries (wire encodings etc.); it is already
+    included in ``bytes``, not in addition to it.
     """
 
     hits: int
@@ -87,6 +134,7 @@ class AnswerCacheStats:
     invalidations: int
     entries: int
     bytes: int
+    render_bytes: int
     capacity: int
     max_bytes: int
     seconds_saved: float
@@ -106,6 +154,7 @@ class AnswerCacheStats:
             "invalidations": self.invalidations,
             "entries": self.entries,
             "bytes": self.bytes,
+            "render_bytes": self.render_bytes,
             "capacity": self.capacity,
             "max_bytes": self.max_bytes,
             "seconds_saved": round(self.seconds_saved, 6),
@@ -137,6 +186,9 @@ class AnswerCache:
         self._entries: "OrderedDict[Hashable, CachedAnswer]" = OrderedDict()
         self._lock = threading.Lock()
         self._bytes = 0
+        # Render bytes per resident entry (charged lazily as transports
+        # attach wire encodings); folded into _bytes, split out in stats.
+        self._render_nbytes: dict[Hashable, int] = {}
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -169,21 +221,41 @@ class AnswerCache:
         entry = CachedAnswer(
             answers=answers, version=version, nbytes=nbytes, elapsed=elapsed
         )
+        full_key = (key, version)
+        object.__setattr__(
+            entry, "_charge", lambda n: self._charge_render(full_key, entry, n)
+        )
         with self._lock:
-            full_key = (key, version)
             previous = self._entries.pop(full_key, None)
             if previous is not None:
-                self._bytes -= previous.nbytes
+                self._bytes -= previous.nbytes + self._render_nbytes.pop(full_key, 0)
             self._entries[full_key] = entry
             self._bytes += nbytes
             self.stores += 1
-            while self._entries and (
-                len(self._entries) > self.capacity or self._bytes > self.max_bytes
-            ):
-                _, evicted = self._entries.popitem(last=False)
-                self._bytes -= evicted.nbytes
-                self.evictions += 1
+            self._evict_over_budget()
         return entry
+
+    def _charge_render(self, full_key: Hashable, entry: "CachedAnswer", n: int) -> None:
+        """Count one attached render against the byte budget (entry callback).
+
+        A render attached after its entry was evicted/purged charges
+        nothing — the cache no longer holds it, only the caller does.
+        """
+        with self._lock:
+            if self._entries.get(full_key) is not entry:
+                return
+            self._render_nbytes[full_key] = self._render_nbytes.get(full_key, 0) + n
+            self._bytes += n
+            self._evict_over_budget()
+
+    def _evict_over_budget(self) -> None:
+        """LRU-evict until within both bounds (lock held by caller)."""
+        while self._entries and (
+            len(self._entries) > self.capacity or self._bytes > self.max_bytes
+        ):
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.nbytes + self._render_nbytes.pop(evicted_key, 0)
+            self.evictions += 1
 
     def purge_below(self, version: int) -> int:
         """Reclaim entries whose version a lookup can no longer present.
@@ -197,7 +269,10 @@ class AnswerCache:
         with self._lock:
             stale = [fk for fk in self._entries if fk[1] < version]
             for full_key in stale:
-                self._bytes -= self._entries.pop(full_key).nbytes
+                self._bytes -= (
+                    self._entries.pop(full_key).nbytes
+                    + self._render_nbytes.pop(full_key, 0)
+                )
                 self.invalidations += 1
             return len(stale)
 
@@ -206,6 +281,7 @@ class AnswerCache:
         with self._lock:
             dropped = len(self._entries)
             self._entries.clear()
+            self._render_nbytes.clear()
             self._bytes = 0
             self.invalidations += dropped
             return dropped
@@ -235,6 +311,7 @@ class AnswerCache:
                 invalidations=self.invalidations,
                 entries=len(self._entries),
                 bytes=self._bytes,
+                render_bytes=sum(self._render_nbytes.values()),
                 capacity=self.capacity,
                 max_bytes=self.max_bytes,
                 seconds_saved=self.seconds_saved,

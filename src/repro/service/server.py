@@ -458,19 +458,15 @@ class QueryServer:
         Every cache hit at a given version hands back the *same*
         :class:`CachedAnswer` object, so rendering a hot answer set once
         and hanging the rows off its ``renders`` memo turns repeat
-        responses from O(rows) encoding work on the event loop into a
-        dict lookup.  Runs on the loop thread only, so a duplicate
-        render between check and store is impossible; the memo dies
-        with its entry, which dies with its version.
+        responses from O(rows) encoding work into a dict lookup.
+        :meth:`CachedAnswer.render` owns the check-compute-store cycle —
+        it is race-free for any number of serving threads and charges
+        the rendered rows against the cache's byte budget.
         """
         entry = outcome.cache_entry
         if entry is None:
             return rows_to_wire(outcome.answers)
-        wire = entry.renders.get("wire")
-        if wire is None:
-            wire = rows_to_wire(entry.answers)
-            entry.renders["wire"] = wire
-        return wire
+        return entry.render("wire", rows_to_wire)
 
     def _failure(self, exc: Exception, rid) -> dict:
         if isinstance(exc, ServiceError):

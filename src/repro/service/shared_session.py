@@ -48,13 +48,14 @@ from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Union
 
 from ..cache import CacheStats
 from ..core.atoms import Atom
 from ..runtime.supervision import EvaluationTimeout
-from ..session import Session
+from ..session import MaterializedQuery, MaterializedQueryClosed, Session
 from .answer_cache import AnswerCache
 from .locks import ReadWriteLock
 from .metrics import MetricsRegistry
@@ -78,6 +79,7 @@ class QueryOutcome:
     logical_messages: Optional[int] = None
     physical_messages: Optional[int] = None
     answer_cached: bool = False  # served straight from the answer cache
+    materialized: bool = False  # served by a warm (retained-network) query
     db_version: Optional[int] = None  # base version the answers reflect
     #: The answer-cache entry backing this outcome (when one exists).
     #: Transport layers hang rendered forms of the answer set off its
@@ -138,6 +140,16 @@ class SharedSession:
     ``store`` attaches a :class:`DurableStore` the writes append to —
     wrap the session that store's :meth:`DurableStore.restore` built,
     or the log would repeat mutations the snapshot already holds.
+
+    ``materialize=True`` (simulator runtime only; silently ignored for
+    the multiprocess runtimes, which cannot retain a network) keeps a
+    bounded LRU pool of up to ``materialize_pool`` warm
+    :class:`~repro.session.MaterializedQuery` instances keyed by the
+    Theorem 2.1 graph-cache key.  Repeat queries refresh the retained
+    network semi-naively instead of re-deriving the fixpoint, and each
+    committed ``add_facts`` delta-refreshes the warm entries and
+    re-stores their answer sets under the new ``db_version`` — hot keys
+    ride through writes without ever missing the answer cache.
     """
 
     def __init__(
@@ -149,10 +161,16 @@ class SharedSession:
         store: Optional[DurableStore] = None,
         answer_cache_size: int = 256,
         answer_cache_bytes: int = 64 * 1024 * 1024,
+        materialize: bool = False,
+        materialize_pool: int = 32,
         **session_options,
     ) -> None:
         if (source is None) == (session is None):
             raise ValueError("pass exactly one of source= or session=")
+        if materialize_pool < 1:
+            raise ValueError(
+                f"materialize_pool must be >= 1, got {materialize_pool}"
+            )
         self._session = session if session is not None else Session(
             source, **session_options
         )
@@ -163,6 +181,14 @@ class SharedSession:
             if answer_cache_size > 0
             else None
         )
+        # Warm materializations: evaluated networks retained per Theorem
+        # 2.1 key, refreshed semi-naively on writes.  Only the simulator
+        # runtime can retain a network; other runtimes fall back to the
+        # invalidate-and-recompute path transparently.
+        self._materialize = materialize and self._session.runtime == "simulator"
+        self._materialize_pool = materialize_pool
+        self._mats: "OrderedDict[tuple, MaterializedQuery]" = OrderedDict()
+        self._mats_lock = threading.Lock()
         self._rw = ReadWriteLock()
         self._inflight: dict[tuple, _InFlight] = {}
         self._inflight_lock = threading.Lock()
@@ -213,6 +239,17 @@ class SharedSession:
         self._eval_seconds = m.histogram(
             "evaluation_seconds", help="evaluation wall time per leader run"
         )
+        self._materializations = m.counter(
+            "materializations_total", "warm networks built (initial fixpoints)"
+        )
+        self._delta_refreshes = m.counter(
+            "delta_refreshes_total",
+            "semi-naive delta waves propagated through warm networks",
+        )
+        self._answer_refreshes = m.counter(
+            "answer_cache_refreshes_total",
+            "cached answer sets delta-refreshed to the new version on a write",
+        )
 
     # ------------------------------------------------------------------
     # Reads
@@ -240,7 +277,11 @@ class SharedSession:
         layer, which enforces per-request deadlines around this call.
         """
         self._queries.inc()
-        key = self._session.cache_key_for(query)
+        # One parse per request: prepare() parses and computes the
+        # Theorem 2.1 key once; the prepared form rides through the
+        # cache lookup, coalescing, and the evaluation itself.
+        prepared = self._session.prepare(query)
+        key = self._session.cache_key_for(prepared)
         version = self._session.db_version
         if self._answers is not None:
             cached = self._answers.get(key, version)
@@ -270,10 +311,10 @@ class SharedSession:
                 self._inflight[ckey] = entry
                 leader = True
         if leader:
-            return self._lead(key, ckey, entry, query)
+            return self._lead(key, ckey, entry, prepared)
         return self._follow(entry, timeout)
 
-    def _lead(self, key: tuple, ckey: tuple, entry: _InFlight, query) -> QueryOutcome:
+    def _lead(self, key: tuple, ckey: tuple, entry: _InFlight, prepared) -> QueryOutcome:
         start = time.perf_counter()
         try:
             with self._rw.read_locked():
@@ -282,7 +323,15 @@ class SharedSession:
                 # exceed ckey's version if a write slipped in before the
                 # lock; answers are then stored under what was truly read.
                 version = self._session.db_version
-                result = self._session.run_query(query)
+                # Re-derive the key under the lock: an add_rules that
+                # slipped in changed the IDB fingerprint prepared.key
+                # was computed against.
+                key = self._session.cache_key_for(prepared)
+                if self._materialize:
+                    result, materialized = self._query_materialized(prepared, key)
+                else:
+                    result = self._session.run_query(prepared)
+                    materialized = False
             elapsed = time.perf_counter() - start
             outcome = QueryOutcome(
                 answers=frozenset(result.answers),
@@ -290,6 +339,7 @@ class SharedSession:
                 shared=1,
                 cache_hit=bool(result.graph_cache_hit),
                 elapsed=elapsed,
+                materialized=materialized,
                 attempts=getattr(result, "attempts", 1),
                 degraded=bool(getattr(result, "degraded", False)),
                 failure_log=tuple(getattr(result, "failure_log", ()) or ()),
@@ -349,6 +399,97 @@ class SharedSession:
             self._physical.inc(outcome.physical_messages)
 
     # ------------------------------------------------------------------
+    # Warm materializations
+    # ------------------------------------------------------------------
+    def _query_materialized(self, prepared, key: tuple):
+        """Serve one leader evaluation from the warm pool (read lock held).
+
+        A pool hit refreshes the retained network (a no-op when no
+        writes are pending); a miss evaluates from scratch, retains the
+        network, and LRU-evicts past the pool bound.  Coalescing on
+        ``(key, version)`` means no two leaders share a key at once, and
+        the read lock excludes writers, so each materialization sees a
+        quiescent base; its own lock still makes refreshes safe against
+        the write path's background refresh.
+        """
+        with self._mats_lock:
+            mat = self._mats.get(key)
+            if mat is not None and mat.closed:
+                self._mats.pop(key, None)
+                mat = None
+            if mat is not None:
+                self._mats.move_to_end(key)
+        if mat is not None:
+            try:
+                before = mat.refreshes
+                result = mat.refresh()
+                if mat.refreshes > before:
+                    self._delta_refreshes.inc(mat.refreshes - before)
+                return result, True
+            except MaterializedQueryClosed:
+                with self._mats_lock:
+                    if self._mats.get(key) is mat:
+                        self._mats.pop(key, None)
+        mat = self._session.materialize(prepared)
+        self._materializations.inc()
+        with self._mats_lock:
+            existing = self._mats.get(key)
+            if existing is not None and not existing.closed:
+                # Lost an (unlikely) install race; keep the incumbent.
+                mat.close()
+                mat = existing
+            else:
+                self._mats[key] = mat
+                while len(self._mats) > self._materialize_pool:
+                    _, evicted = self._mats.popitem(last=False)
+                    evicted.close()
+        return mat.result, True
+
+    def _refresh_warm(self) -> None:
+        """Delta-refresh every warm materialization after a commit.
+
+        Runs under the read lock (writers excluded, concurrent queries
+        fine) *before* stale answer-cache entries are purged: each
+        refreshed answer set is re-stored under the new ``db_version``,
+        so hot keys stay answerable without evaluation across writes —
+        the cache is maintained, not invalidated.  Closed
+        materializations (``add_rules`` changed the IDB) just fall out
+        of the pool; their keys take the ordinary invalidation path.
+        """
+        if not self._materialize:
+            return
+        with self._rw.read_locked():
+            version = self._session.db_version
+            with self._mats_lock:
+                live = list(self._mats.items())
+            for key, mat in live:
+                try:
+                    start = time.perf_counter()
+                    before = mat.refreshes
+                    result = mat.refresh()
+                    elapsed = time.perf_counter() - start
+                except MaterializedQueryClosed:
+                    with self._mats_lock:
+                        if self._mats.get(key) is mat:
+                            self._mats.pop(key, None)
+                    continue
+                if mat.refreshes > before:
+                    self._delta_refreshes.inc(mat.refreshes - before)
+                # mat.version lags the commit only if another write
+                # landed meanwhile — impossible under the read lock.
+                if self._answers is not None and mat.version == version:
+                    self._answers.put(
+                        key, version, frozenset(result.answers), elapsed
+                    )
+                    self._answer_refreshes.inc()
+
+    def _drop_closed_materializations(self) -> None:
+        """Forget pool entries ``add_rules`` invalidated (networks closed)."""
+        with self._mats_lock:
+            for key in [k for k, m in self._mats.items() if m.closed]:
+                self._mats.pop(key, None)
+
+    # ------------------------------------------------------------------
     # Writes
     # ------------------------------------------------------------------
     def add_facts(self, facts) -> None:
@@ -363,15 +504,28 @@ class SharedSession:
             self._session.add_facts(facts)
             self._record_write("add_facts", facts, changed=self._session.db_version != before)
         self._writes.inc()
+        # Maintain before invalidating: warm keys are re-stored under
+        # the new version first, then the purge sweeps only what no
+        # materialization kept alive.
+        self._refresh_warm()
         self._reclaim_stale_answers()
 
     def add_rules(self, source) -> None:
-        """Extend the IDB under the write lock; flushes the graph cache."""
+        """Extend the IDB under the write lock; flushes the graph cache.
+
+        New *rules* change the IDB fingerprint every warm network was
+        built against, so the session closes all materializations; the
+        pool drops them and repeat queries re-materialize on demand.  A
+        facts-only ``add_rules`` keeps the networks and delta-refreshes
+        like :meth:`add_facts`.
+        """
         with self._rw.write_locked():
             before = self._session.db_version
             self._session.add_rules(source)
             self._record_write("add_rules", source, changed=self._session.db_version != before)
         self._writes.inc()
+        self._drop_closed_materializations()
+        self._refresh_warm()
         self._reclaim_stale_answers()
 
     def _record_write(self, op: str, payload, changed: bool) -> None:
@@ -441,6 +595,18 @@ class SharedSession:
             "db_version": self._session.db_version,
             "answer_cache": (
                 self._answers.stats().as_dict() if self._answers is not None else None
+            ),
+            "materialized": (
+                {
+                    "enabled": True,
+                    "pool_size": len(self._mats),
+                    "pool_capacity": self._materialize_pool,
+                    "materializations": self._materializations.value,
+                    "delta_refreshes": self._delta_refreshes.value,
+                    "answer_refreshes": self._answer_refreshes.value,
+                }
+                if self._materialize
+                else {"enabled": False}
             ),
             "persistence": (
                 self._store.stats() if self._store is not None else None

@@ -40,6 +40,9 @@ True
 
 from __future__ import annotations
 
+import threading
+import weakref
+from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence, Union
 
 from .cache import CacheStats, GraphCache
@@ -58,7 +61,7 @@ from .core.sips import greedy_sip
 from .network.engine import QueryResult, evaluate
 from .relational.database import Database
 
-__all__ = ["Session"]
+__all__ = ["Session", "PreparedQuery", "MaterializedQuery", "MaterializedQueryClosed"]
 
 
 def _parse_query_atoms(query: Union[str, Atom, Sequence[Atom]]) -> list[Atom]:
@@ -68,6 +71,128 @@ def _parse_query_atoms(query: Union[str, Atom, Sequence[Atom]]) -> list[Atom]:
         parser = _Parser(_tokenize(query.rstrip(". \n") + "."))
         return parser.atom_list()
     return list(query)
+
+
+@dataclass(frozen=True)
+class PreparedQuery:
+    """A query parsed once: its atoms plus the Theorem 2.1 cache key.
+
+    Built by :meth:`Session.prepare`; every Session entry point accepts
+    one in place of the raw query, so a serving layer that needs the key
+    *before* evaluating (answer-cache lookup, in-flight coalescing) pays
+    one parse and one key computation per request instead of two.
+    ``fingerprint`` pins the IDB rule set the key was computed against —
+    if ``add_rules`` commits in between, the key is recomputed rather
+    than trusted (the atoms themselves never go stale).
+    """
+
+    atoms: tuple[Atom, ...]
+    key: tuple
+    fingerprint: tuple
+
+
+class MaterializedQueryClosed(RuntimeError):
+    """The materialization was invalidated (``add_rules``) or closed."""
+
+
+class MaterializedQuery:
+    """One query kept *warm*: the evaluated network retained for deltas.
+
+    After the initial fixpoint the engine's per-node state — goal-node
+    answer relations, rule-node environments and stage temporaries, the
+    per-stream dedup sets — is kept alive.  Each committed ``add_facts``
+    on the owning session enqueues its delta tuples here;
+    :meth:`refresh` injects them into the warm network
+    (:meth:`~repro.network.engine.MessagePassingEngine.run_delta`) and
+    re-runs monotone set-semantics propagation to convergence — classic
+    semi-naive evaluation, so a refresh costs work proportional to the
+    *new* derivations, not the whole fixpoint.
+
+    Lifecycle: created by :meth:`Session.materialize`, fed by the
+    session's writes, invalidated by ``add_rules`` (the IDB fingerprint
+    the network was built against changed), released by :meth:`close`.
+    Instances are internally locked — refreshes and delta enqueues are
+    mutually exclusive — but the *answers* object must be treated as
+    read-only by callers.
+    """
+
+    def __init__(self, session: "Session", prepared: PreparedQuery, engine, result) -> None:
+        self._session = session
+        self.prepared = prepared
+        self.key = prepared.key
+        self._engine = engine
+        self._result = result
+        #: db_version of the last converged fixpoint this holds.
+        self.version = session.db_version
+        self._pending: list[Atom] = []
+        self._pending_version = self.version
+        self._lock = threading.RLock()
+        self.refreshes = 0  # delta waves propagated
+        self.closed = False
+
+    # ------------------------------------------------------------------
+    @property
+    def answers(self) -> set[tuple]:
+        """The answer set as of the last converged refresh (no implicit work)."""
+        return self._result.answers
+
+    @property
+    def result(self) -> QueryResult:
+        """The full :class:`QueryResult` of the last converged wave."""
+        return self._result
+
+    @property
+    def stale(self) -> bool:
+        """True when committed deltas have not been propagated yet."""
+        with self._lock:
+            return bool(self._pending) and not self.closed
+
+    # ------------------------------------------------------------------
+    def _absorb_write(self, facts: Sequence[Atom], version: int) -> None:
+        """Session hook: queue one committed delta batch (cheap, no eval)."""
+        with self._lock:
+            if self.closed:
+                return
+            self._pending.extend(facts)
+            self._pending_version = version
+
+    def refresh(self) -> QueryResult:
+        """Propagate every pending delta through the warm network.
+
+        Returns the (possibly unchanged) :class:`QueryResult`; answers
+        after a refresh equal a from-scratch evaluation against the
+        current base.  Raises :class:`MaterializedQueryClosed` once the
+        materialization has been invalidated.
+        """
+        with self._lock:
+            if self.closed:
+                raise MaterializedQueryClosed(
+                    "materialized query was invalidated; re-materialize"
+                )
+            if not self._pending:
+                return self._result
+            delta, self._pending = self._pending, []
+            result = self._engine.run_delta(delta)
+            result.graph_cache_hit = True  # the whole network was reused
+            result.cache_stats = self._session.cache_stats()
+            self._result = result
+            self.version = self._pending_version
+            self.refreshes += 1
+            return result
+
+    def close(self) -> None:
+        """Release the warm network (idempotent); further refreshes raise."""
+        with self._lock:
+            self.closed = True
+            self._engine = None
+            self._pending = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else f"v{self.version}"
+        return (
+            f"MaterializedQuery({', '.join(map(str, self.prepared.atoms))} "
+            f"[{state}, {self.refreshes} refreshes])"
+        )
 
 
 class Session:
@@ -168,6 +293,10 @@ class Session:
         # layer's answer cache — stays valid exactly while the counter
         # still reads v, so version mismatch *is* the invalidation.
         self._db_version = 0
+        # Live materializations (weak: dropping the handle releases the
+        # warm network).  add_facts feeds each one its delta; add_rules
+        # invalidates them all — the networks embed the IDB fingerprint.
+        self._materialized: "weakref.WeakSet[MaterializedQuery]" = weakref.WeakSet()
 
     # ------------------------------------------------------------------
     def program_for(self, query: Union[str, Atom, Sequence[Atom]]) -> Program:
@@ -177,7 +306,32 @@ class Session:
         rules.append(query_to_rule(atoms))
         return Program(rules, self._facts)
 
-    def cache_key_for(self, query: Union[str, Atom, Sequence[Atom]]) -> tuple:
+    def prepare(
+        self, query: Union[str, Atom, Sequence[Atom], PreparedQuery]
+    ) -> PreparedQuery:
+        """Parse a query and compute its cache key exactly once.
+
+        The returned :class:`PreparedQuery` is accepted by every query
+        entry point (``query``/``run_query``/``materialize``/
+        ``cache_key_for``), which then skip their own parse and key
+        computation — the serving layer's lookup-then-evaluate flow pays
+        for one parse per request, not two.  Idempotent: preparing a
+        prepared query returns it unchanged.
+        """
+        if isinstance(query, PreparedQuery):
+            return query
+        atoms = tuple(_parse_query_atoms(query))
+        for atom_ in atoms:
+            if atom_.predicate == GOAL_PREDICATE:
+                raise ProgramError(f"'goal' may not be queried directly: {atom_}")
+        key = graph_cache_key(
+            self._rules_fingerprint, atoms, self.sip_factory, self.coalesce
+        )
+        return PreparedQuery(atoms, key, self._rules_fingerprint)
+
+    def cache_key_for(
+        self, query: Union[str, Atom, Sequence[Atom], PreparedQuery]
+    ) -> tuple:
         """The graph-cache key a query resolves to (Theorem 2.1 key).
 
         Identical for *variant* queries (same predicates, constants, and
@@ -185,16 +339,24 @@ class Session:
         differ — which also makes it the in-flight coalescing key used by
         :class:`repro.service.SharedSession`.
         """
-        atoms = _parse_query_atoms(query)
+        return self._current_key(self.prepare(query))
+
+    def _current_key(self, prepared: PreparedQuery) -> tuple:
+        """``prepared.key``, recomputed only if ``add_rules`` outdated it."""
+        if prepared.fingerprint == self._rules_fingerprint:
+            return prepared.key
         return graph_cache_key(
-            self._rules_fingerprint, atoms, self.sip_factory, self.coalesce
+            self._rules_fingerprint, prepared.atoms, self.sip_factory, self.coalesce
         )
 
-    def _graph_for(self, atoms: Sequence[Atom]) -> tuple[RuleGoalGraph, bool]:
+    def _graph_for(
+        self, atoms: Sequence[Atom], key: Optional[tuple] = None
+    ) -> tuple[RuleGoalGraph, bool]:
         """The (possibly cached) rule/goal graph for a query; (graph, hit)."""
-        key = graph_cache_key(
-            self._rules_fingerprint, atoms, self.sip_factory, self.coalesce
-        )
+        if key is None:
+            key = graph_cache_key(
+                self._rules_fingerprint, atoms, self.sip_factory, self.coalesce
+            )
         cached = self._graph_cache.get(key)
         if cached is not None:
             return cached, True  # type: ignore[return-value]
@@ -211,7 +373,9 @@ class Session:
         return graph, False
 
     def query(
-        self, query: Union[str, Atom, Sequence[Atom]], seed: Optional[int] = None
+        self,
+        query: Union[str, Atom, Sequence[Atom], PreparedQuery],
+        seed: Optional[int] = None,
     ) -> set[tuple]:
         """Evaluate; answers are tuples over the query's free variables.
 
@@ -229,7 +393,9 @@ class Session:
         return result.answers
 
     def run_query(
-        self, query: Union[str, Atom, Sequence[Atom]], seed: Optional[int] = None
+        self,
+        query: Union[str, Atom, Sequence[Atom], PreparedQuery],
+        seed: Optional[int] = None,
     ):
         """Evaluate and return the full result *without* touching session state.
 
@@ -238,7 +404,8 @@ class Session:
         (e.g. :class:`repro.service.SharedSession` readers) never race on
         the result slots.  Shared structures it *does* touch — the graph
         cache and the database counters — are individually thread-safe or
-        monotone.
+        monotone.  Pass a :class:`PreparedQuery` (from :meth:`prepare`) to
+        skip the parse and key computation already paid for.
         """
         result, _ = self._run_query(query, seed)
         return result
@@ -247,11 +414,10 @@ class Session:
         """Shared evaluation path; returns ``(result, engine_or_None)``."""
         from .network.engine import MessagePassingEngine
 
-        atoms = _parse_query_atoms(query)
-        for atom_ in atoms:
-            if atom_.predicate == GOAL_PREDICATE:
-                raise ProgramError(f"'goal' may not be queried directly: {atom_}")
-        graph, cache_hit = self._graph_for(atoms)
+        prepared = self.prepare(query)
+        graph, cache_hit = self._graph_for(
+            prepared.atoms, self._current_key(prepared)
+        )
         if self.runtime != "simulator":
             result = self._query_multiprocess(graph)
             result.graph_cache_hit = cache_hit
@@ -297,6 +463,53 @@ class Session:
         if self.runtime == "pool":
             return evaluate_pool(graph.program, workers=self.workers, **common)
         return evaluate_multiprocessing(graph.program, **common)
+
+    def materialize(
+        self,
+        query: Union[str, Atom, Sequence[Atom], PreparedQuery],
+        seed: Optional[int] = None,
+    ) -> MaterializedQuery:
+        """Evaluate once and keep the network warm for incremental deltas.
+
+        Runs the query to its fixpoint and returns a
+        :class:`MaterializedQuery` that retains the engine's per-node
+        state.  From then on every committed ``add_facts`` queues its
+        delta tuples on the materialization; ``refresh()`` propagates
+        them semi-naively instead of re-deriving from scratch.
+        ``add_rules`` with new rules closes all live materializations —
+        their networks embed the old IDB.  Simulator runtime only: the
+        multiprocess runtimes tear their node processes down after each
+        query, so there is no warm network to retain.
+        """
+        if self.runtime != "simulator":
+            raise ValueError(
+                "materialized queries require the simulator runtime; "
+                f"this session uses {self.runtime!r} — multiprocess "
+                "runtimes invalidate and recompute instead"
+            )
+        from .network.engine import MessagePassingEngine
+
+        prepared = self.prepare(query)
+        graph, cache_hit = self._graph_for(
+            prepared.atoms, self._current_key(prepared)
+        )
+        engine = MessagePassingEngine(
+            graph.program,
+            sip_factory=self.sip_factory,
+            seed=seed,
+            coalesce=self.coalesce,
+            package_requests=self.package_requests,
+            tuple_sets=self.tuple_sets,
+            provenance=self.provenance,
+            database=self._database,
+            graph=graph,
+        )
+        result = engine.run()
+        result.graph_cache_hit = cache_hit
+        result.cache_stats = self._graph_cache.stats()
+        mat = MaterializedQuery(self, prepared, engine, result)
+        self._materialized.add(mat)
+        return mat
 
     def ask(self, query: Union[str, Atom, Sequence[Atom]]) -> bool:
         """Boolean query: is the (possibly non-ground) query satisfiable?"""
@@ -352,6 +565,8 @@ class Session:
         self._edb_predicates |= {f.predicate for f in new_facts}
         if new_facts:
             self._db_version += 1
+            for mat in list(self._materialized):
+                mat._absorb_write(new_facts, self._db_version)
 
     def add_rules(self, source: Union[str, Iterable[Rule]]) -> None:
         """Extend the permanent IDB with more rules.
@@ -386,6 +601,13 @@ class Session:
             self._graph_cache.clear()
         if new_rules or new_facts:
             self._db_version += 1
+        if new_rules:
+            # Live networks embed the old IDB — invalidate, don't refresh.
+            for mat in list(self._materialized):
+                mat.close()
+        elif new_facts:
+            for mat in list(self._materialized):
+                mat._absorb_write(new_facts, self._db_version)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -233,3 +233,99 @@ class TestSharedSessionAnswerCache:
         serial = Session(BASE)
         for q in queries:
             assert shared.query(q) == serial.query(q), q
+
+
+class TestRenderMemo:
+    """`CachedAnswer.render`: race-free memoization + byte accounting."""
+
+    def test_render_computes_once_and_memoizes(self):
+        cache = AnswerCache(4, 1 << 20)
+        entry = cache.put("k", 0, frozenset({(1,), (2,)}), 0.0)
+        calls = []
+
+        def compute(answers):
+            calls.append(1)
+            return sorted(answers)
+
+        first = entry.render("wire", compute)
+        second = entry.render("wire", compute)
+        assert first is second
+        assert len(calls) == 1
+
+    def test_render_hammer_single_computation(self):
+        """N threads racing on a cold memo -> exactly one computation."""
+        cache = AnswerCache(4, 1 << 20)
+        entry = cache.put("k", 0, frozenset((i,) for i in range(200)), 0.0)
+        barrier = threading.Barrier(12, timeout=5)
+        calls = []
+        lock = threading.Lock()
+
+        def compute(answers):
+            with lock:
+                calls.append(1)
+            time.sleep(0.01)  # widen the old check-then-set race window
+            return sorted(answers)
+
+        def client(_):
+            barrier.wait()
+            return entry.render("wire", compute)
+
+        rendered = run_threads(12, client)
+        assert len(calls) == 1, "duplicate render under contention"
+        assert all(r is rendered[0] for r in rendered)
+
+    def test_render_kinds_are_independent(self):
+        cache = AnswerCache(4, 1 << 20)
+        entry = cache.put("k", 0, frozenset({(1,)}), 0.0)
+        assert entry.render("wire", sorted) == [(1,)]
+        assert entry.render("count", len) == 1
+
+    def test_render_bytes_counted_against_budget(self):
+        cache = AnswerCache(8, 1 << 20)
+        entry = cache.put("k", 0, frozenset((i,) for i in range(100)), 0.0)
+        base_bytes = cache.nbytes
+        entry.render("wire", sorted)
+        stats = cache.stats()
+        assert stats.render_bytes > 0
+        assert stats.bytes == base_bytes + stats.render_bytes
+
+    def test_render_bytes_released_on_eviction_and_purge(self):
+        cache = AnswerCache(2, 1 << 20)
+        a = cache.put("a", 0, frozenset({(1,)}), 0.0)
+        a.render("wire", sorted)
+        cache.put("b", 0, frozenset({(2,)}), 0.0)
+        cache.put("c", 0, frozenset({(3,)}), 0.0)  # evicts "a"
+        assert ("a", 0) not in cache
+        stats = cache.stats()
+        assert stats.render_bytes == 0
+        b = cache.put("b", 1, frozenset({(2,)}), 0.0)
+        b.render("wire", sorted)
+        cache.purge_below(2)
+        assert cache.stats().render_bytes == 0
+        assert cache.nbytes == 0 or len(cache) > 0
+
+    def test_render_can_push_cache_over_budget_and_evict(self):
+        row = tuple(range(64))
+        answers = frozenset({row + (i,) for i in range(50)})
+        nbytes = estimate_answer_bytes(answers)
+        cache = AnswerCache(8, int(nbytes * 1.5))
+        entry = cache.put("k", 0, answers, 0.0)
+        # A render comparable in size to the answers blows the budget;
+        # pre-fix the cache silently held ~2x max_bytes.
+        entry.render("wire", lambda a: sorted(a))
+        assert cache.nbytes <= cache.max_bytes
+
+    def test_render_after_eviction_charges_nothing(self):
+        cache = AnswerCache(1, 1 << 20)
+        entry = cache.put("a", 0, frozenset({(1,)}), 0.0)
+        cache.put("b", 0, frozenset({(2,)}), 0.0)  # evicts "a"
+        entry.render("wire", sorted)  # caller still holds the entry
+        assert cache.stats().render_bytes == 0
+
+    def test_unstored_entry_renders_without_cache(self):
+        cache = AnswerCache(0)  # disabled: put returns None
+        assert cache.put("k", 0, frozenset({(1,)}), 0.0) is None
+        from repro.service.answer_cache import CachedAnswer
+
+        entry = CachedAnswer(frozenset({(1,)}), 0, 64, 0.0)
+        assert entry.render("wire", sorted) == [(1,)]

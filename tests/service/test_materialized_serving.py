@@ -1,0 +1,178 @@
+"""Serving-layer view maintenance: warm pools, delta-refreshed cache.
+
+Pins the tentpole serving contract: with ``materialize=True`` the
+shared session keeps a bounded pool of warm networks keyed by the
+Theorem 2.1 cache key, repeat queries are answered by semi-naive
+refresh instead of re-evaluation, and a committed write *re-stores* hot
+answer-cache entries under the new ``db_version`` rather than purging
+them.  Also pins the satellite bugfix: one parse per served request.
+"""
+
+import threading
+
+import repro.session as session_module
+from repro.service import SharedSession
+from repro.session import Session
+
+BASE = """
+anc(X, Y) <- par(X, Y).
+anc(X, Y) <- par(X, U), anc(U, Y).
+par(ann, bob).  par(bob, cal).  par(cal, dee).
+"""
+
+
+def run_threads(n, fn):
+    errors = []
+    results = [None] * n
+
+    def wrap(i):
+        try:
+            results[i] = fn(i)
+        except BaseException as exc:  # noqa: BLE001 - reported below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=wrap, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(30)
+        assert not t.is_alive(), "worker thread wedged"
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestOneParsePerRequest:
+    def test_query_detailed_parses_exactly_once(self, monkeypatch):
+        shared = SharedSession(BASE)
+        counter = {"parses": 0}
+        real = session_module._parse_query_atoms
+
+        def counting(query):
+            counter["parses"] += 1
+            return real(query)
+
+        monkeypatch.setattr(session_module, "_parse_query_atoms", counting)
+        shared.query_detailed("anc(ann, Z)")
+        assert counter["parses"] == 1
+        # The answer-cache hit path must not parse more than once either.
+        shared.query_detailed("anc(ann, Z)")
+        assert counter["parses"] == 2
+
+    def test_materialized_path_parses_exactly_once(self, monkeypatch):
+        shared = SharedSession(BASE, materialize=True)
+        counter = {"parses": 0}
+        real = session_module._parse_query_atoms
+
+        def counting(query):
+            counter["parses"] += 1
+            return real(query)
+
+        monkeypatch.setattr(session_module, "_parse_query_atoms", counting)
+        shared.query_detailed("anc(ann, Z)")
+        assert counter["parses"] == 1
+
+
+class TestWarmPool:
+    def test_first_query_materializes_then_serves_from_cache(self):
+        shared = SharedSession(BASE, materialize=True)
+        first = shared.query_detailed("anc(ann, Z)")
+        assert first.materialized and not first.answer_cached
+        repeat = shared.query_detailed("anc(ann, Z)")
+        assert repeat.answer_cached
+        assert shared.stats()["materialized"]["materializations"] == 1
+
+    def test_write_refreshes_hot_entry_instead_of_purging(self):
+        shared = SharedSession(BASE, materialize=True)
+        shared.query("anc(ann, Z)")
+        shared.add_facts("par(dee, eve).")
+        outcome = shared.query_detailed("anc(ann, Z)")
+        # Pre-tentpole this was a forced miss + full re-evaluation.
+        assert outcome.answer_cached
+        assert ("eve",) in {tuple(r) for r in outcome.answers}
+        stats = shared.stats()
+        assert stats["materialized"]["delta_refreshes"] == 1
+        assert stats["materialized"]["answer_refreshes"] == 1
+
+    def test_refreshed_answers_match_cold_session(self):
+        shared = SharedSession(BASE, materialize=True)
+        shared.query("anc(ann, Z)")
+        writes = ["par(dee, eve).", "par(eve, fay).", "par(cal, ann)."]
+        for batch in writes:
+            shared.add_facts(batch)
+            warm = shared.query("anc(ann, Z)")
+            cold = Session(BASE)
+            for committed in writes[: writes.index(batch) + 1]:
+                cold.add_facts(committed)
+            assert warm == cold.query("anc(ann, Z)")
+
+    def test_cold_keys_fall_back_to_invalidation(self):
+        shared = SharedSession(BASE, materialize=True, materialize_pool=1)
+        shared.query("anc(ann, Z)")  # warm
+        shared.query("anc(bob, Z)")  # evicts ann's network (pool=1)
+        shared.add_facts("par(dee, eve).")
+        hot = shared.query_detailed("anc(bob, Z)")
+        assert hot.answer_cached  # refreshed across the write
+        cold = shared.query_detailed("anc(ann, Z)")
+        assert not cold.answer_cached  # invalidated, re-materialized
+        assert cold.materialized
+        assert ("eve",) in {tuple(r) for r in cold.answers}
+
+    def test_pool_is_bounded_lru(self):
+        shared = SharedSession(BASE, materialize=True, materialize_pool=2)
+        for q in ("anc(ann, Z)", "anc(bob, Z)", "anc(cal, Z)"):
+            shared.query(q)
+        assert shared.stats()["materialized"]["pool_size"] == 2
+
+    def test_add_rules_invalidates_pool_then_rematerializes(self):
+        shared = SharedSession(BASE, materialize=True)
+        shared.query("anc(ann, Z)")
+        shared.add_rules("anc2(X, Y) <- anc(X, Y).")
+        assert shared.stats()["materialized"]["pool_size"] == 0
+        outcome = shared.query_detailed("anc(ann, Z)")
+        assert outcome.materialized and not outcome.answer_cached
+        assert outcome.answers == frozenset({("bob",), ("cal",), ("dee",)})
+
+    def test_facts_only_add_rules_keeps_networks_warm(self):
+        shared = SharedSession(BASE, materialize=True)
+        shared.query("anc(ann, Z)")
+        shared.add_rules("par(dee, eve).")
+        outcome = shared.query_detailed("anc(ann, Z)")
+        assert outcome.answer_cached
+        assert ("eve",) in {tuple(r) for r in outcome.answers}
+
+    def test_materialize_ignored_for_multiprocess_runtime(self):
+        shared = SharedSession(BASE, materialize=True, runtime="pool")
+        assert shared.stats()["materialized"] == {"enabled": False}
+
+    def test_concurrent_readers_and_writer_stay_consistent(self):
+        shared = SharedSession(BASE, materialize=True)
+        shared.query("anc(ann, Z)")
+        barrier = threading.Barrier(7, timeout=10)
+
+        def writer(_):
+            barrier.wait()
+            shared.add_facts("par(dee, eve). par(eve, fay).")
+            return None
+
+        def reader(_):
+            barrier.wait()
+            return shared.query_detailed("anc(ann, Z)")
+
+        results = run_threads(
+            7, lambda i: writer(i) if i == 0 else reader(i)
+        )
+        final = shared.query("anc(ann, Z)")
+        cold = Session(BASE)
+        cold.add_facts("par(dee, eve). par(eve, fay).")
+        assert final == cold.query("anc(ann, Z)")
+        before = frozenset({("bob",), ("cal",), ("dee",)})
+        for outcome in results[1:]:
+            # Every reader sees either the pre- or post-write fixpoint.
+            assert outcome.answers in (before, frozenset(final))
+
+    def test_variant_queries_share_one_warm_network(self):
+        shared = SharedSession(BASE, materialize=True)
+        shared.query("anc(ann, Z)")
+        shared.query("anc(ann, W)")  # same Theorem 2.1 key
+        assert shared.stats()["materialized"]["materializations"] == 1

@@ -1,0 +1,29 @@
+"""The single numpy import guard.
+
+numpy is an *optional* extra (``pip install repro[fast]``): every consumer
+imports :data:`np` from here and checks :data:`HAVE_NUMPY` (or just handles
+``np is None``).  Two ways to end up on the pure-python fallback:
+
+* numpy is not installed — the ``fast`` extra was omitted;
+* ``REPRO_NO_NUMPY`` is set in the environment — the escape hatch the test
+  suite uses to exercise the fallback on machines that *do* have numpy.
+
+Both paths must behave identically; the differential tests in
+``tests/property/`` and ``tests/network/test_columnar.py`` enforce it.
+"""
+
+from __future__ import annotations
+
+import os
+
+np = None
+if not os.environ.get("REPRO_NO_NUMPY"):
+    try:  # pragma: no cover - exercised via subprocess in the tests
+        import numpy as np  # type: ignore[no-redef]
+    except ImportError:
+        np = None
+
+#: True when the numpy-backed column representation is in use.
+HAVE_NUMPY = np is not None
+
+__all__ = ["np", "HAVE_NUMPY"]

@@ -66,6 +66,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             coalesce=args.coalesce,
             package_requests=args.package,
             tuple_sets=not args.no_tuple_sets,
+            columnar=not args.no_columnar,
+            planner=args.planner,
         )
         answers = result.answers
     elif args.runtime == "asyncio":
@@ -77,6 +79,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             coalesce=args.coalesce,
             package_requests=args.package,
             tuple_sets=not args.no_tuple_sets,
+            columnar=not args.no_columnar,
+            planner=args.planner,
         )
         answers = result.answers
     elif args.runtime == "mp":
@@ -88,6 +92,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             coalesce=args.coalesce,
             package_requests=args.package,
             tuple_sets=not args.no_tuple_sets,
+            columnar=not args.no_columnar,
+            planner=args.planner,
             retry=RetryPolicy(max_attempts=args.retries),
             fallback=args.fallback,
             heartbeat_interval=args.heartbeat_interval,
@@ -104,6 +110,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
             coalesce=args.coalesce,
             package_requests=args.package,
             tuple_sets=not args.no_tuple_sets,
+            columnar=not args.no_columnar,
+            planner=args.planner,
             retry=RetryPolicy(max_attempts=args.retries),
             fallback=args.fallback,
             heartbeat_interval=args.heartbeat_interval,
@@ -175,6 +183,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         coalesce=args.coalesce,
         package_requests=args.package,
         tuple_sets=not args.no_tuple_sets,
+        columnar=not args.no_columnar,
+        planner=args.planner,
     )
     result = engine.run()
     print(trace.render(engine.graph))
@@ -204,6 +214,8 @@ def _cmd_bench_session(args: argparse.Namespace) -> int:
             coalesce=args.coalesce,
             package_requests=args.package,
             tuple_sets=not args.no_tuple_sets,
+            columnar=not args.no_columnar,
+            planner=args.planner,
             graph_cache_size=cache_size,
         )
         start = time.perf_counter()
@@ -245,6 +257,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         coalesce=args.coalesce,
         package_requests=args.package,
         tuple_sets=not args.no_tuple_sets,
+        columnar=not args.no_columnar,
+        planner=args.planner,
         graph_cache_size=args.cache_size,
         runtime=args.eval_runtime,
         workers=args.workers,
@@ -320,6 +334,36 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_explain(args: argparse.Namespace) -> int:
+    """Print the cost planner's decisions for the query, without running it.
+
+    Builds the rule/goal graph under ``planner="cost"`` (the §4.3 model
+    seeded with the observed EDB sizes) and prints the full
+    :class:`~repro.core.planner.PlanReport`: every rule instantiation with
+    its ranked subgoal orders, per-stage estimates (bound arguments,
+    operand/result magnitudes, stage cost), and the chosen plan.
+    """
+    program = _load_program(args.file, args.query, args.data)
+    if not program.query_rules:
+        print("no query: pass --query or include a '?-' clause", file=sys.stderr)
+        return 2
+    engine = MessagePassingEngine(
+        program,
+        sip_factory=_SIPS[args.sip],
+        coalesce=args.coalesce,
+        package_requests=args.package,
+        tuple_sets=not args.no_tuple_sets,
+        columnar=not args.no_columnar,
+        planner="cost",
+    )
+    print(engine.plan_report.render())
+    if args.run:
+        result = engine.run()
+        print()
+        print(result.summary())
+    return 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from .core.analysis import analyze
 
@@ -363,6 +407,20 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="disable packaged answer sets and bulk join kernels "
             "(per-tuple A/B baseline)",
+        )
+        p.add_argument(
+            "--no-columnar",
+            action="store_true",
+            help="disable the columnar batch kernels (row-at-a-time joins "
+            "over the same set-at-a-time messages; the columnar A/B baseline)",
+        )
+        p.add_argument(
+            "--planner",
+            choices=["static", "cost"],
+            default="static",
+            help="subgoal-order planner: 'static' keeps the structural SIP "
+            "order, 'cost' ranks body permutations with the Section 4.3 "
+            "model seeded with observed EDB sizes",
         )
 
     run_p = sub.add_parser("run", help="evaluate the query and print the answers")
@@ -429,6 +487,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     common(analyze_p)
     analyze_p.set_defaults(func=_cmd_analyze)
+
+    explain_p = sub.add_parser(
+        "explain",
+        help="show the cost planner's chosen subgoal orders, ranked "
+        "alternatives, and per-stage Section 4.3 estimates",
+    )
+    common(explain_p)
+    explain_p.add_argument(
+        "--run",
+        action="store_true",
+        help="also evaluate the query and append the run summary",
+    )
+    explain_p.set_defaults(func=_cmd_explain)
 
     serve_p = sub.add_parser(
         "serve",

@@ -7,12 +7,15 @@ and subgoals.
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 from .terms import Constant, Term, Variable, term_from_value
 
 __all__ = ["Atom", "atom"]
+
+_VALUE_GET = operator.attrgetter("value")
 
 
 @dataclass(frozen=True, slots=True)
@@ -95,13 +98,16 @@ class Atom:
         return Atom(self.predicate, new_args)
 
     def ground_tuple(self) -> tuple[object, ...]:
-        """Return the tuple of constant values; raises if not ground."""
-        values = []
-        for t in self.args:
-            if not isinstance(t, Constant):
-                raise ValueError(f"atom {self} is not ground")
-            values.append(t.value)
-        return tuple(values)
+        """Return the tuple of constant values; raises if not ground.
+
+        Hot on the fact-loading path (once per EDB fact): the C-level
+        attribute gather succeeds exactly when every term is a
+        :class:`Constant` — ``Variable`` has no ``value`` slot.
+        """
+        try:
+            return tuple(map(_VALUE_GET, self.args))
+        except AttributeError:
+            raise ValueError(f"atom {self} is not ground") from None
 
     # ------------------------------------------------------------------
     # Display

@@ -27,7 +27,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Mapping, Optional, Sequence
 
 from .adornment import AdornedAtom, head_bound_variables
 from .atoms import Atom
@@ -73,11 +73,19 @@ class CostModel:
     ``binding_log_size`` the log10 size of the head-binding relation (the
     set of "d" bindings the head supplies — Definition 4.1 treats it as one
     of the join operands).
+
+    ``log_sizes`` optionally replaces assumption 1 — "the relations of all
+    subgoals are of comparable size" — with *observed* per-predicate log10
+    cardinalities harvested from a live database (see
+    :mod:`repro.core.planner`).  Predicates absent from the mapping (IDB
+    predicates, empty relations) keep the ``base_size`` prior: the paper's
+    "high degree of ignorance", applied locally.
     """
 
     alpha: float = 0.3
     base_size: float = 1.0e6
     binding_log_size: float = 1.0
+    log_sizes: Optional[Mapping[str, float]] = None
 
     def __post_init__(self) -> None:
         if not 0 < self.alpha < 1:
@@ -86,9 +94,19 @@ class CostModel:
             raise ValueError("base_size must exceed 1")
 
     # ------------------------------------------------------------------
-    def selected_log_size(self, bound_arguments: int) -> float:
+    def base_log_size(self, predicate: Optional[str] = None) -> float:
+        """log10 size of a subgoal relation before any selection."""
+        if predicate is not None and self.log_sizes is not None:
+            observed = self.log_sizes.get(predicate)
+            if observed is not None:
+                return observed
+        return math.log10(self.base_size)
+
+    def selected_log_size(
+        self, bound_arguments: int, predicate: Optional[str] = None
+    ) -> float:
         """log10 size of a base relation after ``bound_arguments`` selections."""
-        return math.log10(self.base_size) * (self.alpha ** bound_arguments)
+        return self.base_log_size(predicate) * (self.alpha ** bound_arguments)
 
     def join_log_size(self, left_log: float, right_log: float, pairs: int) -> float:
         """log10 size of a join: cross product cut by α per join pair."""
@@ -119,7 +137,7 @@ class CostModel:
                 for term in subgoal.args
                 if isinstance(term, Constant) or term in acc_vars
             )
-            operand_log = self.selected_log_size(bound_args)
+            operand_log = self.selected_log_size(bound_args, subgoal.predicate)
             pairs = len(acc_vars & sub_vars)
             result_log = self.join_log_size(acc_log, operand_log, pairs)
             cost = 10.0 ** acc_log + 10.0 ** operand_log + 10.0 ** result_log

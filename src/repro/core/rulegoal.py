@@ -418,21 +418,31 @@ def graph_cache_key(
     query_atoms: Sequence[Atom],
     sip_factory: SipFactory,
     coalesce: bool,
+    planner: str = "static",
+    size_fingerprint: tuple = (),
 ) -> tuple:
     """The full cache key for one constructed rule/goal graph.
 
     Everything graph construction consumes is represented: the IDB
     fingerprint, the query's variant signature, the SIP strategy (by
     function identity), and the coalescing flag.  The EDB is deliberately
-    absent (Theorem 2.1).
+    absent (Theorem 2.1) — with one carve-out: under ``planner="cost"``
+    the subgoal orders *derive from* observed relation sizes, so the
+    bucketed size fingerprint (see
+    :func:`repro.core.planner.size_fingerprint`) joins the key and a
+    cached graph is reused only while the planner would choose the same
+    orders.  Static-planner keys are unchanged from earlier releases.
     """
-    return (
+    key = (
         "rule-goal-graph",
         rules_fingerprint,
         query_variant_signature(query_atoms),
         sip_factory,
         bool(coalesce),
     )
+    if planner != "static":
+        key += (planner, size_fingerprint)
+    return key
 
 
 # ----------------------------------------------------------------------

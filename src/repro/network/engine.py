@@ -81,7 +81,7 @@ class QueryResult:
     stats: SchedulerStats
     tuples_stored: int  # rows materialized across all node relations
     tuples_by_node: dict[str, int]
-    join_lookups: int
+    join_lookups: int  # alias of probe_lookups (pre-PR-8 name, kept for A/Bs)
     envs_materialized: int
     protocol_rounds: int
     protocol_conclusions: int
@@ -105,6 +105,16 @@ class QueryResult:
     # tuples_stored/join_lookups/envs_materialized stay cumulative — they
     # describe the retained network's footprint, not one wave's work.
     incremental: bool = False
+    # PR 8 accounting: index probes vs. insertions (join_lookups used to
+    # conflate them), per-kernel batch statistics, and — under the cost
+    # planner — the per-rule plan choices with their §4.3 estimates.
+    probe_lookups: int = 0
+    index_inserts: int = 0
+    batch_rows_in: int = 0
+    batch_rows_out: int = 0
+    batch_distinct_keys: int = 0
+    batch_stats_by_node: dict = field(default_factory=dict)
+    plan: Optional[object] = None  # core.planner.PlanReport when planner="cost"
 
     @property
     def total_messages(self) -> int:
@@ -141,11 +151,17 @@ class QueryResult:
                 f"(avg batch {stats.tuple_set_rows / stats.tuple_sets:.1f})"
             )
         lines += [
-            f"tuples stored: {self.tuples_stored}; join lookups: {self.join_lookups}",
+            f"tuples stored: {self.tuples_stored}; probes: {self.probe_lookups}; "
+            f"inserts: {self.index_inserts}",
+            f"kernel batches: {self.batch_rows_in} rows in, "
+            f"{self.batch_rows_out} envs out, "
+            f"{self.batch_distinct_keys} distinct keys probed",
             f"protocol rounds: {self.protocol_rounds}; conclusions: {self.protocol_conclusions}",
             f"db: {self.db_scans} scans, {self.db_indexed_lookups} lookups, "
             f"{self.db_rows_retrieved} rows retrieved",
         ]
+        if self.plan is not None:
+            lines.append(f"planner: {self.plan.oneline()}")
         if self.cache_stats is not None:
             hit = "hit" if self.graph_cache_hit else "miss"
             lines.append(f"graph cache: {hit} ({self.cache_stats})")
@@ -173,19 +189,26 @@ class QueryResult:
             else:
                 # Ids beyond the graph belong to EDB replicas (edb_shards > 1).
                 label = label_by_id.get(node_id, f"edb-replica:{node_id}")
+            batch = self.batch_stats_by_node.get(label, (0, 0, 0))
             rows.append(
                 (
                     received,
                     self.tuples_by_node.get(label, 0),
                     self.stats.sets_by_receiver.get(node_id, 0),
+                    batch,
                     label,
                 )
             )
         rows.sort(reverse=True)
-        width = max((len(r[3]) for r in rows[:top]), default=4)
-        lines = [f"{'node'.ljust(width)}  msgs-in  tuples  sets-in"]
-        for received, tuples, sets, label in rows[:top]:
-            lines.append(f"{label.ljust(width)}  {received:7d}  {tuples:6d}  {sets:7d}")
+        width = max((len(r[4]) for r in rows[:top]), default=4)
+        lines = [
+            f"{'node'.ljust(width)}  msgs-in  tuples  sets-in  rows-in  envs-out  keys"
+        ]
+        for received, tuples, sets, (b_in, b_out, b_keys), label in rows[:top]:
+            lines.append(
+                f"{label.ljust(width)}  {received:7d}  {tuples:6d}  {sets:7d}"
+                f"  {b_in:7d}  {b_out:8d}  {b_keys:4d}"
+            )
         return "\n".join(lines)
 
 
@@ -246,8 +269,26 @@ class MessagePassingEngine:
         graph: Optional[RuleGoalGraph] = None,
         edb_shards: int = 1,
         tuple_sets: bool = True,
+        columnar: bool = True,
+        planner: str = "static",
     ) -> None:
         self.program = program
+        # Any object with the Database access surface works (e.g. the
+        # SQLite backend); the program's inline facts are the default.
+        self.database = database if database is not None else Database.from_facts(program.facts)
+        if planner not in ("static", "cost"):
+            raise ValueError(f"unknown planner {planner!r} (expected 'static' or 'cost')")
+        self._planner = planner
+        #: The cost planner's per-rule choices (None under the static
+        #: planner, or when a prebuilt graph skipped planning here; the
+        #: Session re-attaches the report cached with the graph).
+        self.plan_report = None
+        if graph is None and planner == "cost":
+            from ..core.planner import CostPlanner
+
+            cost_planner = CostPlanner.from_database(self.database)
+            sip_factory = cost_planner.sip_factory()
+            self.plan_report = cost_planner.report
         # A prebuilt (possibly session-cached) graph skips reconstruction;
         # Theorem 2.1 makes the graph EDB-independent, so a cached one is
         # valid for any database over the same IDB and query variant.
@@ -256,6 +297,10 @@ class MessagePassingEngine:
         )
         self._package_requests = package_requests
         self._tuple_sets = tuple_sets
+        # Columnar kernels ride on set-at-a-time batches and skip the
+        # provenance bookkeeping, so they are effective only when tuple
+        # sets are on and derivations are not being recorded.
+        self._columnar = columnar and tuple_sets and not provenance
         self._edb_shards = max(1, edb_shards)
         #: original EDB node id -> replica node ids (original first); empty
         #: unless ``edb_shards > 1``.
@@ -263,9 +308,6 @@ class MessagePassingEngine:
         self._provenance = provenance
         self._on_answer = on_answer
         self._trivial_relay = trivial_relay
-        # Any object with the Database access surface works (e.g. the
-        # SQLite backend); the program's inline facts are the default.
-        self.database = database if database is not None else Database.from_facts(program.facts)
         self.scheduler = Scheduler(seed=seed, max_messages=max_messages, trace=trace)
         self.processes: dict[int, NodeProcess] = {}
         self.driver: DriverProcess
@@ -431,6 +473,7 @@ class MessagePassingEngine:
             process.package_requests = self._package_requests
             process.record_provenance = self._provenance
             process.emit_tuple_sets = self._tuple_sets
+            process.columnar = self._columnar
             self.scheduler.register(process)
 
     # ------------------------------------------------------------------
@@ -537,8 +580,13 @@ class MessagePassingEngine:
     ) -> QueryResult:
         scans_before, lookups_before, rows_before = snapshot
         tuples_by_node: dict[str, int] = {}
+        batch_by_node: dict[str, tuple[int, int, int]] = {}
         tuples_total = 0
-        join_lookups = 0
+        probes = 0
+        inserts = 0
+        batch_in = 0
+        batch_out = 0
+        batch_keys = 0
         envs = 0
         rounds = 0
         conclusions = 0
@@ -554,7 +602,19 @@ class MessagePassingEngine:
                 )
                 tuples_total += process.tuples_stored
             if isinstance(process, RuleNodeProcess):
-                join_lookups += process.join_lookups
+                probes += process.probe_lookups
+                inserts += process.index_inserts
+                batch_in += process.batch_rows_in
+                batch_out += process.batch_rows_out
+                batch_keys += process.batch_distinct_keys
+                if process.batch_rows_in:
+                    label = self.graph.node_label(node_id)
+                    prior = batch_by_node.get(label, (0, 0, 0))
+                    batch_by_node[label] = (
+                        prior[0] + process.batch_rows_in,
+                        prior[1] + process.batch_rows_out,
+                        prior[2] + process.batch_distinct_keys,
+                    )
                 envs += process.envs_materialized
                 tuples_total += process.envs_materialized
             if process.protocol is not None and process.protocol.is_leader:
@@ -567,7 +627,7 @@ class MessagePassingEngine:
             stats=stats,
             tuples_stored=tuples_total,
             tuples_by_node=tuples_by_node,
-            join_lookups=join_lookups,
+            join_lookups=probes,
             envs_materialized=envs,
             protocol_rounds=rounds,
             protocol_conclusions=conclusions,
@@ -576,6 +636,17 @@ class MessagePassingEngine:
             db_indexed_lookups=self.database.indexed_lookups - lookups_before,
             db_rows_retrieved=self.database.rows_retrieved - rows_before,
             graph=self.graph,
+            probe_lookups=probes,
+            index_inserts=inserts,
+            batch_rows_in=batch_in,
+            batch_rows_out=batch_out,
+            batch_distinct_keys=batch_keys,
+            batch_stats_by_node=batch_by_node,
+            plan=(
+                self.plan_report
+                if self.plan_report is not None
+                else getattr(self.graph, "plan_report", None)
+            ),
         )
 
 
@@ -590,6 +661,8 @@ def evaluate(
     package_requests: bool = False,
     trivial_relay: bool = True,
     tuple_sets: bool = True,
+    columnar: bool = True,
+    planner: str = "static",
 ) -> QueryResult:
     """Evaluate a program's query with the message-passing framework.
 
@@ -600,6 +673,10 @@ def evaluate(
     ``package_requests=True`` batches related tuple requests per producer
     (the footnote-2 enhancement).  ``tuple_sets=False`` disables packaged
     answers and the bulk join kernels (per-tuple A/B baseline).
+    ``columnar=False`` keeps set-at-a-time messages but joins them with the
+    PR 3 row kernels (the columnar A/B baseline).  ``planner="cost"``
+    replaces ``sip_factory`` with the §4.3 cost model fed by observed EDB
+    cardinalities (see :mod:`repro.core.planner`).
     """
     engine = MessagePassingEngine(
         program,
@@ -612,5 +689,7 @@ def evaluate(
         package_requests=package_requests,
         trivial_relay=trivial_relay,
         tuple_sets=tuple_sets,
+        columnar=columnar,
+        planner=planner,
     )
     return engine.run()

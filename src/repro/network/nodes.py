@@ -22,6 +22,8 @@ No process reads another's state; all interaction goes through
 
 from __future__ import annotations
 
+import itertools
+import operator
 import zlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Optional, Sequence
@@ -31,6 +33,7 @@ from ..core.rules import Rule
 from ..core.terms import Constant, Variable
 from ..relational.database import Database
 from .messages import (
+    ColumnBatch,
     ComponentDone,
     EndConfirmed,
     EndMessage,
@@ -152,6 +155,12 @@ class NodeProcess:
         # consumer ships as a single TupleSet (footnote 2 generalized from
         # requests to answers) instead of one TupleMessage per row.
         self.emit_tuple_sets = False
+        # Columnar kernels (PR 8): batches are deduplicated with whole-set
+        # operations and joined via precompiled gather/key plans instead of
+        # per-row python loops.  The engine enables this only together with
+        # emit_tuple_sets and never alongside provenance (the row kernels
+        # are the provenance-recording path).
+        self.columnar = False
 
     # ------------------------------------------------------------------
     # Wiring (done by the engine before the run)
@@ -301,6 +310,32 @@ class NodeProcess:
                 TupleRequest(self.node_id, producer_id, binding, feeder.next_seq())
             )
 
+    def send_tuple_requests_batch(
+        self, producer_id: int, bindings: set, network: "Scheduler"
+    ) -> None:
+        """Batch variant of :meth:`send_tuple_request` for columnar kernels.
+
+        Deduplicates the whole binding set against the feeder stream with one
+        set difference; falls back to the per-binding path when the producer
+        has replicas (each binding routes by hash partition).
+        """
+        if producer_id in self.replica_route:
+            for binding in bindings:
+                self.send_tuple_request(producer_id, binding, network)
+            return
+        feeder = self.feeders[producer_id]
+        fresh = bindings - feeder.sent_bindings
+        if not fresh:
+            return
+        feeder.sent_bindings |= fresh
+        if self.package_requests:
+            self._request_buffer.setdefault(producer_id, []).extend(fresh)
+        else:
+            for binding in fresh:
+                network.send(
+                    TupleRequest(self.node_id, producer_id, binding, feeder.next_seq())
+                )
+
     def flush_requests(self, network: "Scheduler") -> None:
         """Send each producer's buffered bindings as one packaged request."""
         if not self._request_buffer:
@@ -350,6 +385,27 @@ class NodeProcess:
             fresh.append(row)
         if not fresh:
             return
+        if self.emit_tuple_sets and len(fresh) > 1:
+            network.send(TupleSet(self.node_id, stream.consumer_id, frozenset(fresh)))
+        else:
+            for row in fresh:
+                network.send(TupleMessage(self.node_id, stream.consumer_id, row))
+
+    def send_rows_batch(
+        self, stream: ConsumerStream, rows, network: "Scheduler"
+    ) -> None:
+        """Columnar variant of :meth:`send_rows`: whole-set duplicate filter.
+
+        ``rows`` should be a set/frozenset (converted otherwise); the
+        per-stream dedup is one set difference instead of a per-row loop.
+        Emission semantics are identical to :meth:`send_rows`.
+        """
+        if not isinstance(rows, (set, frozenset)):
+            rows = set(rows)
+        fresh = rows - stream.sent_rows
+        if not fresh:
+            return
+        stream.sent_rows |= fresh
         if self.emit_tuple_sets and len(fresh) > 1:
             network.send(TupleSet(self.node_id, stream.consumer_id, frozenset(fresh)))
         else:
@@ -420,6 +476,36 @@ class NodeProcess:
 # Shared helpers for adorned atoms
 # ----------------------------------------------------------------------
 
+def _tuple_getter(positions: Sequence[int]) -> Callable[[tuple], tuple]:
+    """A compiled projection: row -> tuple of the values at ``positions``.
+
+    ``operator.itemgetter`` already returns a tuple for two or more
+    positions; the 0/1-position cases are wrapped so the result is always a
+    tuple (bindings and merge suffixes concatenate onto other tuples).
+    """
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        p = positions[0]
+        return lambda row: (row[p],)
+    return operator.itemgetter(*positions)
+
+
+def _key_getter(positions: Sequence[int]) -> Callable[[tuple], object]:
+    """A compiled join-key extractor for the columnar kernels.
+
+    Single-position keys are the *bare* value — no per-row 1-tuple
+    allocation.  Key representation only needs to agree between the two
+    sides of one node's private indexes, and a node runs all of its stages
+    through the same compiled getters for its whole lifetime.
+    """
+    if not positions:
+        return lambda row: ()
+    if len(positions) == 1:
+        return operator.itemgetter(positions[0])
+    return operator.itemgetter(*positions)
+
+
 def _non_e_positions(adorned: AdornedAtom) -> tuple[int, ...]:
     return tuple(i for i, c in enumerate(adorned.adornment) if c != EXISTENTIAL)
 
@@ -442,6 +528,8 @@ class _RowShape:
         self.d_positions = _d_positions(adorned)
         row_index = {pos: i for i, pos in enumerate(self.non_e)}
         self.d_in_row = tuple(row_index[p] for p in self.d_positions)
+        # Compiled form of binding_of for the columnar batch paths.
+        self.binding_get = _tuple_getter(self.d_in_row)
 
     def binding_of(self, row: tuple) -> tuple:
         """Project a row to the values at the "d" positions."""
@@ -526,6 +614,9 @@ class GoalNodeProcess(NodeProcess):
 
     def on_tuple_set(self, message: TupleSet, network: "Scheduler") -> None:
         """Set-at-a-time union: dedup the batch once, fan out filtered sets."""
+        if self.columnar:
+            self._on_tuple_set_c(message, network)
+            return
         if self.trivial_relay:
             if self.record_provenance:
                 for row in message.rows:
@@ -554,6 +645,61 @@ class GoalNodeProcess(NodeProcess):
                     [r for r, b in zip(fresh, bindings) if b in stream.requested],
                     network,
                 )
+
+    def _on_tuple_set_c(self, message: TupleSet, network: "Scheduler") -> None:
+        """Columnar union: one set difference, one binding-bucketed fan-out."""
+        if self.trivial_relay:
+            (stream,) = self.consumers.values()
+            self.send_rows_batch(stream, message.rows, network)
+            return
+        fresh = message.rows - self.answers
+        if not fresh:
+            return
+        self.answers |= fresh
+        self.tuples_stored += len(fresh)
+        by_binding = self.answers_by_binding
+        if not self.shape.d_in_row:
+            # Every row shares the nullary binding: skip the bucketing pass.
+            stored = by_binding.get(())
+            if stored is None:
+                by_binding[()] = list(fresh)
+            else:
+                stored.extend(fresh)
+            for stream in self.consumers.values():
+                if stream.wants_all or () in stream.requested:
+                    self.send_rows_batch(stream, fresh, network)
+            return
+        binding_get = self.shape.binding_get
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in fresh:
+            binding = binding_get(row)
+            stored = by_binding.get(binding)
+            if stored is None:
+                by_binding[binding] = [row]
+            else:
+                stored.append(row)
+            bucket = buckets.get(binding)
+            if bucket is None:
+                buckets[binding] = [row]
+            else:
+                bucket.append(row)
+        for stream in self.consumers.values():
+            if stream.wants_all:
+                self.send_rows_batch(stream, fresh, network)
+                continue
+            requested = stream.requested
+            matching: list[tuple] = []
+            if len(buckets) <= len(requested):
+                for binding, rows in buckets.items():
+                    if binding in requested:
+                        matching.extend(rows)
+            else:
+                for binding in requested:
+                    rows = buckets.get(binding)
+                    if rows:
+                        matching.extend(rows)
+            if matching:
+                self.send_rows_batch(stream, matching, network)
 
     def _send_row(self, stream: ConsumerStream, row: tuple, network: "Scheduler") -> None:
         if row in stream.sent_rows:
@@ -618,6 +764,9 @@ class CyclicNodeProcess(NodeProcess):
 
     def on_tuple_set(self, message: TupleSet, network: "Scheduler") -> None:
         """Relay a whole set: dedup once, then filter per consumer stream."""
+        if self.columnar:
+            self._on_tuple_set_c(message, network)
+            return
         fresh = [row for row in message.rows if row not in self.rows]
         if not fresh:
             return
@@ -633,6 +782,46 @@ class CyclicNodeProcess(NodeProcess):
                     [r for r, b in zip(fresh, bindings) if b in stream.requested],
                     network,
                 )
+
+    def _on_tuple_set_c(self, message: TupleSet, network: "Scheduler") -> None:
+        """Columnar relay: whole-set dedup, binding-bucketed stream filter."""
+        fresh = message.rows - self.rows
+        if not fresh:
+            return
+        self.rows |= fresh
+        self.tuples_stored += len(fresh)
+        if not self.shape.d_in_row:
+            # Every row shares the nullary binding: skip the bucketing pass.
+            for stream in self.consumers.values():
+                if stream.wants_all or () in stream.requested:
+                    self.send_rows_batch(stream, fresh, network)
+            return
+        binding_get = self.shape.binding_get
+        buckets: dict[tuple, list[tuple]] = {}
+        for row in fresh:
+            binding = binding_get(row)
+            bucket = buckets.get(binding)
+            if bucket is None:
+                buckets[binding] = [row]
+            else:
+                bucket.append(row)
+        for stream in self.consumers.values():
+            if stream.wants_all:
+                self.send_rows_batch(stream, fresh, network)
+                continue
+            requested = stream.requested
+            matching: list[tuple] = []
+            if len(buckets) <= len(requested):
+                for binding, rows in buckets.items():
+                    if binding in requested:
+                        matching.extend(rows)
+            else:
+                for binding in requested:
+                    rows = buckets.get(binding)
+                    if rows:
+                        matching.extend(rows)
+            if matching:
+                self.send_rows_batch(stream, matching, network)
 
     def _send_row(self, stream: ConsumerStream, row: tuple, network: "Scheduler") -> None:
         if row in stream.sent_rows:
@@ -667,6 +856,11 @@ class EdbLeafProcess(NodeProcess):
                 groups.setdefault(term, []).append(i)
         self.equal_groups = [tuple(v) for v in groups.values() if len(v) > 1]
         self._relation_size: Optional[int] = None  # lazy; EDB is fixed per run
+        # Columnar serve plan: most leaves filter nothing and project
+        # nothing (no constants, no repeated variables, no "e" positions) —
+        # stored rows can then be served as-is, whole batches at a time.
+        self._no_filter = not self.constant_filter and not self.equal_groups
+        self._identity_projection = self.shape.non_e == tuple(range(len(atom.args)))
 
     # ------------------------------------------------------------------
     def _matches(self, row: tuple) -> bool:
@@ -684,6 +878,16 @@ class EdbLeafProcess(NodeProcess):
         # per-request repr-sort the per-tuple path used to pay is gone —
         # answers are sets, and determinism lives at the result-collection
         # boundary (the driver's answer set, the CLI's sorted print).
+        if self.columnar:
+            if not self._no_filter:
+                rows = [row for row in rows if self._matches(row)]
+            if self._identity_projection:
+                self.send_rows_batch(stream, rows, network)
+            else:
+                self.send_rows_batch(
+                    stream, ColumnBatch(rows).project(self.shape.non_e), network
+                )
+            return
         self.send_rows(
             stream,
             (
@@ -799,11 +1003,14 @@ class EdbLeafProcess(NodeProcess):
             return
         wanted = set(message.bindings)
         relation = self.database.scan(self.adorned.predicate)
-        matching = [
-            row
-            for row in relation.rows
-            if tuple(row[p] for p in self.shape.d_positions) in wanted
-        ]
+        d_pos = self.shape.d_positions
+        if len(d_pos) == 1:
+            p = d_pos[0]
+            wanted_values = {binding[0] for binding in wanted}
+            matching = [row for row in relation.rows if row[p] in wanted_values]
+        else:
+            d_get = operator.itemgetter(*d_pos)
+            matching = [row for row in relation.rows if d_get(row) in wanted]
         self._emit(stream, matching, network)
 
     def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:  # pragma: no cover
@@ -836,6 +1043,15 @@ class _Stage:
         "merge_plan",
         "d_var_sources",
         "row_source",
+        # Columnar kernel plan (PR 8): compiled getters replacing the
+        # per-row interpretation of the plans above.
+        "row_perm",  # "id" | permutation tuple | None (general conversion)
+        "row_checks",  # (position, constant) filters applied before row_perm
+        "row_key_get",
+        "prev_key_get",
+        "suffix_positions",  # row-env positions of the merge suffix
+        "suffix_get",  # row_env -> the merge suffix (the new variables)
+        "d_env_positions",  # env positions of the tuple-request binding
     )
 
     def __init__(self) -> None:
@@ -880,7 +1096,17 @@ class RuleNodeProcess(NodeProcess):
         self.child_stage: dict[int, list[int]] = {}
         self.sent_rows: set[tuple] = set()
         self.request_started = False
-        self.join_lookups = 0  # statistic: index probes performed
+        # Accounting (PR 8 split): probes and inserts used to share one
+        # ``join_lookups`` counter; they are different operations with
+        # different costs, so they are counted apart.  ``join_lookups``
+        # remains as a read-only alias for the probe count.
+        self.probe_lookups = 0  # statistic: index probes performed
+        self.index_inserts = 0  # statistic: index insertions performed
+        # Per-kernel batch statistics: rows entering the stage kernels,
+        # fresh environments they produced, and distinct join keys probed.
+        self.batch_rows_in = 0
+        self.batch_rows_out = 0
+        self.batch_distinct_keys = 0
         self.envs_materialized = 0
         self._stage0_envs: set[tuple] = set()
         self._stage0_index: dict[tuple, list[tuple]] = {}
@@ -944,6 +1170,42 @@ class RuleNodeProcess(NodeProcess):
                         )
                     d_sources.append(("env", env_pos[term]))
             stage.d_var_sources = tuple(d_sources)
+            # ---- columnar kernel plan --------------------------------
+            # Rows arriving for a subgoal whose non-"e" arguments are
+            # variables that do not repeat convert to sub-environments by a
+            # constant filter plus a pure permutation (usually the
+            # identity); repeated variables fall back to the checked
+            # per-row conversion.
+            terms = [atom.args[p] for p in stage.shape.non_e]
+            var_terms = [t for t in terms if isinstance(t, Variable)]
+            if len(set(var_terms)) == len(var_terms):
+                stage.row_checks = tuple(
+                    (i, t.value)
+                    for i, t in enumerate(terms)
+                    if isinstance(t, Constant)
+                )
+                row_pos = {
+                    t: i for i, t in enumerate(terms) if isinstance(t, Variable)
+                }
+                perm = tuple(row_pos[v] for v in stage.sub_vars)
+                identity = not stage.row_checks and perm == tuple(range(len(perm)))
+                stage.row_perm = "id" if identity else perm
+            else:
+                stage.row_checks = ()
+                stage.row_perm = None
+            stage.row_key_get = _key_getter(stage.row_key_positions)
+            stage.prev_key_get = _key_getter(stage.prev_key_positions)
+            # The "prev" half of merge_plan is always the identity prefix
+            # (prev_vars enumerate in order), so a merge is prev_env plus a
+            # gathered suffix of the row-env's new variables.
+            stage.suffix_positions = tuple(
+                i for kind, i in stage.merge_plan if kind == "row"
+            )
+            stage.suffix_get = _tuple_getter(stage.suffix_positions)
+            if all(kind == "env" for kind, _ in d_sources):
+                stage.d_env_positions = tuple(i for _, i in d_sources)
+            else:
+                stage.d_env_positions = None
             self.stages.append(stage)
             prev_vars = stage.env_vars
             self.child_stage.setdefault(self.child_ids[subgoal_index], []).append(
@@ -960,6 +1222,15 @@ class RuleNodeProcess(NodeProcess):
             else:
                 out_plan.append(("env", final_pos[term]))
         self.head_out_plan = tuple(out_plan)
+        # Compiled head projection for the columnar emit kernel (only when
+        # every output position reads from the environment; constant head
+        # arguments keep the interpreted plan).
+        if all(kind == "env" for kind, _ in out_plan):
+            self._head_positions: Optional[tuple[int, ...]] = tuple(
+                i for _, i in out_plan
+            )
+        else:
+            self._head_positions = None
 
         # Head-request plan: parent "d" positions -> constraints on stage0 env.
         self.stage0_pos = {v: i for i, v in enumerate(self.stage0_vars)}
@@ -1036,14 +1307,21 @@ class RuleNodeProcess(NodeProcess):
     # ------------------------------------------------------------------
     # Consumer side: tuples from subgoal children
     # ------------------------------------------------------------------
+    @property
+    def join_lookups(self) -> int:
+        """Back-compat alias for :attr:`probe_lookups` (pre-PR-8 name)."""
+        return self.probe_lookups
+
     def on_tuple(self, message: TupleMessage, network: "Scheduler") -> None:
+        kernel = self._tuples_into_stage_c if self.columnar else self._tuples_into_stage
         for stage_number in self.child_stage[message.sender]:
-            self._tuples_into_stage(stage_number, (message.row,), network)
+            kernel(stage_number, (message.row,), network)
 
     def on_tuple_set(self, message: TupleSet, network: "Scheduler") -> None:
         """Bulk stage kernel entry: join a whole set of child rows at once."""
+        kernel = self._tuples_into_stage_c if self.columnar else self._tuples_into_stage
         for stage_number in self.child_stage[message.sender]:
-            self._tuples_into_stage(stage_number, message.rows, network)
+            kernel(stage_number, message.rows, network)
 
     def _tuples_into_stage(
         self, stage_number: int, rows: Iterable[tuple], network: "Scheduler"
@@ -1056,6 +1334,7 @@ class RuleNodeProcess(NodeProcess):
         environments propagate through :meth:`_add_envs` as one batch.
         """
         stage = self.stages[stage_number - 1]
+        self.batch_rows_in += len(rows)  # type: ignore[arg-type]
         by_key: dict[tuple, list[tuple]] = {}
         for row in rows:
             env = self._row_to_subenv(stage, row)
@@ -1063,6 +1342,7 @@ class RuleNodeProcess(NodeProcess):
                 continue
             stage.rows.add(env)
             self.tuples_stored += 1
+            self.index_inserts += 1
             if self.record_provenance:
                 stage.row_source.setdefault(env, row)
             key = tuple(env[i] for i in stage.row_key_positions)
@@ -1070,6 +1350,7 @@ class RuleNodeProcess(NodeProcess):
             by_key.setdefault(key, []).append(env)
         if not by_key:
             return
+        self.batch_distinct_keys += len(by_key)
         merged: list[tuple[tuple, tuple[tuple, tuple]]] = []
         for key, envs in by_key.items():
             # Join the new tuples with the previous stage's environments.
@@ -1077,12 +1358,108 @@ class RuleNodeProcess(NodeProcess):
                 prev_envs = self._stage0_envs_for_key(key, self.stages[0])
             else:
                 prev_envs = self.stages[stage_number - 2].env_index.get(key, [])
-            self.join_lookups += 1
+            self.probe_lookups += 1
             for prev_env in list(prev_envs):
                 for env in envs:
                     merged.append((self._merge(stage, prev_env, env), (prev_env, env)))
         if merged:
             self._add_envs(stage_number, merged, network)
+
+    def _tuples_into_stage_c(
+        self, stage_number: int, rows, network: "Scheduler"
+    ) -> None:
+        """Columnar stage kernel: whole-batch convert, dedup, index, probe.
+
+        The batch is converted to sub-environments by a precompiled gather
+        (:class:`~repro.network.messages.ColumnBatch` when a real permutation
+        is needed; zero-copy when the row layout already matches), fresh rows
+        are found with one set difference, the batch hash index is built once,
+        and the previous stage is probed once per distinct join key.  A merge
+        is ``prev_env + suffix`` — the cumulative schema keeps earlier
+        variables as an identity prefix — with each suffix gathered once per
+        row-env instead of once per output pair.
+        """
+        stage = self.stages[stage_number - 1]
+        self.batch_rows_in += len(rows)
+        if stage.row_perm == "id":
+            batch = rows if isinstance(rows, (set, frozenset)) else set(rows)
+        elif stage.row_perm is not None:
+            if stage.row_checks:
+                if len(stage.row_checks) == 1:
+                    ((pos, value),) = stage.row_checks
+                    rows = [row for row in rows if row[pos] == value]
+                else:
+                    checks = stage.row_checks
+                    rows = [
+                        row
+                        for row in rows
+                        if all(row[p] == v for p, v in checks)
+                    ]
+            batch = set(ColumnBatch(rows).project(stage.row_perm))
+        else:
+            batch = set()
+            for row in rows:
+                env = self._row_to_subenv(stage, row)
+                if env is not None:
+                    batch.add(env)
+        fresh = batch - stage.rows
+        if not fresh:
+            return
+        stage.rows |= fresh
+        self.tuples_stored += len(fresh)
+        self.index_inserts += len(fresh)
+        # Columnar gathers for the whole fresh batch: join keys and merge
+        # suffixes come out of C-level column gathers, not per-row getters.
+        fresh_list = list(fresh)
+        cb = ColumnBatch(fresh_list)
+        suffixes = cb.project(stage.suffix_positions)
+        if stage_number == 1:
+            prev_index = self._stage0_index
+        else:
+            prev_index = self.stages[stage_number - 2].env_index
+        row_index = stage.row_index
+        merged: list[tuple]
+        if not stage.row_key_positions:
+            # Nullary join key (no shared variables yet): one bucket, one
+            # probe, zero per-row dict traffic.
+            bucket = row_index.get(())
+            if bucket is None:
+                row_index[()] = list(fresh_list)
+            else:
+                bucket.extend(fresh_list)
+            self.batch_distinct_keys += 1
+            self.probe_lookups += 1
+            prev_envs = prev_index.get(())
+            if not prev_envs:
+                return
+            if len(prev_envs) == 1 and prev_envs[0] == ():
+                merged = suffixes  # the identity prefix is empty
+            else:
+                merged = [
+                    prev_env + suffix
+                    for prev_env in prev_envs
+                    for suffix in suffixes
+                ]
+        else:
+            keys = cb.keys(stage.row_key_positions)
+            prev_get = prev_index.get
+            merged = []
+            append = merged.append
+            for env, key, suffix in zip(fresh_list, keys, suffixes):
+                bucket = row_index.get(key)
+                if bucket is None:
+                    row_index[key] = [env]
+                else:
+                    bucket.append(env)
+                prev_envs = prev_get(key)
+                if prev_envs:
+                    for prev_env in prev_envs:
+                        append(prev_env + suffix)
+            distinct = len(set(keys))
+            self.batch_distinct_keys += distinct
+            self.probe_lookups += distinct
+        if merged:
+            self._add_envs_c(stage_number, merged, network)
 
     def _row_to_subenv(self, stage: _Stage, row: tuple) -> Optional[tuple]:
         """Convert a child's row into values over ``stage.sub_vars``."""
@@ -1109,13 +1486,31 @@ class RuleNodeProcess(NodeProcess):
         self.envs_materialized += 1
         if not self.stages:
             # Bodiless rule: the head itself is the (single) answer.
-            self._emit_heads((env,), network)
+            if self.columnar:
+                self._emit_heads_c((env,), network)
+            else:
+                self._emit_heads((env,), network)
             return
         first = self.stages[0]
+        if self.columnar:
+            key = first.prev_key_get(env)
+            self._stage0_index.setdefault(key, []).append(env)
+            self.index_inserts += 1
+            self._request_next(1, env, network)
+            self.probe_lookups += 1
+            suffix_get = first.suffix_get
+            merged_c = [
+                env + suffix_get(row_env)
+                for row_env in first.row_index.get(key, ())
+            ]
+            if merged_c:
+                self._add_envs_c(1, merged_c, network)
+            return
         key = tuple(env[i] for i in first.prev_key_positions)
         self._stage0_index.setdefault(key, []).append(env)
+        self.index_inserts += 1
         self._request_next(1, env, network)
-        self.join_lookups += 1
+        self.probe_lookups += 1
         merged = [
             (self._merge(first, env, row_env), (env, row_env))
             for row_env in list(first.row_index.get(key, []))
@@ -1161,6 +1556,7 @@ class RuleNodeProcess(NodeProcess):
             fresh.append(env)
         if not fresh:
             return
+        self.batch_rows_out += len(fresh)
         if stage_number == len(self.stages):
             self._emit_heads(fresh, network)
             return
@@ -1169,11 +1565,13 @@ class RuleNodeProcess(NodeProcess):
         for env in fresh:
             key = tuple(env[i] for i in next_stage.prev_key_positions)
             stage.env_index.setdefault(key, []).append(env)
+            self.index_inserts += 1
             by_key.setdefault(key, []).append(env)
             self._request_next(stage_number + 1, env, network)
+        self.batch_distinct_keys += len(by_key)
         next_merged: list[tuple[tuple, tuple[tuple, tuple]]] = []
         for key, envs in by_key.items():
-            self.join_lookups += 1
+            self.probe_lookups += 1
             rows = next_stage.row_index.get(key, [])
             for env in envs:
                 for row_env in list(rows):
@@ -1182,6 +1580,85 @@ class RuleNodeProcess(NodeProcess):
                     )
         if next_merged:
             self._add_envs(stage_number + 1, next_merged, network)
+
+    def _add_envs_c(
+        self, stage_number: int, merged: list[tuple], network: "Scheduler"
+    ) -> None:
+        """Columnar env propagation: set-difference dedup, batched requests.
+
+        The mirror of :meth:`_add_envs` over plain environment tuples (no
+        provenance sources — the engine never combines columnar kernels with
+        provenance recording).  Tuple-request bindings are gathered with the
+        stage's compiled plan and deduplicated batch-wide before emission.
+        """
+        stage = self.stages[stage_number - 1]
+        batch = set(merged)
+        fresh = batch - stage.envs
+        if not fresh:
+            return
+        stage.envs |= fresh
+        self.envs_materialized += len(fresh)
+        self.batch_rows_out += len(fresh)
+        if stage_number == len(self.stages):
+            self._emit_heads_c(fresh, network)
+            return
+        next_stage = self.stages[stage_number]
+        fresh_list = list(fresh)
+        cb = ColumnBatch(fresh_list)
+        if next_stage.d_var_sources:
+            if next_stage.d_env_positions is not None:
+                child_id = self.child_ids[next_stage.subgoal_index]
+                self.send_tuple_requests_batch(
+                    child_id, set(cb.project(next_stage.d_env_positions)), network
+                )
+            else:
+                for env in fresh_list:
+                    self._request_next(stage_number + 1, env, network)
+        env_index = stage.env_index
+        suffix_get = next_stage.suffix_get
+        row_index = next_stage.row_index
+        self.index_inserts += len(fresh)
+        next_merged: list[tuple] = []
+        if not next_stage.prev_key_positions:
+            bucket = env_index.get(())
+            if bucket is None:
+                env_index[()] = list(fresh_list)
+            else:
+                bucket.extend(fresh_list)
+            self.batch_distinct_keys += 1
+            self.probe_lookups += 1
+            rows = row_index.get(())
+            if rows:
+                suffixes = [suffix_get(row_env) for row_env in rows]
+                next_merged = [
+                    env + suffix for env in fresh_list for suffix in suffixes
+                ]
+        else:
+            keys = cb.keys(next_stage.prev_key_positions)
+            row_get = row_index.get
+            # Suffixes gathered once per probed key, not once per output pair.
+            suffix_memo: dict = {}
+            append = next_merged.append
+            for env, key in zip(fresh_list, keys):
+                bucket = env_index.get(key)
+                if bucket is None:
+                    env_index[key] = [env]
+                else:
+                    bucket.append(env)
+                rows = row_get(key)
+                if rows:
+                    suffixes = suffix_memo.get(key)
+                    if suffixes is None:
+                        suffix_memo[key] = suffixes = [
+                            suffix_get(row_env) for row_env in rows
+                        ]
+                    for suffix in suffixes:
+                        append(env + suffix)
+            distinct = len(set(keys))
+            self.batch_distinct_keys += distinct
+            self.probe_lookups += distinct
+        if next_merged:
+            self._add_envs_c(stage_number + 1, next_merged, network)
 
     def _request_next(self, stage_number: int, env: tuple, network: "Scheduler") -> None:
         """Issue the tuple request env implies for the stage's subgoal."""
@@ -1216,6 +1693,40 @@ class RuleNodeProcess(NodeProcess):
             fresh.append(row)
         if not fresh:
             return
+        if self.emit_tuple_sets and len(fresh) > 1:
+            rows = frozenset(fresh)
+            for stream in self.consumers.values():
+                network.send(TupleSet(self.node_id, stream.consumer_id, rows))
+        else:
+            for stream in self.consumers.values():
+                for row in fresh:
+                    network.send(TupleMessage(self.node_id, stream.consumer_id, row))
+
+    def _emit_heads_c(self, envs, network: "Scheduler") -> None:
+        """Columnar head emission: column-gather projection, whole-set dedup."""
+        envs_list = envs if isinstance(envs, list) else list(envs)
+        if self._head_positions is not None:
+            projected = set(ColumnBatch(envs_list).project(self._head_positions))
+        elif any(kind == "env" for kind, _ in self.head_out_plan):
+            # Constant head slots (a bound head argument substituted at graph
+            # build): splice constant streams between the gathered columns —
+            # zip over itertools.repeat keeps the whole build at C level.
+            streams = [
+                itertools.repeat(payload)
+                if kind == "const"
+                else map(operator.itemgetter(payload), envs_list)
+                for kind, payload in self.head_out_plan
+            ]
+            projected = set(zip(*streams))
+        elif envs_list:
+            # Fully-constant (or empty) head: a single row.
+            projected = {tuple(payload for _, payload in self.head_out_plan)}
+        else:
+            projected = set()
+        fresh = projected - self.sent_rows
+        if not fresh:
+            return
+        self.sent_rows |= fresh
         if self.emit_tuple_sets and len(fresh) > 1:
             rows = frozenset(fresh)
             for stream in self.consumers.values():
@@ -1280,6 +1791,9 @@ class DriverProcess(NodeProcess):
 
     def on_tuple_set(self, message: TupleSet, network: "Scheduler") -> None:
         """Collect a packaged answer set (streaming hook still fires per row)."""
+        if self.columnar and self.on_answer is None:
+            self.answers |= message.rows
+            return
         for row in message.rows:
             if row not in self.answers:
                 self.answers.add(row)

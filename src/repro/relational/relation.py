@@ -14,6 +14,7 @@ Relations are *immutable by convention*: every operation returns a new
 
 from __future__ import annotations
 
+import operator
 from typing import Callable, Iterable, Iterator, Mapping, Sequence
 
 __all__ = ["Relation", "Row"]
@@ -115,8 +116,15 @@ class Relation:
         cached = self._indexes.get(pos)
         if cached is None:
             cached = {}
-            for row in self._rows:
-                key = tuple(row[i] for i in pos)
+            if len(pos) == 1:
+                # C-level key gather; zip re-boxes the bare values as the
+                # 1-tuple keys the lookup contract expects.
+                keys: Iterable[Row] = zip(map(operator.itemgetter(pos[0]), self._rows))
+            elif pos:
+                keys = map(operator.itemgetter(*pos), self._rows)
+            else:
+                keys = iter([()] * len(self._rows))
+            for key, row in zip(keys, self._rows):
                 cached.setdefault(key, []).append(row)
             self._indexes[pos] = cached
         return cached

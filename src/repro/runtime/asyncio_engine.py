@@ -80,6 +80,8 @@ async def run_async(
     coalesce: bool = False,
     package_requests: bool = False,
     tuple_sets: bool = True,
+    columnar: bool = True,
+    planner: str = "static",
 ) -> AsyncQueryResult:
     """Evaluate the query with one concurrent task per graph node."""
     engine = MessagePassingEngine(
@@ -90,6 +92,8 @@ async def run_async(
         coalesce=coalesce,
         package_requests=package_requests,
         tuple_sets=tuple_sets,
+        columnar=columnar,
+        planner=planner,
     )
     network = AsyncNetwork()
     for node_id in engine.processes:
@@ -131,6 +135,8 @@ def evaluate_async(
     coalesce: bool = False,
     package_requests: bool = False,
     tuple_sets: bool = True,
+    columnar: bool = True,
+    planner: str = "static",
 ) -> AsyncQueryResult:
     """Synchronous wrapper around :func:`run_async`."""
     return asyncio.run(
@@ -142,5 +148,7 @@ def evaluate_async(
             coalesce,
             package_requests,
             tuple_sets,
+            columnar,
+            planner,
         )
     )

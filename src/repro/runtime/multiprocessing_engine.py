@@ -170,6 +170,7 @@ def _mp_attempt(
     timeout: float,
     package_requests: bool,
     tuple_sets: bool,
+    columnar: bool,
     database: Optional[Database],
     heartbeat_interval: Optional[float],
     fault_plan: Optional[FaultPlan],
@@ -181,6 +182,7 @@ def _mp_attempt(
         validate_protocol=False,  # the oracle belongs to the simulator
         package_requests=package_requests,
         tuple_sets=tuple_sets,
+        columnar=columnar,
         database=database,
         graph=graph,
     )
@@ -280,6 +282,8 @@ def evaluate_multiprocessing(
     coalesce: bool = False,
     package_requests: bool = False,
     tuple_sets: bool = True,
+    columnar: bool = True,
+    planner: str = "static",
     retry: Union[RetryPolicy, int, None] = None,
     fallback: str = "none",
     heartbeat_interval: Optional[float] = None,
@@ -306,10 +310,19 @@ def evaluate_multiprocessing(
         raise ValueError(f"unknown fallback {fallback!r}; use 'none' or 'inprocess'")
     policy = RetryPolicy.of(retry)
     plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+    if planner not in ("static", "cost"):
+        raise ValueError(f"unknown planner {planner!r} (expected 'static' or 'cost')")
     if graph is None:
+        if planner == "cost":
+            from ..core.planner import CostPlanner
+
+            cost_planner = CostPlanner.from_database(database)
+            sip_factory = cost_planner.sip_factory()
         graph = build_rule_goal_graph(
             program, sip_factory, query_goal=query_goal, coalesce=coalesce
         )
+        if planner == "cost":
+            graph.plan_report = cost_planner.report
 
     def attempt(number: int) -> MpQueryResult:
         return _mp_attempt(
@@ -318,6 +331,7 @@ def evaluate_multiprocessing(
             timeout,
             package_requests,
             tuple_sets,
+            columnar,
             database,
             heartbeat_interval,
             plan.for_attempt(number) if plan is not None else None,
@@ -328,6 +342,7 @@ def evaluate_multiprocessing(
             program,
             package_requests=package_requests,
             tuple_sets=tuple_sets,
+            columnar=columnar,
             database=database,
             graph=graph,
         )

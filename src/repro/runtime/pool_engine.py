@@ -430,6 +430,7 @@ def _pool_attempt(
     package_requests: bool,
     replicas: int,
     tuple_sets: bool,
+    columnar: bool,
     database: Optional[Database],
     heartbeat_interval: Optional[float],
     fault_plan: Optional[FaultPlan],
@@ -445,6 +446,7 @@ def _pool_attempt(
         package_requests=package_requests,
         edb_shards=replicas,
         tuple_sets=tuple_sets,
+        columnar=columnar,
         database=database,
         graph=graph,
     )
@@ -543,6 +545,8 @@ def evaluate_pool(
     package_requests: bool = False,
     edb_shards: Optional[int] = None,
     tuple_sets: bool = True,
+    columnar: bool = True,
+    planner: str = "static",
     retry: Union[RetryPolicy, int, None] = None,
     fallback: str = "none",
     heartbeat_interval: Optional[float] = None,
@@ -582,10 +586,19 @@ def evaluate_pool(
     replicas = edb_shards if edb_shards is not None else n_shards
     policy = RetryPolicy.of(retry)
     plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+    if planner not in ("static", "cost"):
+        raise ValueError(f"unknown planner {planner!r} (expected 'static' or 'cost')")
     if graph is None:
+        if planner == "cost":
+            from ..core.planner import CostPlanner
+
+            cost_planner = CostPlanner.from_database(database)
+            sip_factory = cost_planner.sip_factory()
         graph = build_rule_goal_graph(
             program, sip_factory, query_goal=query_goal, coalesce=coalesce
         )
+        if planner == "cost":
+            graph.plan_report = cost_planner.report
 
     def attempt(number: int) -> PoolQueryResult:
         return _pool_attempt(
@@ -597,6 +610,7 @@ def evaluate_pool(
             package_requests,
             replicas,
             tuple_sets,
+            columnar,
             database,
             heartbeat_interval,
             plan.for_attempt(number) if plan is not None else None,
@@ -607,6 +621,7 @@ def evaluate_pool(
             program,
             package_requests=package_requests,
             tuple_sets=tuple_sets,
+            columnar=columnar,
             database=database,
             graph=graph,
         )

@@ -40,6 +40,7 @@ True
 
 from __future__ import annotations
 
+import math
 import threading
 import weakref
 from dataclasses import dataclass
@@ -89,6 +90,10 @@ class PreparedQuery:
     atoms: tuple[Atom, ...]
     key: tuple
     fingerprint: tuple
+    #: The bucketed EDB-size digest the key embeds under ``planner="cost"``
+    #: (always ``()`` for the static planner).  If ``add_facts`` grows a
+    #: relation past the next order of magnitude, the key is recomputed.
+    size_fingerprint: tuple = ()
 
 
 class MaterializedQueryClosed(RuntimeError):
@@ -241,6 +246,8 @@ class Session:
         coalesce: bool = False,
         package_requests: bool = False,
         tuple_sets: bool = True,
+        columnar: bool = True,
+        planner: str = "static",
         provenance: bool = False,
         graph_cache_size: int = 64,
         runtime: str = "simulator",
@@ -255,6 +262,10 @@ class Session:
             raise ValueError(
                 f"unknown session runtime {runtime!r}; "
                 "use 'simulator', 'pool', or 'mp'"
+            )
+        if planner not in ("static", "cost"):
+            raise ValueError(
+                f"unknown planner {planner!r} (expected 'static' or 'cost')"
             )
         if isinstance(source, Program):
             program = source
@@ -271,6 +282,8 @@ class Session:
         self.coalesce = coalesce
         self.package_requests = package_requests
         self.tuple_sets = tuple_sets
+        self.columnar = columnar
+        self.planner = planner
         self.provenance = provenance
         self.runtime = runtime
         self.workers = workers
@@ -287,6 +300,10 @@ class Session:
         # The graph cache and the IDB fingerprint that keys it.
         self._graph_cache = GraphCache(graph_cache_size)
         self._rules_fingerprint = rule_set_fingerprint(self._rules)
+        # Under the cost planner, cached graphs additionally embed the
+        # bucketed EDB sizes their plans were chosen from (recomputed on
+        # every add_facts commit; cheap — one len() per relation).
+        self._size_fingerprint = self._planner_fingerprint()
         # Monotone knowledge-base version: bumped by every committed
         # mutation (add_facts/add_rules), never by queries.  Anything
         # derived from the base at version v — notably the serving
@@ -324,10 +341,10 @@ class Session:
         for atom_ in atoms:
             if atom_.predicate == GOAL_PREDICATE:
                 raise ProgramError(f"'goal' may not be queried directly: {atom_}")
-        key = graph_cache_key(
-            self._rules_fingerprint, atoms, self.sip_factory, self.coalesce
+        key = self._key_for(atoms)
+        return PreparedQuery(
+            atoms, key, self._rules_fingerprint, self._size_fingerprint
         )
-        return PreparedQuery(atoms, key, self._rules_fingerprint)
 
     def cache_key_for(
         self, query: Union[str, Atom, Sequence[Atom], PreparedQuery]
@@ -341,22 +358,45 @@ class Session:
         """
         return self._current_key(self.prepare(query))
 
-    def _current_key(self, prepared: PreparedQuery) -> tuple:
-        """``prepared.key``, recomputed only if ``add_rules`` outdated it."""
-        if prepared.fingerprint == self._rules_fingerprint:
-            return prepared.key
+    def _planner_fingerprint(self) -> tuple:
+        """The bucketed EDB-size digest (``()`` under the static planner)."""
+        if self.planner == "static":
+            return ()
+        from .core.planner import size_fingerprint
+
+        log_sizes = {
+            predicate: math.log10(max(len(self._database.relation(predicate)), 2))
+            for predicate in self._database.predicates()
+            if len(self._database.relation(predicate)) > 0
+        }
+        return size_fingerprint(log_sizes)
+
+    def _key_for(self, atoms: Sequence[Atom]) -> tuple:
+        """The graph-cache key for query atoms under the current base."""
         return graph_cache_key(
-            self._rules_fingerprint, prepared.atoms, self.sip_factory, self.coalesce
+            self._rules_fingerprint,
+            atoms,
+            self.sip_factory,
+            self.coalesce,
+            planner=self.planner,
+            size_fingerprint=self._size_fingerprint,
         )
+
+    def _current_key(self, prepared: PreparedQuery) -> tuple:
+        """``prepared.key``, recomputed only if a commit outdated it."""
+        if (
+            prepared.fingerprint == self._rules_fingerprint
+            and prepared.size_fingerprint == self._size_fingerprint
+        ):
+            return prepared.key
+        return self._key_for(prepared.atoms)
 
     def _graph_for(
         self, atoms: Sequence[Atom], key: Optional[tuple] = None
     ) -> tuple[RuleGoalGraph, bool]:
         """The (possibly cached) rule/goal graph for a query; (graph, hit)."""
         if key is None:
-            key = graph_cache_key(
-                self._rules_fingerprint, atoms, self.sip_factory, self.coalesce
-            )
+            key = self._key_for(atoms)
         cached = self._graph_cache.get(key)
         if cached is not None:
             return cached, True  # type: ignore[return-value]
@@ -366,9 +406,19 @@ class Session:
         program = Program(
             self._rules + (query_to_rule(atoms),), self._facts, validate=False
         )
-        graph = build_rule_goal_graph(
-            program, self.sip_factory, coalesce=self.coalesce
-        )
+        sip_factory = self.sip_factory
+        plan_report = None
+        if self.planner == "cost":
+            from .core.planner import CostPlanner
+
+            cost_planner = CostPlanner.from_database(self._database)
+            sip_factory = cost_planner.sip_factory()
+            plan_report = cost_planner.report
+        graph = build_rule_goal_graph(program, sip_factory, coalesce=self.coalesce)
+        if plan_report is not None:
+            # Attached before caching; cached graphs are treated as
+            # immutable afterwards.  The engine surfaces it on QueryResult.
+            graph.plan_report = plan_report
         self._graph_cache.put(key, graph)
         return graph, False
 
@@ -431,6 +481,7 @@ class Session:
             coalesce=self.coalesce,
             package_requests=self.package_requests,
             tuple_sets=self.tuple_sets,
+            columnar=self.columnar,
             provenance=self.provenance,
             database=self._database,
             graph=graph,
@@ -454,6 +505,7 @@ class Session:
             timeout=self.timeout,
             package_requests=self.package_requests,
             tuple_sets=self.tuple_sets,
+            columnar=self.columnar,
             retry=retry,
             fallback=self.fallback,
             heartbeat_interval=self.heartbeat_interval,
@@ -500,6 +552,7 @@ class Session:
             coalesce=self.coalesce,
             package_requests=self.package_requests,
             tuple_sets=self.tuple_sets,
+            columnar=self.columnar,
             provenance=self.provenance,
             database=self._database,
             graph=graph,
@@ -565,6 +618,7 @@ class Session:
         self._edb_predicates |= {f.predicate for f in new_facts}
         if new_facts:
             self._db_version += 1
+            self._size_fingerprint = self._planner_fingerprint()
             for mat in list(self._materialized):
                 mat._absorb_write(new_facts, self._db_version)
 
@@ -601,6 +655,8 @@ class Session:
             self._graph_cache.clear()
         if new_rules or new_facts:
             self._db_version += 1
+        if new_facts:
+            self._size_fingerprint = self._planner_fingerprint()
         if new_rules:
             # Live networks embed the old IDB — invalidate, don't refresh.
             for mat in list(self._materialized):

@@ -83,16 +83,23 @@ CASES = {
     ),
 }
 
-#: (coalesce, package_requests, tuple_sets) combinations.  Tuple sets are on
-#: by default, so the interesting extra rows are the per-tuple baseline and
-#: its interaction with request packaging.
+#: (coalesce, package_requests, tuple_sets, columnar, planner) combinations.
+#: Tuple sets and the columnar kernels are on by default, so the interesting
+#: extra rows are the per-tuple baseline, the row-kernel baseline, their
+#: interaction with request packaging, and the cost planner (which changes
+#: subgoal orders, i.e. the graph itself, and must still converge on the
+#: oracle's answers).
 KNOBS = [
-    pytest.param(False, False, True, id="plain"),
-    pytest.param(False, False, False, id="no-tuple-sets"),
-    pytest.param(True, False, True, id="coalesce"),
-    pytest.param(False, True, True, id="package"),
-    pytest.param(False, True, False, id="package+no-tuple-sets"),
-    pytest.param(True, True, True, id="coalesce+package"),
+    pytest.param(False, False, True, True, "static", id="plain"),
+    pytest.param(False, False, False, True, "static", id="no-tuple-sets"),
+    pytest.param(False, False, True, False, "static", id="row-kernels"),
+    pytest.param(True, False, True, True, "static", id="coalesce"),
+    pytest.param(False, True, True, True, "static", id="package"),
+    pytest.param(False, True, False, True, "static", id="package+no-tuple-sets"),
+    pytest.param(False, True, True, False, "static", id="package+row-kernels"),
+    pytest.param(True, True, True, True, "static", id="coalesce+package"),
+    pytest.param(False, False, True, True, "cost", id="cost-planner"),
+    pytest.param(False, True, True, False, "cost", id="cost-planner+row-kernels"),
 ]
 
 BATCH_SIZES = (1, 64)
@@ -126,10 +133,12 @@ def oracles():
     return {name: naive.goal_answers(make()) for name, make in CASES.items()}
 
 
-@pytest.mark.parametrize("coalesce,package,tuple_sets", KNOBS)
+@pytest.mark.parametrize("coalesce,package,tuple_sets,columnar,planner", KNOBS)
 @pytest.mark.parametrize("name", sorted(CASES))
 class TestRuntimeParity:
-    def test_simulator_and_asyncio(self, name, coalesce, package, tuple_sets, oracles):
+    def test_simulator_and_asyncio(
+        self, name, coalesce, package, tuple_sets, columnar, planner, oracles
+    ):
         program = CASES[name]()
         expected = oracles[name]
         sim = evaluate(
@@ -137,6 +146,8 @@ class TestRuntimeParity:
             coalesce=coalesce,
             package_requests=package,
             tuple_sets=tuple_sets,
+            columnar=columnar,
+            planner=planner,
         )
         assert sim.answers == expected, f"{name}: simulator diverged"
         run = evaluate_async(
@@ -144,23 +155,32 @@ class TestRuntimeParity:
             coalesce=coalesce,
             package_requests=package,
             tuple_sets=tuple_sets,
+            columnar=columnar,
+            planner=planner,
             timeout=60,
         )
         assert run.answers == expected, f"{name}: asyncio diverged"
 
-    def test_multiprocessing(self, name, coalesce, package, tuple_sets, oracles):
+    def test_multiprocessing(
+        self, name, coalesce, package, tuple_sets, columnar, planner, oracles
+    ):
         program = CASES[name]()
         run = evaluate_multiprocessing(
             program,
             coalesce=coalesce,
             package_requests=package,
             tuple_sets=tuple_sets,
+            columnar=columnar,
+            planner=planner,
             timeout=60,
         )
         assert run.answers == oracles[name], f"{name}: per-node mp diverged"
 
     @pytest.mark.parametrize("batch_size", BATCH_SIZES)
-    def test_pool(self, name, coalesce, package, tuple_sets, batch_size, oracles):
+    def test_pool(
+        self, name, coalesce, package, tuple_sets, columnar, planner,
+        batch_size, oracles,
+    ):
         program = CASES[name]()
         run = evaluate_pool(
             program,
@@ -169,6 +189,8 @@ class TestRuntimeParity:
             coalesce=coalesce,
             package_requests=package,
             tuple_sets=tuple_sets,
+            columnar=columnar,
+            planner=planner,
             timeout=60,
         )
         assert run.answers == oracles[name], (

@@ -1,0 +1,110 @@
+"""Unit tests for the columnar batch representation (PR 8).
+
+The kernels lean on exact contracts here: single-position keys are bare
+values, multi-position keys tuples, and the *empty* position tuple keys
+every row to ``()`` — returning ``[]`` instead silently truncates the
+``zip(rows, keys, suffixes)`` kernel loops (a real bug this suite
+regression-pins).  The numpy promotion must be invisible: every
+operation returns the same logical values with and without the ``fast``
+extra, which the ``REPRO_NO_NUMPY`` escape hatch checks in-process via a
+subprocess.
+"""
+
+import os
+import subprocess
+import sys
+
+from repro.network.messages import ColumnBatch
+
+ROWS = [(1, "a", 10), (2, "b", 20), (1, "a", 30)]
+
+
+class TestColumnBatch:
+    def test_columns_transpose(self):
+        cb = ColumnBatch(ROWS)
+        assert cb.columns == ((1, 2, 1), ("a", "b", "a"), (10, 20, 30))
+        assert cb.column(1) == ("a", "b", "a")
+        assert len(cb) == 3
+
+    def test_empty_batch(self):
+        cb = ColumnBatch([])
+        assert cb.columns == ()
+        assert cb.keys((0,)) == []
+        assert cb.project((0, 1)) == []
+        assert cb.distinct_keys((0,)) == 0
+
+    def test_single_position_keys_are_bare_values(self):
+        cb = ColumnBatch(ROWS)
+        assert list(cb.keys((0,))) == [1, 2, 1]
+
+    def test_multi_position_keys_are_tuples(self):
+        cb = ColumnBatch(ROWS)
+        assert list(cb.keys((0, 1))) == [(1, "a"), (2, "b"), (1, "a")]
+
+    def test_empty_positions_key_every_row_to_nullary(self):
+        # Regression: [] here truncated the kernels' zip() loops to nothing.
+        cb = ColumnBatch(ROWS)
+        assert cb.keys(()) == [(), (), ()]
+        assert cb.project(()) == [(), (), ()]
+
+    def test_project_single_position_boxes_one_tuples(self):
+        cb = ColumnBatch(ROWS)
+        assert cb.project((2,)) == [(10,), (20,), (30,)]
+
+    def test_project_multi_position(self):
+        cb = ColumnBatch(ROWS)
+        assert cb.project((2, 0)) == [(10, 1), (20, 2), (30, 1)]
+
+    def test_group_builds_hash_index_once(self):
+        cb = ColumnBatch(ROWS)
+        index = cb.group((0,))
+        assert index == {1: [(1, "a", 10), (1, "a", 30)], 2: [(2, "b", 20)]}
+        assert cb.group((0, 1)) == {
+            (1, "a"): [(1, "a", 10), (1, "a", 30)],
+            (2, "b"): [(2, "b", 20)],
+        }
+
+    def test_distinct_keys(self):
+        cb = ColumnBatch(ROWS)
+        assert cb.distinct_keys((0,)) == 2
+        assert cb.distinct_keys((2,)) == 3
+        assert cb.distinct_keys((0, 1)) == 2
+
+    def test_array_promotion_round_trips(self):
+        # Int columns may promote to numpy; values must be unchanged.
+        cb = ColumnBatch(ROWS)
+        assert list(cb.array(0)) == [1, 2, 1]
+        assert list(cb.array(1)) == ["a", "b", "a"]  # mixed stays plain
+
+    def test_mixed_type_column_distinct(self):
+        cb = ColumnBatch([(1,), ("x",), (1,)])
+        assert cb.distinct_keys((0,)) == 2
+
+
+def test_no_numpy_escape_hatch_is_equivalent():
+    """The whole contract holds with numpy forced off (pure-python leg)."""
+    code = (
+        "from repro.network.messages import ColumnBatch\n"
+        "from repro import _numpy\n"
+        "assert _numpy.np is None, 'REPRO_NO_NUMPY was ignored'\n"
+        "cb = ColumnBatch([(1, 'a', 10), (2, 'b', 20), (1, 'a', 30)])\n"
+        "assert list(cb.keys((0,))) == [1, 2, 1]\n"
+        "assert cb.keys(()) == [(), (), ()]\n"
+        "assert cb.project((2,)) == [(10,), (20,), (30,)]\n"
+        "assert cb.distinct_keys((0,)) == 2\n"
+        "assert list(cb.array(0)) == [1, 2, 1]\n"
+        "print('ok')\n"
+    )
+    env = dict(os.environ, REPRO_NO_NUMPY="1")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (os.environ.get("PYTHONPATH"), "src") if p
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "ok"

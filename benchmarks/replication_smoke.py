@@ -1,0 +1,189 @@
+"""CI replication smoke: `serve --replicas 3`, SIGKILL a replica, stay up.
+
+The replicated-serving contract under test, end to end through the
+real CLI:
+
+1. ``repro serve <file> --data-dir D --replicas 3`` boots a front door
+   plus three replica processes and announces one port;
+2. a client adds facts and rules through the front door (validated,
+   logged, fanned out) and records the answers to a set of queries;
+3. one **replica process is SIGKILLed** — its pid taken from the stats
+   op — while a client keeps querying: every request must succeed
+   (failover masks the death; this is the zero-client-visible-errors
+   bar from the chaos tests, through the CLI);
+4. the supervisor must restart the victim, resync it from the log, and
+   readmit it: stats must return to 3/3 healthy with every replica's
+   ``applied_seq`` equal to the log's ``seq``, answers unchanged;
+5. finally SIGTERM must drain the whole set and exit 0
+   ("drained and stopped").
+
+Exits non-zero on any violation.  Budget: a few CI seconds.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/replication_smoke.py
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+BASE_PROGRAM = """
+anc(X, Y) <- par(X, Y).
+anc(X, Y) <- par(X, U), anc(U, Y).
+par(ann, bob).  par(bob, cal).  par(cal, dee).
+"""
+
+EXTRA_FACTS = "par(dee, eve).  par(eve, fay)."
+EXTRA_RULES = "desc(X, Y) <- anc(Y, X)."
+
+QUERIES = ["anc(ann, Z)", "anc(dee, Z)", "desc(fay, ann)"]
+
+SERVING_RE = re.compile(r"^serving .* on (\S+):(\d+) ", re.MULTILINE)
+
+
+def start_replica_set(kb_path: str, data_dir: str) -> tuple[subprocess.Popen, int]:
+    """Launch ``repro serve --replicas 3`` and parse the front door's port."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            kb_path,
+            "--port",
+            "0",
+            "--data-dir",
+            data_dir,
+            "--replicas",
+            "3",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    banner = []
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        banner.append(line)
+        match = SERVING_RE.search(line)
+        if match:
+            return proc, int(match.group(2))
+    proc.kill()
+    raise RuntimeError(f"front door never announced its port; output: {''.join(banner)}")
+
+
+def wait_for_recovery(client, replicas: int = 3, timeout: float = 60.0) -> dict:
+    """Poll stats until every replica is healthy and fully caught up."""
+    deadline = time.monotonic() + timeout
+    stats = {}
+    while time.monotonic() < deadline:
+        stats = client.stats()["replication"]
+        if stats["healthy"] == replicas and all(
+            snap["state"] == "healthy" and snap["applied_seq"] == stats["seq"]
+            for snap in stats["replicas"].values()
+        ):
+            return stats
+        time.sleep(0.2)
+    return stats
+
+
+def main() -> int:
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.service import ServiceClient
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as tmp:
+        kb_path = os.path.join(tmp, "base.dl")
+        with open(kb_path, "w") as handle:
+            handle.write(BASE_PROGRAM)
+        data_dir = os.path.join(tmp, "state")
+
+        proc, port = start_replica_set(kb_path, data_dir)
+        try:
+            with ServiceClient(port=port, timeout=30.0) as client:
+                # -- Write through the front door; record the answers. --
+                ack = client.add_facts(EXTRA_FACTS)
+                if ack.get("replicas_applied") != 3:
+                    failures.append(
+                        f"write fanned out to {ack.get('replicas_applied')}/3 replicas"
+                    )
+                client.add_rules(EXTRA_RULES)
+                before = {q: client.query(q, timeout=30.0).answers for q in QUERIES}
+                if ("eve",) not in before.get("anc(ann, Z)", set()):
+                    failures.append("the added facts never showed up in answers")
+
+                # -- SIGKILL one replica; queries must keep succeeding. --
+                stats = client.stats()["replication"]
+                victim_pid = stats["replicas"]["replica-1"]["pid"]
+                os.kill(victim_pid, signal.SIGKILL)
+                served = 0
+                for n in range(40):
+                    query = QUERIES[n % len(QUERIES)]
+                    try:
+                        got = client.query(query, timeout=30.0).answers
+                    except Exception as exc:  # zero-visible-errors bar
+                        failures.append(f"query failed during failover: {exc!r}")
+                        break
+                    if got != before[query]:
+                        failures.append(f"answer drift during failover on {query!r}")
+                        break
+                    served += 1
+                    time.sleep(0.02)
+
+                # -- The victim must be restarted, resynced, readmitted. --
+                stats = wait_for_recovery(client)
+                if stats.get("healthy") != 3:
+                    failures.append(f"recovery stalled: {stats}")
+                if stats.get("restarts", 0) < 1:
+                    failures.append("the SIGKILLed replica was never restarted")
+                for query, expected in before.items():
+                    if client.query(query, timeout=30.0).answers != expected:
+                        failures.append(f"answer drift after recovery on {query!r}")
+
+            # -- Graceful path: SIGTERM must drain the set and exit 0. --
+            proc.send_signal(signal.SIGTERM)
+            try:
+                code = proc.wait(60)
+            except subprocess.TimeoutExpired:
+                failures.append("SIGTERM did not stop the replica set within 60s")
+                proc.kill()
+                code = proc.wait(10)
+            output = proc.stdout.read()
+            if code != 0:
+                failures.append(f"SIGTERM exit code {code}, expected 0: {output}")
+            if "drained and stopped" not in output:
+                failures.append(f"graceful-drain banner missing from: {output!r}")
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait(10)
+
+    if failures:
+        print("FAIL:\n  " + "\n  ".join(failures), file=sys.stderr)
+        return 1
+    print(
+        f"ok: 3-replica set survived a SIGKILL with {served} mid-failover "
+        "queries answered correctly; victim restarted, resynced, readmitted; "
+        "SIGTERM drained cleanly"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

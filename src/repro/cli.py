@@ -56,6 +56,18 @@ def _load_program(path: str, query: Optional[str], data: Optional[str] = None) -
     return program
 
 
+def _retry_policy(args: argparse.Namespace):
+    """The mp/pool retry schedule from the run flags (deterministic default)."""
+    from .runtime import RetryPolicy
+
+    return RetryPolicy(
+        max_attempts=args.retries,
+        backoff=args.retry_backoff,
+        backoff_factor=args.retry_backoff_factor,
+        jitter=args.retry_jitter,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     program = _load_program(args.file, args.query, args.data)
     if args.runtime == "simulator":
@@ -84,7 +96,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         )
         answers = result.answers
     elif args.runtime == "mp":
-        from .runtime import RetryPolicy, evaluate_multiprocessing
+        from .runtime import evaluate_multiprocessing
 
         result = evaluate_multiprocessing(
             program,
@@ -94,13 +106,13 @@ def _cmd_run(args: argparse.Namespace) -> int:
             tuple_sets=not args.no_tuple_sets,
             columnar=not args.no_columnar,
             planner=args.planner,
-            retry=RetryPolicy(max_attempts=args.retries),
+            retry=_retry_policy(args),
             fallback=args.fallback,
             heartbeat_interval=args.heartbeat_interval,
         )
         answers = result.answers
     else:  # pool
-        from .runtime import RetryPolicy, evaluate_pool
+        from .runtime import evaluate_pool
 
         result = evaluate_pool(
             program,
@@ -112,7 +124,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             tuple_sets=not args.no_tuple_sets,
             columnar=not args.no_columnar,
             planner=args.planner,
-            retry=RetryPolicy(max_attempts=args.retries),
+            retry=_retry_policy(args),
             fallback=args.fallback,
             heartbeat_interval=args.heartbeat_interval,
         )
@@ -249,7 +261,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the concurrent query service over one knowledge-base file."""
     import asyncio
 
-    from .service import DurableStore, QueryServer, ServerConfig, SharedSession
+    from .service import (
+        DurableStore,
+        LogLockedError,
+        QueryServer,
+        ServerConfig,
+        SharedSession,
+    )
 
     program = _load_program(args.file, None, args.data)
     session_options = dict(
@@ -263,6 +281,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         runtime=args.eval_runtime,
         workers=args.workers,
     )
+    if args.replicas > 1:
+        return _serve_replicated(args, program, session_options)
     store = None
     if args.data_dir:
         store = DurableStore(
@@ -270,6 +290,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fsync_interval=args.fsync_interval,
             snapshot_every=args.snapshot_every,
         )
+        # Fail a doubly-served --data-dir at boot, not at the first write.
+        try:
+            store.acquire_lock()
+        except LogLockedError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
         session, report = store.restore(program, **session_options)
         shared = SharedSession(
             session=session,
@@ -330,6 +356,73 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     finally:
         if store is not None:
             store.close()
+    print("drained and stopped", file=sys.stderr)
+    return 0
+
+
+def _serve_replicated(args: argparse.Namespace, program, session_options: dict) -> int:
+    """Run N replica servers behind the failover front door."""
+    import asyncio
+
+    from .service.persistence import LogLockedError
+    from .service.replication import ReplicaConfig, ReplicaSet, ReplicaSetConfig
+
+    try:
+        # The ReplicaSet takes the data dir's writer lock at construction,
+        # so a doubly-served --data-dir fails here, cleanly, not mid-boot.
+        replica_set = ReplicaSet(
+            program,
+            data_dir=args.data_dir,  # None = ephemeral tempdir for this run
+            config=ReplicaSetConfig(
+                replicas=args.replicas,
+                host=args.host,
+                port=args.port,
+                read_timeout=args.deadline,
+                drain_timeout=args.drain_timeout,
+            ),
+            replica_config=ReplicaConfig(
+                max_concurrent=args.max_concurrent,
+                max_queue=args.max_queue,
+                default_deadline=args.deadline,
+                answer_cache_size=args.answer_cache_size,
+                materialize=args.materialize,
+                materialize_pool=args.materialize_pool,
+            ),
+            fsync_interval=args.fsync_interval,
+            snapshot_every=args.snapshot_every,
+            session_options=session_options,
+        )
+    except LogLockedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    async def _main() -> None:
+        import signal as signal_module
+
+        await replica_set.start()
+        loop = asyncio.get_running_loop()
+        for sig in (signal_module.SIGINT, signal_module.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, replica_set.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        print(
+            f"serving {args.file} on {replica_set.host}:{replica_set.port} "
+            f"(replicas={args.replicas}, runtime={args.eval_runtime}, "
+            f"max_concurrent={args.max_concurrent}, max_queue={args.max_queue}"
+            + (", materialize=on" if args.materialize else "")
+            + ")",
+            flush=True,
+        )
+        try:
+            await replica_set.serve_forever()
+        finally:
+            await replica_set.shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - signal-handler race
+        pass
     print("drained and stopped", file=sys.stderr)
     return 0
 
@@ -454,6 +547,31 @@ def build_parser() -> argparse.ArgumentParser:
         "(whole-query re-execution; safe for monotone programs)",
     )
     run_p.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="mp/pool runtimes: base delay before the second attempt "
+        "(0 = retry immediately, the deterministic default)",
+    )
+    run_p.add_argument(
+        "--retry-backoff-factor",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="mp/pool runtimes: multiply the backoff by this per further "
+        "attempt (2.0 = classic exponential backoff)",
+    )
+    run_p.add_argument(
+        "--retry-jitter",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="mp/pool runtimes: add up to this much uniform random delay to "
+        "each backoff (decorrelates retry stampedes; 0 keeps runs "
+        "deterministic)",
+    )
+    run_p.add_argument(
         "--fallback",
         choices=["none", "inprocess"],
         default="none",
@@ -510,6 +628,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--host", default="127.0.0.1", help="bind address")
     serve_p.add_argument(
         "--port", type=int, default=7464, help="TCP port (0 = ephemeral)"
+    )
+    serve_p.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        help="serve through N replica processes behind a failover front "
+        "door (health-checked circuit breakers, log-replay resync; "
+        "writes fan out log-then-ack); 1 = single classic server",
     )
     serve_p.add_argument(
         "--max-concurrent",

@@ -7,7 +7,13 @@ injection the chaos suite drives them with.
 """
 
 from .asyncio_engine import AsyncNetwork, AsyncQueryResult, evaluate_async, run_async
-from .faults import FaultInjectedError, FaultInjector, FaultPlan
+from .faults import (
+    FaultInjectedError,
+    FaultInjector,
+    FaultPlan,
+    ServiceFaultInjector,
+    ServiceFaultPlan,
+)
 from .multiprocessing_engine import (
     MpNetwork,
     MpQueryResult,
@@ -28,6 +34,7 @@ __all__ = [
     "MpNetwork", "MpQueryResult", "evaluate_multiprocessing",
     "PoolQueryResult", "ShardRouter", "evaluate_pool",
     "FaultPlan", "FaultInjector", "FaultInjectedError",
+    "ServiceFaultPlan", "ServiceFaultInjector",
     "RetryPolicy", "Supervisor", "RuntimeFailure",
     "WorkerCrashError", "WorkerStallError", "EvaluationTimeout",
 ]

@@ -34,10 +34,19 @@ import time
 from dataclasses import dataclass, fields
 from typing import Optional
 
-__all__ = ["FaultInjectedError", "FaultPlan", "FaultInjector"]
+__all__ = [
+    "FaultInjectedError",
+    "FaultPlan",
+    "FaultInjector",
+    "ServiceFaultPlan",
+    "ServiceFaultInjector",
+]
 
 #: Environment variable consulted by :meth:`FaultPlan.from_env`.
 FAULTS_ENV_VAR = "REPRO_FAULTS"
+
+#: Environment variable consulted by :meth:`ServiceFaultPlan.from_env`.
+SERVICE_FAULTS_ENV_VAR = "REPRO_SERVICE_FAULTS"
 
 
 class FaultInjectedError(RuntimeError):
@@ -163,3 +172,125 @@ def wedge_forever() -> None:  # pragma: no cover - runs in a sacrificed worker
     """Busy-block without ever bumping a heartbeat (the 'wedged' fault)."""
     while True:
         time.sleep(60)
+
+
+# ----------------------------------------------------------------------
+# Service-tier faults: misbehaving *replicas* instead of worker shards.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """One deterministic service-tier fault, applied by a named replica.
+
+    Where :class:`FaultPlan` sabotages shard workers inside one
+    evaluation, this plan sabotages a whole replica ``QueryServer``
+    process behind the replication front door.  Replicas are addressed
+    by *name* (``"replica-0"``, ``"replica-1"``, …) and the counters
+    count *served requests* at that replica, so "kill replica-1 after
+    its 3rd request" is exactly reproducible.
+
+    Parameters
+    ----------
+    kill_replica / kill_after:
+        Hard-exit (``os._exit(1)`` — no drain, no flush) the named
+        replica once it has served ``kill_after`` requests.
+    wedge_replica / wedge_after:
+        Block the replica's event loop in an endless sleep after
+        ``wedge_after`` requests: the process stays alive but stops
+        answering *and* stops bumping its heartbeat — the front door's
+        stall detector must catch it.
+    drop_replica / drop_after / drop_count:
+        Sever the connection without a response on the next
+        ``drop_count`` requests (default 1) once ``drop_after`` have
+        been served, then behave normally — a transient network flap
+        the failover/retry path must mask.
+    delay_replica / delay_seconds / delay_after:
+        Sleep ``delay_seconds`` before answering every request after the
+        first ``delay_after`` — a slow replica the front door's
+        per-attempt timeout must route around.
+    only_ops:
+        Restrict the fault to these wire ops (e.g. ``["query"]``) so
+        health-probe pings can still get through; ``None`` applies it
+        to every op including pings.
+    """
+
+    kill_replica: Optional[str] = None
+    kill_after: int = 0
+    wedge_replica: Optional[str] = None
+    wedge_after: int = 0
+    drop_replica: Optional[str] = None
+    drop_after: int = 0
+    drop_count: int = 1
+    delay_replica: Optional[str] = None
+    delay_seconds: float = 0.0
+    delay_after: int = 0
+    only_ops: Optional[tuple] = None
+
+    def injector(self, replica_name: str) -> "ServiceFaultInjector":
+        """Per-replica runtime state (request counters) for this plan."""
+        return ServiceFaultInjector(self, replica_name)
+
+    @classmethod
+    def from_env(cls, environ=os.environ) -> Optional["ServiceFaultPlan"]:
+        """Parse ``REPRO_SERVICE_FAULTS`` (a JSON object of fields), if set."""
+        raw = environ.get(SERVICE_FAULTS_ENV_VAR, "").strip()
+        if not raw or raw.lower() == "none":
+            return None
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(
+                f"{SERVICE_FAULTS_ENV_VAR} must be a JSON object of "
+                f"ServiceFaultPlan fields: {exc}"
+            ) from exc
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known if isinstance(data, dict) else set()
+        if not isinstance(data, dict) or unknown:
+            raise ValueError(
+                f"{SERVICE_FAULTS_ENV_VAR}: unknown ServiceFaultPlan fields "
+                f"{sorted(unknown)}"
+            )
+        if isinstance(data.get("only_ops"), list):
+            data["only_ops"] = tuple(data["only_ops"])
+        return cls(**data)
+
+
+class ServiceFaultInjector:
+    """Per-replica request counters deciding *when* a service fault fires.
+
+    The replica server calls :meth:`on_request` once per dispatched
+    request.  The returned action is one of ``None`` (behave), ``"kill"``
+    (``os._exit`` now), ``"wedge"`` (block the event loop forever),
+    ``"drop"`` (sever this connection without responding), or a float —
+    seconds to sleep before answering (the slow-replica fault).
+    """
+
+    def __init__(self, plan: ServiceFaultPlan, replica_name: str) -> None:
+        self.plan = plan
+        self.replica_name = replica_name
+        self.served = 0
+        self.dropped = 0
+
+    def on_request(self, op: str):
+        plan = self.plan
+        if plan.only_ops is not None and op not in plan.only_ops:
+            return None
+        self.served += 1
+        name = self.replica_name
+        if plan.kill_replica == name and self.served > plan.kill_after:
+            return "kill"
+        if plan.wedge_replica == name and self.served > plan.wedge_after:
+            return "wedge"
+        if (
+            plan.drop_replica == name
+            and self.served > plan.drop_after
+            and self.dropped < plan.drop_count
+        ):
+            self.dropped += 1
+            return "drop"
+        if (
+            plan.delay_replica == name
+            and plan.delay_seconds > 0
+            and self.served > plan.delay_after
+        ):
+            return plan.delay_seconds
+        return None

@@ -38,6 +38,7 @@ this cannot perturb the termination argument.
 from __future__ import annotations
 
 import queue as queue_module
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
@@ -106,16 +107,52 @@ class EvaluationTimeout(RuntimeFailure, TimeoutError):
 
 @dataclass(frozen=True)
 class RetryPolicy:
-    """Deterministic whole-query retry: attempts, backoff, wall-clock cap.
+    """Whole-query retry: attempts, (exponential) backoff, wall-clock cap.
 
-    ``max_attempts`` counts executions (1 = no retry).  ``backoff`` seconds
-    are slept between attempts.  ``deadline``, when set, caps the total
-    wall clock across attempts — no attempt *starts* after it passes.
+    ``max_attempts`` counts executions (1 = no retry).  The sleep before
+    retry attempt *k* (the ``k``-th execution, ``k >= 2``) is::
+
+        backoff * backoff_factor ** (k - 2)  +  uniform(0, jitter)
+
+    The defaults (``backoff_factor=1.0``, ``jitter=0.0``) reproduce the
+    original fixed-sleep behavior exactly — deterministic chaos tests
+    stay deterministic unless a policy opts in.  ``backoff_factor > 1``
+    grows the sleep geometrically (the classic exponential backoff);
+    ``jitter > 0`` adds a uniform random slice so a herd of clients
+    retrying the same failure decorrelates instead of stampeding in
+    lockstep.  ``deadline``, when set, caps the total wall clock across
+    attempts — no attempt *starts* after it passes.
     """
 
     max_attempts: int = 1
     backoff: float = 0.0
+    backoff_factor: float = 1.0
+    jitter: float = 0.0
     deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.backoff_factor <= 0:
+            raise ValueError(
+                f"backoff_factor must be > 0, got {self.backoff_factor}"
+            )
+        if self.jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {self.jitter}")
+
+    def delay_for(
+        self, attempt: int, rng: Optional[random.Random] = None
+    ) -> float:
+        """Seconds to sleep *before* executing ``attempt`` (1-based).
+
+        Attempt 1 never waits.  Pass an ``rng`` to make the jitter slice
+        reproducible (tests); the module-level generator is used
+        otherwise.
+        """
+        if attempt <= 1 or (self.backoff <= 0 and self.jitter <= 0):
+            return 0.0
+        delay = self.backoff * self.backoff_factor ** (attempt - 2)
+        if self.jitter > 0:
+            delay += (rng.uniform if rng else random.uniform)(0.0, self.jitter)
+        return delay
 
     @classmethod
     def of(cls, value: "RetryPolicy | int | None") -> "RetryPolicy":
@@ -323,8 +360,10 @@ def run_with_retry(
             last_error = exc
             summary = str(exc).splitlines()[0]
             failure_log.append(f"attempt {attempt}: {type(exc).__name__}: {summary}")
-        if attempt < max_attempts and policy.backoff > 0:
-            time.sleep(policy.backoff)
+        if attempt < max_attempts:
+            delay = policy.delay_for(attempt + 1)
+            if delay > 0:
+                time.sleep(delay)
     if fallback_fn is not None:
         failure_log.append(
             "degraded: falling back to the in-process scheduler runtime"

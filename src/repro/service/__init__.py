@@ -21,24 +21,40 @@ implies.  Layers:
   error taxonomy;
 * :mod:`~repro.service.server` — the asyncio TCP server with admission
   control and graceful drain (``repro serve`` on the command line);
-* :mod:`~repro.service.client` — a small blocking client library.
+* :mod:`~repro.service.client` — a small blocking client library with
+  reconnect and bounded idempotent retry;
+* :mod:`~repro.service.replication` — :class:`ReplicaSet`: N replica
+  servers behind one failover front door, health-checked with a
+  circuit breaker and log-replay resync (``repro serve --replicas N``).
 """
 
 from .answer_cache import AnswerCache, AnswerCacheStats, CachedAnswer
 from .client import QueryReply, ServiceClient, ServiceClientError
 from .locks import ReadWriteLock
 from .metrics import DEFAULT_LATENCY_BUCKETS, Counter, Histogram, MetricsRegistry
-from .persistence import DurableStore, LogCorruptionError, ReplayReport
+from .persistence import (
+    DurableStore,
+    LogCorruptionError,
+    LogLockedError,
+    ReplayReport,
+)
 from .protocol import ERROR_TYPES, OPS, ServiceError
+from .replication import (
+    ReplicaConfig,
+    ReplicaSet,
+    ReplicaSetConfig,
+    ReplicaSetThread,
+)
 from .server import QueryServer, ServerConfig, ServerThread
 from .shared_session import QueryOutcome, SharedSession
 
 __all__ = [
     "SharedSession", "QueryOutcome", "ReadWriteLock",
     "AnswerCache", "AnswerCacheStats", "CachedAnswer",
-    "DurableStore", "ReplayReport", "LogCorruptionError",
+    "DurableStore", "ReplayReport", "LogCorruptionError", "LogLockedError",
     "MetricsRegistry", "Counter", "Histogram", "DEFAULT_LATENCY_BUCKETS",
     "QueryServer", "ServerConfig", "ServerThread",
+    "ReplicaSet", "ReplicaSetConfig", "ReplicaConfig", "ReplicaSetThread",
     "ServiceClient", "ServiceClientError", "QueryReply",
     "ServiceError", "ERROR_TYPES", "OPS",
 ]

@@ -14,6 +14,18 @@ own ``bad_request`` without string matching.
 One request is in flight per connection at a time (an internal lock
 serializes callers), matching the server's per-connection sequential
 dispatch; use one client per thread for concurrent load.
+
+Transport failures — a refused or severed connection, a read timeout —
+are retried automatically with exponential backoff plus jitter, but
+**only for idempotent operations** (:data:`IDEMPOTENT_OPS`:
+query/ask/stats/ping).  A write whose connection died after the
+request was sent may or may not have committed; replaying it blindly
+is safe against *this* repo's monotone set semantics but not against
+the protocol in general, so writes surface the transport error to the
+caller unless ``retry_writes=True`` opts in.  Each retry reconnects
+from scratch (the old socket is closed on first failure), which is
+what lets a client ride through a server restart or a replication
+front-door failover without its callers noticing.
 """
 
 from __future__ import annotations
@@ -21,12 +33,17 @@ from __future__ import annotations
 import json
 import socket
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..runtime.supervision import RetryPolicy
 from .protocol import encode, wire_to_rows
 
-__all__ = ["ServiceClient", "ServiceClientError", "QueryReply"]
+__all__ = ["ServiceClient", "ServiceClientError", "QueryReply", "IDEMPOTENT_OPS"]
+
+#: Operations safe to replay after an ambiguous transport failure.
+IDEMPOTENT_OPS = ("query", "ask", "stats", "ping")
 
 
 class ServiceClientError(Exception):
@@ -62,11 +79,27 @@ class ServiceClient:
         port: int = 7464,
         timeout: float = 30.0,
         connect_timeout: float = 5.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        backoff_factor: float = 2.0,
+        jitter: float = 0.05,
+        retry_writes: bool = False,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.connect_timeout = connect_timeout
+        #: ``retries`` extra attempts after the first, for idempotent ops
+        #: (every attempt reconnects); delays follow the shared
+        #: :class:`~repro.runtime.supervision.RetryPolicy` schedule.
+        self.retry_policy = RetryPolicy(
+            max_attempts=max(1, int(retries) + 1),
+            backoff=backoff,
+            backoff_factor=backoff_factor,
+            jitter=jitter,
+        )
+        self.retry_writes = retry_writes
+        self.transport_retries = 0  # attempts beyond the first, cumulative
         self._sock: Optional[socket.socket] = None
         self._file = None
         self._lock = threading.Lock()
@@ -105,9 +138,42 @@ class ServiceClient:
 
     # ------------------------------------------------------------------
     def call(self, op: str, **fields) -> dict:
-        """One raw request/response round trip; raises on error payloads."""
+        """One request/response round trip with idempotent-retry on transport.
+
+        A transport failure (connect refused, connection severed, read
+        timeout) closes the socket and — for ops in
+        :data:`IDEMPOTENT_OPS`, or any op when ``retry_writes`` is set —
+        retries on a fresh connection up to the policy's attempt bound,
+        backing off exponentially with jitter between attempts.  Typed
+        server errors are never retried; they are answers.
+        """
+        policy = self.retry_policy
+        attempts = (
+            policy.max_attempts
+            if (op in IDEMPOTENT_OPS or self.retry_writes)
+            else 1
+        )
+        for attempt in range(1, attempts + 1):
+            if attempt > 1:
+                self.transport_retries += 1
+                delay = policy.delay_for(attempt)
+                if delay > 0:
+                    time.sleep(delay)
+            try:
+                return self._call_once(op, **fields)
+            except ServiceClientError as exc:
+                if exc.error_type != "transport" or attempt >= attempts:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _call_once(self, op: str, **fields) -> dict:
+        """One raw round trip on the current (or a fresh) connection."""
         with self._lock:
-            self.connect()
+            try:
+                self.connect()
+            except OSError as exc:
+                self.close()
+                raise ServiceClientError("transport", f"connect failed: {exc}") from exc
             self._next_id += 1
             request = {"id": self._next_id, "op": op, **fields}
             try:

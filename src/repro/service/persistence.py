@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from dataclasses import dataclass
 from typing import Iterable, Optional, Union
@@ -56,6 +57,7 @@ from ..session import Session
 
 __all__ = [
     "LogCorruptionError",
+    "LogLockedError",
     "ReplayReport",
     "DurableStore",
     "fact_to_wire",
@@ -64,13 +66,46 @@ __all__ = [
 
 SNAPSHOT_NAME = "snapshot.json"
 LOG_NAME = "facts.log"
+LOCK_NAME = "lock.pid"
 SNAPSHOT_FORMAT = 1
 
 _JSON_NATIVE = (str, int, float, bool, type(None))
 
+#: Data directories whose append lock is held by a store in *this*
+#: process.  The pidfile alone cannot distinguish two stores in one
+#: process (same pid), so in-process exclusion goes through here.
+_HELD_LOCKS: set = set()
+_HELD_LOCKS_GUARD = threading.Lock()
+
 
 class LogCorruptionError(RuntimeError):
     """The log is damaged somewhere replay cannot safely skip."""
+
+
+class LogLockedError(RuntimeError):
+    """Another live server already owns this data directory's fact log.
+
+    Two writers interleaving appends into one log would corrupt it in a
+    way replay cannot repair (their records would shuffle into each
+    other's sequence space).  The exclusive pidfile makes the second
+    writer fail *loudly* instead; pass ``read_only=True`` to follow the
+    log without writing (what replication replicas do).
+    """
+
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a lockfile's recorded owner."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - alive, different user
+        return True
+    except OSError:  # pragma: no cover - platform-dependent
+        return True
+    return True
 
 
 def fact_to_wire(fact: Atom) -> list:
@@ -124,6 +159,7 @@ class DurableStore:
         *,
         fsync_interval: float = 0.0,
         snapshot_every: int = 1000,
+        read_only: bool = False,
     ) -> None:
         if snapshot_every < 1:
             raise ValueError(f"snapshot_every must be >= 1, got {snapshot_every}")
@@ -132,9 +168,17 @@ class DurableStore:
         self.data_dir = os.fspath(data_dir)
         self.fsync_interval = fsync_interval
         self.snapshot_every = snapshot_every
+        #: Read-only followers (replication replicas) restore from the
+        #: directory but never lock it, never append, never compact, and
+        #: never truncate a torn tail on disk — the single *writer* owns
+        #: every mutation of the files.
+        self.read_only = read_only
         os.makedirs(self.data_dir, exist_ok=True)
         self.snapshot_path = os.path.join(self.data_dir, SNAPSHOT_NAME)
         self.log_path = os.path.join(self.data_dir, LOG_NAME)
+        self.lock_path = os.path.join(self.data_dir, LOCK_NAME)
+        self._lock_key = os.path.realpath(self.data_dir)
+        self._lock_held = False
         self._log_file = None  # opened for append on first record
         self._seq = 0  # last durable sequence number
         self._records_since_snapshot = 0
@@ -144,6 +188,86 @@ class DurableStore:
         self.fsyncs = 0
         self.snapshots_written = 0
         self.last_report: Optional[ReplayReport] = None
+
+    # ------------------------------------------------------------------
+    # The single-writer guard
+    # ------------------------------------------------------------------
+    def acquire_lock(self) -> None:
+        """Take the directory's exclusive append lock (idempotent).
+
+        Called implicitly by the first :meth:`record`/:meth:`compact`;
+        servers call it eagerly at boot so a second server over the same
+        ``--data-dir`` fails immediately with a clear message instead of
+        at its first accepted write.  The lock is an ``O_EXCL`` pidfile:
+        a leftover file naming a *dead* pid (hard-killed server) is
+        stolen; a live pid — or another store in this same process —
+        raises :class:`LogLockedError`.
+        """
+        if self._lock_held:
+            return
+        if self.read_only:
+            raise LogLockedError(
+                f"{self.data_dir}: read-only store cannot take the append lock"
+            )
+        with _HELD_LOCKS_GUARD:
+            if self._lock_key in _HELD_LOCKS:
+                raise LogLockedError(
+                    f"{self.data_dir} is already locked by another store in "
+                    "this process; one data directory serves one writer"
+                )
+            for _ in range(2):
+                try:
+                    fd = os.open(
+                        self.lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                    )
+                except FileExistsError:
+                    owner = self._read_lock_owner()
+                    if owner is not None and owner != os.getpid() and _pid_alive(owner):
+                        raise LogLockedError(
+                            f"{self.data_dir} is locked by live pid {owner} "
+                            f"({self.lock_path}); two servers must not "
+                            "interleave appends into one fact log"
+                        ) from None
+                    # Dead owner (or unreadable/own-pid leftover from a
+                    # previous life): the lock is stale — steal it.
+                    try:
+                        os.unlink(self.lock_path)
+                    except FileNotFoundError:  # pragma: no cover - race
+                        pass
+                    continue
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(f"{os.getpid()}\n")
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                _HELD_LOCKS.add(self._lock_key)
+                self._lock_held = True
+                return
+            raise LogLockedError(  # pragma: no cover - repeated create race
+                f"{self.data_dir}: could not create {self.lock_path}"
+            )
+
+    def _read_lock_owner(self) -> Optional[int]:
+        try:
+            with open(self.lock_path, encoding="utf-8") as handle:
+                return int(handle.read().strip() or "0")
+        except (OSError, ValueError):
+            return None
+
+    def release_lock(self) -> None:
+        """Give the append lock back (part of :meth:`close`)."""
+        if not self._lock_held:
+            return
+        with _HELD_LOCKS_GUARD:
+            _HELD_LOCKS.discard(self._lock_key)
+            self._lock_held = False
+            try:
+                os.unlink(self.lock_path)
+            except FileNotFoundError:  # pragma: no cover - stolen/cleaned
+                pass
+
+    @property
+    def locked(self) -> bool:
+        return self._lock_held
 
     # ------------------------------------------------------------------
     # Boot
@@ -168,6 +292,11 @@ class DurableStore:
             if source is None:
                 raise ValueError(
                     f"{self.data_dir} holds no state and no seed program was given"
+                )
+            if self.read_only:
+                raise ValueError(
+                    f"{self.data_dir} holds no state to follow; a read-only "
+                    "store cannot bootstrap (the writer does that)"
                 )
             session = Session(source, **session_options)
             self._write_snapshot(session, seq=0)
@@ -225,8 +354,10 @@ class DurableStore:
         self.last_report = report
         # Replaying may have left the log longer than the compaction
         # threshold (e.g. a crash loop); compact now so boot cost stays
-        # bounded over any number of restarts.
-        if self._records_since_snapshot >= self.snapshot_every:
+        # bounded over any number of restarts.  Followers never compact:
+        # truncating the log out from under the live writer would lose
+        # its in-flight appends.
+        if not self.read_only and self._records_since_snapshot >= self.snapshot_every:
             self.compact(session)
         return session, report
 
@@ -274,6 +405,11 @@ class DurableStore:
             field = "rules"
         else:
             raise ValueError(f"unloggable op {op!r}")
+        if self.read_only:
+            raise LogLockedError(
+                f"{self.data_dir}: read-only store cannot append to the log"
+            )
+        self.acquire_lock()
         self._seq += 1
         line = (
             json.dumps({"seq": self._seq, "op": op, field: body}, sort_keys=True)
@@ -303,6 +439,11 @@ class DurableStore:
         old snapshot with a full log or the new snapshot with a
         possibly-redundant log — both replay to the same base.
         """
+        if self.read_only:
+            raise LogLockedError(
+                f"{self.data_dir}: read-only store cannot compact the log"
+            )
+        self.acquire_lock()
         self._write_snapshot(session, seq=self._seq)
         if self._log_file is not None:
             self._log_file.close()
@@ -325,6 +466,7 @@ class DurableStore:
             self.sync()
             self._log_file.close()
             self._log_file = None
+        self.release_lock()
 
     def __enter__(self) -> "DurableStore":
         return self
@@ -345,6 +487,8 @@ class DurableStore:
         report = self.last_report
         return {
             "data_dir": self.data_dir,
+            "read_only": self.read_only,
+            "locked": self._lock_held,
             "seq": self._seq,
             "appends": self.appends,
             "fsyncs": self.fsyncs,
@@ -460,7 +604,9 @@ class DurableStore:
                 break
             records.append(record)
             offset += len(line) + 1
-        if torn:
+        if torn and not self.read_only:
+            # Followers drop the tail in memory only; truncating the
+            # writer's live log out from under it is not theirs to do.
             with open(self.log_path, "r+b") as handle:
                 handle.truncate(offset)
         return records, torn

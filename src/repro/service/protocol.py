@@ -59,6 +59,7 @@ ERROR_TYPES = (
     "deadline_exceeded",  # per-request deadline passed before the answer
     "shutting_down",  # server is draining; no new work accepted
     "evaluation_error",  # the runtime failed (crash/stall after retries)
+    "degraded",  # no healthy replica behind the front door and no cached answer
     "internal",  # anything else; a server-side bug surfaced safely
 )
 

@@ -225,9 +225,15 @@ class Session:
         (copy-on-write under fork).
     workers:
         Pool runtime only: shard worker count (default: CPU count).
-    retries, backoff:
+    retries, backoff, backoff_factor, jitter:
         Whole-query re-execution policy for the multiprocess runtimes
-        (``retries`` = max attempts; safe by monotonicity).
+        (``retries`` = max attempts; safe by monotonicity).  ``retries``
+        also accepts a prebuilt
+        :class:`~repro.runtime.supervision.RetryPolicy`, which then
+        wins over the scalar knobs.  ``backoff_factor > 1`` grows the
+        inter-attempt sleep geometrically and ``jitter`` adds a uniform
+        random slice; the defaults keep the original fixed-sleep,
+        fully deterministic behavior.
     fallback:
         ``"inprocess"`` to degrade to the simulator after retries are
         exhausted (the result is flagged ``degraded``); ``"none"`` to
@@ -252,8 +258,10 @@ class Session:
         graph_cache_size: int = 64,
         runtime: str = "simulator",
         workers: Optional[int] = None,
-        retries: int = 1,
+        retries=1,
         backoff: float = 0.0,
+        backoff_factor: float = 1.0,
+        jitter: float = 0.0,
         fallback: str = "none",
         heartbeat_interval: Optional[float] = None,
         timeout: float = 120.0,
@@ -289,6 +297,8 @@ class Session:
         self.workers = workers
         self.retries = retries
         self.backoff = backoff
+        self.backoff_factor = backoff_factor
+        self.jitter = jitter
         self.fallback = fallback
         self.heartbeat_interval = heartbeat_interval
         self.timeout = timeout
@@ -500,7 +510,15 @@ class Session:
         """
         from .runtime import RetryPolicy, evaluate_multiprocessing, evaluate_pool
 
-        retry = RetryPolicy(max_attempts=self.retries, backoff=self.backoff)
+        if isinstance(self.retries, RetryPolicy):
+            retry = self.retries
+        else:
+            retry = RetryPolicy(
+                max_attempts=int(self.retries),
+                backoff=self.backoff,
+                backoff_factor=self.backoff_factor,
+                jitter=self.jitter,
+            )
         common = dict(
             timeout=self.timeout,
             package_requests=self.package_requests,

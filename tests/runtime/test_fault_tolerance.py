@@ -16,6 +16,7 @@ Either way teardown must leave no live child processes behind.
 """
 
 import multiprocessing as mp
+import random
 import signal
 import sys
 import time
@@ -28,6 +29,7 @@ from repro.runtime import (
     FaultPlan,
     RetryPolicy,
     RuntimeFailure,
+    ServiceFaultPlan,
     WorkerCrashError,
     WorkerStallError,
     evaluate_multiprocessing,
@@ -419,3 +421,109 @@ class TestFaultPlanParsing:
         always = FaultPlan(kill_worker=0)
         assert always.for_attempt(1) is always
         assert always.for_attempt(7) is always
+
+
+class TestBackoffSchedule:
+    """RetryPolicy backoff: exponential growth, bounded jitter, quiet defaults."""
+
+    def test_defaults_have_no_delay(self):
+        policy = RetryPolicy(max_attempts=3)
+        assert [policy.delay_for(a) for a in (1, 2, 3)] == [0.0, 0.0, 0.0]
+
+    def test_exponential_schedule(self):
+        policy = RetryPolicy(max_attempts=4, backoff=0.1, backoff_factor=2.0)
+        assert policy.delay_for(1) == 0.0
+        assert policy.delay_for(2) == pytest.approx(0.1)
+        assert policy.delay_for(3) == pytest.approx(0.2)
+        assert policy.delay_for(4) == pytest.approx(0.4)
+
+    def test_constant_schedule_without_factor(self):
+        policy = RetryPolicy(max_attempts=3, backoff=0.05)
+        assert policy.delay_for(2) == pytest.approx(0.05)
+        assert policy.delay_for(3) == pytest.approx(0.05)
+
+    def test_jitter_is_bounded_and_seedable(self):
+        policy = RetryPolicy(max_attempts=3, backoff=0.1, jitter=0.05)
+        rng = random.Random(7)
+        delays = [policy.delay_for(2, rng=rng) for _ in range(50)]
+        assert all(0.1 <= d <= 0.15 for d in delays)
+        assert len(set(delays)) > 1  # it actually jitters
+        # Jitter alone (no base backoff) still spaces attempts out.
+        jitter_only = RetryPolicy(max_attempts=2, jitter=0.02)
+        assert 0.0 <= jitter_only.delay_for(2, rng=rng) <= 0.02
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_factor=0.0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=-0.1)
+
+    def test_backoff_actually_sleeps_between_attempts(self):
+        stamps = []
+
+        def flaky(attempt):
+            stamps.append(time.perf_counter())
+            if attempt < 3:
+                raise WorkerCrashError(f"w{attempt}")
+            return "ok"
+
+        result, attempts, _, _ = run_with_retry(
+            flaky, RetryPolicy(max_attempts=3, backoff=0.05, backoff_factor=2.0)
+        )
+        assert (result, attempts) == ("ok", 3)
+        assert stamps[1] - stamps[0] >= 0.04  # ~0.05s before attempt 2
+        assert stamps[2] - stamps[1] >= 0.08  # ~0.10s before attempt 3
+
+
+class TestServiceFaultPlanParsing:
+    def test_from_env_unset_or_none(self):
+        assert ServiceFaultPlan.from_env(environ={}) is None
+        assert ServiceFaultPlan.from_env(environ={"REPRO_SERVICE_FAULTS": "none"}) is None
+
+    def test_from_env_round_trip(self):
+        plan = ServiceFaultPlan.from_env(
+            environ={
+                "REPRO_SERVICE_FAULTS": '{"kill_replica": "replica-1", '
+                '"kill_after": 3, "only_ops": ["query"]}'
+            }
+        )
+        assert plan == ServiceFaultPlan(
+            kill_replica="replica-1", kill_after=3, only_ops=("query",)
+        )
+
+    def test_from_env_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown ServiceFaultPlan fields"):
+            ServiceFaultPlan.from_env(
+                environ={"REPRO_SERVICE_FAULTS": '{"explode": true}'}
+            )
+
+    def test_injector_counts_served_requests(self):
+        plan = ServiceFaultPlan(kill_replica="replica-0", kill_after=2)
+        injector = plan.injector("replica-0")
+        assert injector.on_request("query") is None
+        assert injector.on_request("query") is None
+        assert injector.on_request("query") == "kill"
+        bystander = plan.injector("replica-1")
+        for _ in range(5):
+            assert bystander.on_request("query") is None
+
+    def test_only_ops_excludes_pings(self):
+        plan = ServiceFaultPlan(
+            wedge_replica="replica-0", wedge_after=0, only_ops=("query",)
+        )
+        injector = plan.injector("replica-0")
+        assert injector.on_request("ping") is None
+        assert injector.on_request("query") == "wedge"
+
+    def test_drop_count_is_transient(self):
+        plan = ServiceFaultPlan(drop_replica="replica-0", drop_after=1, drop_count=2)
+        injector = plan.injector("replica-0")
+        assert injector.on_request("query") is None
+        assert injector.on_request("query") == "drop"
+        assert injector.on_request("query") == "drop"
+        assert injector.on_request("query") is None  # flap over
+
+    def test_delay_returns_seconds(self):
+        plan = ServiceFaultPlan(delay_replica="replica-0", delay_seconds=0.25)
+        injector = plan.injector("replica-0")
+        assert injector.on_request("query") == 0.25

@@ -10,7 +10,7 @@ import os
 
 import pytest
 
-from repro.service import DurableStore, LogCorruptionError, SharedSession
+from repro.service import DurableStore, LogCorruptionError, LogLockedError, SharedSession
 from repro.service.persistence import LOG_NAME, SNAPSHOT_NAME, fact_from_wire, fact_to_wire
 from repro.session import Session
 
@@ -279,3 +279,95 @@ class TestSharedSessionDurability:
         assert stats["persistence"]["appends"] == 1
         assert stats["persistence"]["replay"]["bootstrapped"] is True
         assert json.dumps(stats)  # whole payload stays JSON-safe
+
+
+class TestSingleWriterLock:
+    """The O_EXCL pidfile: one data directory, one appending store."""
+
+    def test_second_writer_is_refused(self, tmp_path):
+        first = DurableStore(tmp_path)
+        session, _ = first.restore(BASE)
+        session.add_facts("par(cal, dee).")
+        first.record("add_facts", "par(cal, dee).")  # takes the lock lazily
+        assert first.locked
+        second = DurableStore(tmp_path)
+        with pytest.raises(LogLockedError):
+            second.acquire_lock()
+        with pytest.raises(LogLockedError):
+            second.record("add_facts", "par(cal, eve).")
+        # Releasing the lock hands the directory to the next writer.
+        first.close()
+        assert not first.locked
+        second.acquire_lock()
+        assert second.locked
+        second.close()
+
+    def test_eager_acquire_is_idempotent(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.restore(BASE)
+        store.acquire_lock()
+        store.acquire_lock()  # no-op, not an error
+        assert store.locked
+        store.close()
+
+    def test_stale_lock_from_dead_pid_is_stolen(self, tmp_path):
+        import subprocess
+        import sys
+
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()  # reaped: the pid no longer names a live process
+        store = DurableStore(tmp_path)
+        store.restore(BASE)
+        with open(store.lock_path, "w") as handle:
+            handle.write(f"{probe.pid}\n")
+        store.acquire_lock()  # hard-killed predecessor: steal, don't fail
+        assert store.locked
+        store.close()
+
+    def test_read_only_store_never_locks_or_appends(self, tmp_path):
+        writer = DurableStore(tmp_path)
+        session, _ = writer.restore(BASE)
+        session.add_facts("par(cal, dee).")
+        writer.record("add_facts", "par(cal, dee).")
+        follower = DurableStore(tmp_path, read_only=True)
+        restored, _ = follower.restore()
+        assert restored.query("anc(ann, Z)") == {("bob",), ("cal",), ("dee",)}
+        with pytest.raises(LogLockedError):
+            follower.acquire_lock()
+        with pytest.raises(LogLockedError):
+            follower.record("add_facts", "par(cal, eve).")
+        with pytest.raises(LogLockedError):
+            follower.compact(restored)
+        assert writer.locked  # the follower never disturbed the writer
+        writer.close()
+
+    def test_read_only_restore_leaves_torn_tail_on_disk(self, tmp_path):
+        writer = DurableStore(tmp_path)
+        session, _ = writer.restore(BASE)
+        session.add_facts("par(cal, dee).")
+        writer.record("add_facts", "par(cal, dee).")
+        writer.sync()
+        # A torn tail as seen mid-append by a concurrent follower read.
+        with open(writer.log_path, "ab") as handle:
+            handle.write(b'{"seq": 2, "op": "add_fa')
+        size_before = os.path.getsize(writer.log_path)
+        follower = DurableStore(tmp_path, read_only=True)
+        _, report = follower.restore()
+        assert report.torn_tail_dropped == 1
+        # Dropped in memory only: the writer's file is not truncated
+        # out from under its live append handle.
+        assert os.path.getsize(writer.log_path) == size_before
+
+    def test_read_only_cannot_bootstrap(self, tmp_path):
+        follower = DurableStore(tmp_path, read_only=True)
+        with pytest.raises(ValueError, match="read-only"):
+            follower.restore(BASE)
+
+    def test_stats_expose_lock_state(self, tmp_path):
+        store = DurableStore(tmp_path)
+        store.restore(BASE)
+        assert store.stats()["locked"] is False
+        store.acquire_lock()
+        assert store.stats()["locked"] is True
+        assert store.stats()["read_only"] is False
+        store.close()

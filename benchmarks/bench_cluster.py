@@ -1,0 +1,154 @@
+"""Cluster vs pool: repeat-query throughput over persistent TCP workers.
+
+The pooled runtime forks a fresh worker set per query; the cluster keeps
+its workers registered across jobs, so repeat queries pay only the job
+dispatch (one pickled spec down, answers back) — at the price of moving
+every cross-shard batch through real TCP frames instead of fork-shared
+queues.  This benchmark runs the same workload ``--repeat`` times through
+both runtimes and records qps and latency percentiles to
+``BENCH_PR10.json``, so the trade is a number, not a guess.
+
+Answers are asserted byte-identical to the naive oracle on every single
+run — a throughput record from a wrong answer is worthless.
+
+Usage::
+
+    PYTHONPATH=src:benchmarks python benchmarks/bench_cluster.py --quick
+    PYTHONPATH=src:benchmarks python benchmarks/bench_cluster.py  # full
+
+Quick mode (CI) uses a small workload and few repeats and asserts parity
+only; the full run uses a larger closure so the per-query amortization is
+visible in the table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from _support import BENCH_PR10_JSON_PATH, emit_json, emit_table
+from repro.baselines import naive
+from repro.cluster import ClusterHarness, evaluate_cluster
+from repro.runtime import evaluate_pool
+from repro.workloads import facts_from_tables, left_recursive_tc_program
+
+
+def tree_tc_workload(branch: int, depth: int):
+    """A uniform ``branch``-ary tree TC — every node reachable from 0."""
+    edges = []
+    level = [0]
+    next_id = 1
+    for _ in range(depth):
+        new = []
+        for parent in level:
+            for _ in range(branch):
+                edges.append((parent, next_id))
+                new.append(next_id)
+                next_id += 1
+        level = new
+    program = left_recursive_tc_program(0).with_facts(
+        facts_from_tables({"e": edges})
+    )
+    return program, {(i,) for i in range(1, next_id)}, len(edges)
+
+
+def percentile(latencies: list, q: float) -> float:
+    ordered = sorted(latencies)
+    return ordered[min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))]
+
+
+def run_series(label: str, fn, program, expected, repeats: int) -> dict:
+    """``repeats`` sequential evaluations; per-run oracle parity required."""
+    latencies = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(program)
+        latencies.append(time.perf_counter() - start)
+        assert result.answers == expected, f"{label}: answers diverged"
+    total = sum(latencies)
+    return {
+        "runtime": label,
+        "repeats": repeats,
+        "qps": repeats / total,
+        "p50": percentile(latencies, 0.50),
+        "p99": percentile(latencies, 0.99),
+        "total_seconds": total,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small workload, few repeats (the CI leg)",
+    )
+    parser.add_argument("--repeat", type=int, default=None)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    branch, depth = (7, 3) if args.quick else (14, 3)
+    repeats = args.repeat or (5 if args.quick else 20)
+    program, expected, n_facts = tree_tc_workload(branch, depth)
+    print(f"workload: tc-bushy-{n_facts}, {len(expected)} answers, "
+          f"{repeats} repeats x {args.workers} workers")
+    assert naive.goal_answers(program) == expected
+
+    series = []
+    series.append(
+        run_series(
+            "pool",
+            lambda p: evaluate_pool(
+                p, workers=args.workers, batch_size=64, timeout=300
+            ),
+            program, expected, repeats,
+        )
+    )
+    with ClusterHarness(workers=args.workers) as harness:
+        client = harness.client()
+        series.append(
+            run_series(
+                "cluster",
+                lambda p: evaluate_cluster(p, client=client, timeout=300),
+                program, expected, repeats,
+            )
+        )
+
+    emit_table(
+        f"repeat-query throughput: tc-bushy-{n_facts}, "
+        f"{args.workers} workers, {repeats} repeats",
+        ["runtime", "qps", "p50 (s)", "p99 (s)", "total (s)"],
+        [
+            (
+                s["runtime"],
+                f"{s['qps']:.2f}",
+                f"{s['p50']:.3f}",
+                f"{s['p99']:.3f}",
+                f"{s['total_seconds']:.2f}",
+            )
+            for s in series
+        ],
+    )
+    for s in series:
+        emit_json(
+            {
+                "bench": "cluster_vs_pool",
+                "workload": f"tc-bushy-{n_facts}",
+                "runtime": s["runtime"],
+                "knobs": {"workers": args.workers, "quick": args.quick},
+                "repeats": s["repeats"],
+                "qps": round(s["qps"], 3),
+                "p50_seconds": round(s["p50"], 4),
+                "p99_seconds": round(s["p99"], 4),
+                "seconds": round(s["total_seconds"], 4),
+                "answers": len(expected),
+            },
+            path=BENCH_PR10_JSON_PATH,
+        )
+    print(f"bench ok: {len(series) * repeats} runs agree on "
+          f"{len(expected)} answers")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,153 @@
+"""CI cluster smoke: 20k-fact TC over localhost TCP, with a mid-run SIGKILL.
+
+The acceptance scenario for the multi-host shard runtime, end to end:
+
+1. boot a 2-worker localhost :class:`~repro.cluster.harness.ClusterHarness`
+   (manager thread + spawned worker processes over loopback TCP — every
+   wire byte, handshake, and heartbeat is the real deployment path);
+2. evaluate a ≥20k-fact bushy transitive closure and assert the answers
+   are byte-identical to the in-process simulator's **and** the logical
+   tuple-row total matches exactly (per-stream dedup makes that slice of
+   the accounting runtime-invariant);
+3. re-run the query while a timer SIGKILLs one worker mid-flight, and
+   assert the supervised whole-query retry masks the loss: same answers,
+   zero caller-visible errors, a crash verdict in the failure log.
+
+Exits non-zero on any failed check.  Usage::
+
+    PYTHONPATH=src python benchmarks/cluster_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+
+from _support import BENCH_PR10_JSON_PATH, emit_json
+from repro.cluster import ClusterHarness, evaluate_cluster
+from repro.network.engine import evaluate
+from repro.workloads import facts_from_tables, left_recursive_tc_program
+
+
+def tc_20k_workload():
+    """≥20k-fact TC whose reachable part is a bushy binary tree.
+
+    Same shape as ``bench_runtimes.tc_20k_workload``: a complete binary
+    tree (2047 nodes) keeps many tuple requests in flight so cross-shard
+    batches fill; ~18k disjoint noise edges are real facts the EDB shards
+    must index and skip.
+    """
+    tree = [(i, 2 * i + 1) for i in range(1023)] + [
+        (i, 2 * i + 2) for i in range(1023)
+    ]
+    noise = [(100_000 + 2 * i, 100_001 + 2 * i) for i in range(18_000)]
+    program = left_recursive_tc_program(0).with_facts(
+        facts_from_tables({"e": tree + noise})
+    )
+    expected = {(i,) for i in range(1, 2047)}
+    return program, expected, len(tree) + len(noise)
+
+
+def check(condition: bool, label: str, failures: list) -> None:
+    print(f"  {'ok ' if condition else 'FAIL'} {label}")
+    if not condition:
+        failures.append(label)
+
+
+def main() -> int:
+    program, expected, n_facts = tc_20k_workload()
+    failures: list = []
+
+    print(f"workload: {n_facts}-fact transitive closure, "
+          f"{len(expected)} expected answers")
+    sim = evaluate(program)
+    sim_rows = sim.stats.by_kind.get("TupleMessage", 0) + sim.stats.tuple_set_rows
+    check(sim.answers == expected, "simulator matches the oracle", failures)
+
+    with ClusterHarness(workers=2) as harness:
+        client = harness.client()
+
+        # -- Phase 1: clean run — answers and logical accounting parity.
+        start = time.perf_counter()
+        clean = evaluate_cluster(program, client=client, timeout=300)
+        t_clean = time.perf_counter() - start
+        print(f"phase 1: clean cluster run in {t_clean:.2f}s "
+              f"({clean.bytes_on_wire} wire bytes, "
+              f"{clean.cross_batches} cross-shard batches)")
+        check(clean.answers == expected, "cluster answers byte-identical", failures)
+        check(
+            clean.logical_tuple_rows == sim_rows,
+            f"logical tuple rows match exactly "
+            f"({clean.logical_tuple_rows} == {sim_rows})",
+            failures,
+        )
+        check(clean.workers == 2, "both workers served the job", failures)
+        emit_json(
+            {
+                "bench": "cluster_smoke",
+                "workload": f"tc-binary-{n_facts}",
+                "runtime": "cluster",
+                "phase": "clean",
+                "seconds": round(t_clean, 4),
+                "logical_tuple_rows": clean.logical_tuple_rows,
+                "wire_bytes": clean.bytes_on_wire,
+                "answers": len(clean.answers),
+            },
+            path=BENCH_PR10_JSON_PATH,
+        )
+
+        # -- Phase 2: SIGKILL one worker mid-query; retry must mask it.
+        kill_delay = max(0.2, min(2.0, t_clean / 4.0))
+        killer = threading.Timer(kill_delay, harness.kill_worker, args=(1,))
+        killer.start()
+        start = time.perf_counter()
+        try:
+            survived = evaluate_cluster(
+                program, client=client, retry=3, timeout=300
+            )
+        finally:
+            killer.cancel()
+        t_survived = time.perf_counter() - start
+        print(f"phase 2: SIGKILL at {kill_delay:.2f}s, query finished in "
+              f"{t_survived:.2f}s after {survived.attempts} attempt(s)")
+        check(
+            survived.answers == expected,
+            "answers identical after the mid-run SIGKILL",
+            failures,
+        )
+        check(
+            survived.attempts >= 2,
+            "worker loss drew a supervised retry "
+            f"(attempts={survived.attempts})",
+            failures,
+        )
+        check(
+            any("WorkerCrashError" in line for line in survived.failure_log),
+            "failure log records the crash verdict",
+            failures,
+        )
+        check(not survived.degraded, "no fallback needed", failures)
+        emit_json(
+            {
+                "bench": "cluster_smoke",
+                "workload": f"tc-binary-{n_facts}",
+                "runtime": "cluster",
+                "phase": "worker-sigkill",
+                "seconds": round(t_survived, 4),
+                "attempts": survived.attempts,
+                "answers": len(survived.answers),
+            },
+            path=BENCH_PR10_JSON_PATH,
+        )
+
+    if failures:
+        print(f"CLUSTER SMOKE FAILURES: {failures}", file=sys.stderr)
+        return 1
+    print("cluster smoke ok: parity, exact logical accounting, and "
+          "SIGKILL-survival all hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -95,6 +95,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
             planner=args.planner,
         )
         answers = result.answers
+    elif args.runtime == "cluster":
+        from .cluster import evaluate_cluster
+
+        if args.cluster_connect and args.cluster_listen:
+            print(
+                "error: --cluster-connect and --cluster-listen are "
+                "mutually exclusive",
+                file=sys.stderr,
+            )
+            return 2
+        if args.cluster_listen:
+            print(
+                f"announcing cluster manager on {args.cluster_listen}; "
+                f"waiting for workers "
+                f"(repro worker --connect {args.cluster_listen})",
+                file=sys.stderr,
+            )
+        result = evaluate_cluster(
+            program,
+            sip_factory=_SIPS[args.sip],
+            workers=args.workers,
+            batch_size=args.batch_size,
+            coalesce=args.coalesce,
+            package_requests=args.package,
+            tuple_sets=not args.no_tuple_sets,
+            columnar=not args.no_columnar,
+            planner=args.planner,
+            retry=_retry_policy(args),
+            fallback=args.fallback,
+            heartbeat_interval=args.heartbeat_interval,
+            address=args.cluster_connect,
+            listen=args.cluster_listen,
+        )
+        answers = result.answers
     elif args.runtime == "mp":
         from .runtime import evaluate_multiprocessing
 
@@ -131,7 +165,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         answers = result.answers
     for row in sorted(answers, key=repr):
         print(", ".join(str(v) for v in row) if row else "true")
-    if args.runtime in ("mp", "pool") and (result.attempts > 1 or result.degraded):
+    if args.runtime in ("mp", "pool", "cluster") and (
+        result.attempts > 1 or result.degraded
+    ):
         # Crash summary: printed even without --stats, because a recovered
         # or degraded answer is something the caller should know about.
         outcome = (
@@ -159,12 +195,34 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"attempts: {result.attempts}; degraded: {result.degraded}",
                 file=sys.stderr,
             )
+        elif args.runtime == "cluster":
+            print(result.summary(), file=sys.stderr)
         elif args.runtime == "mp":
             print(f"processes: {result.processes}", file=sys.stderr)
             print(
                 f"attempts: {result.attempts}; degraded: {result.degraded}",
                 file=sys.stderr,
             )
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Run one remote shard worker against a cluster manager."""
+    from .cluster import worker_main
+
+    try:
+        worker_main(
+            args.connect,
+            name=args.name,
+            reconnect_attempts=args.reconnect_attempts,
+            reconnect_backoff=args.reconnect_backoff,
+            quiet=args.quiet,
+        )
+    except KeyboardInterrupt:
+        pass
+    except (RuntimeError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -280,8 +338,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         graph_cache_size=args.cache_size,
         runtime=args.eval_runtime,
         workers=args.workers,
+        cluster_address=args.cluster_connect,
+        cluster_listen=args.cluster_listen,
     )
+    if args.cluster_connect and args.cluster_listen:
+        print(
+            "error: --cluster-connect and --cluster-listen are mutually "
+            "exclusive",
+            file=sys.stderr,
+        )
+        return 2
     if args.replicas > 1:
+        if args.cluster_listen:
+            # Each replica is its own Session; N of them cannot all bind
+            # the one announce address.  Run an external manager instead.
+            print(
+                "error: --cluster-listen cannot be combined with --replicas; "
+                "run the manager in one process and point the replicas at it "
+                "with --cluster-connect",
+                file=sys.stderr,
+            )
+            return 2
         return _serve_replicated(args, program, session_options)
     store = None
     if args.data_dir:
@@ -323,6 +400,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             materialize=args.materialize,
             materialize_pool=args.materialize_pool,
             **session_options,
+        )
+    if args.cluster_listen and args.eval_runtime == "cluster":
+        # Bind the announced manager before accepting service traffic so
+        # workers can register while the server boots; the first query
+        # still waits for at least one registration (session timeout).
+        manager_address = shared.session.cluster_listen_address
+        print(
+            f"cluster manager listening on {manager_address}; "
+            f"start workers with: repro worker --connect {manager_address}",
+            flush=True,
         )
     server = QueryServer(
         shared,
@@ -379,6 +466,7 @@ def _serve_replicated(args: argparse.Namespace, program, session_options: dict) 
                 port=args.port,
                 read_timeout=args.deadline,
                 drain_timeout=args.drain_timeout,
+                warmup_queries=args.warmup_queries,
             ),
             replica_config=ReplicaConfig(
                 max_concurrent=args.max_concurrent,
@@ -521,23 +609,41 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--stats", action="store_true", help="print run statistics to stderr")
     run_p.add_argument(
         "--runtime",
-        choices=["simulator", "asyncio", "mp", "pool"],
+        choices=["simulator", "asyncio", "mp", "pool", "cluster"],
         default="simulator",
         help="execution substrate: deterministic simulator (default), asyncio "
-        "tasks, one OS process per node (mp), or pooled shard workers with "
-        "batched channels (pool)",
+        "tasks, one OS process per node (mp), pooled shard workers with "
+        "batched channels (pool), or remote shard workers behind a TCP "
+        "cluster manager (cluster)",
     )
     run_p.add_argument(
         "--workers",
         type=int,
         default=None,
-        help="pool runtime: number of shard worker processes (default: cpu count)",
+        help="pool/cluster runtimes: number of shard workers "
+        "(pool default: cpu count; cluster default: all registered)",
     )
     run_p.add_argument(
         "--batch-size",
         type=int,
         default=64,
-        help="pool runtime: messages per cross-shard batch before a forced flush",
+        help="pool/cluster runtimes: messages per cross-shard batch before "
+        "a forced flush",
+    )
+    run_p.add_argument(
+        "--cluster-connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="cluster runtime: address of a running cluster manager "
+        "(default: start a private localhost harness for this query)",
+    )
+    run_p.add_argument(
+        "--cluster-listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="cluster runtime: announce a manager at this address for the "
+        "query's duration and wait for remote 'repro worker --connect' "
+        "registrations (mutually exclusive with --cluster-connect)",
     )
     run_p.add_argument(
         "--retries",
@@ -638,6 +744,14 @@ def build_parser() -> argparse.ArgumentParser:
         "writes fan out log-then-ack); 1 = single classic server",
     )
     serve_p.add_argument(
+        "--warmup-queries",
+        type=int,
+        default=8,
+        help="with --replicas: replay up to N recent distinct reads "
+        "against a resynced replica (as cache-priming 'warm' ops) "
+        "before readmitting it; 0 disables the warm-up",
+    )
+    serve_p.add_argument(
         "--max-concurrent",
         type=int,
         default=4,
@@ -665,7 +779,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_p.add_argument(
         "--eval-runtime",
-        choices=["simulator", "pool", "mp"],
+        choices=["simulator", "pool", "mp", "cluster"],
         default="simulator",
         help="substrate each evaluation dispatches to (see Session runtime=)",
     )
@@ -673,7 +787,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="pool runtime: shard workers per evaluation",
+        help="pool/cluster runtimes: shard workers per evaluation",
+    )
+    serve_p.add_argument(
+        "--cluster-connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --eval-runtime cluster: address of a running cluster "
+        "manager (default: the service starts a private localhost harness "
+        "on the first query and keeps it warm)",
+    )
+    serve_p.add_argument(
+        "--cluster-listen",
+        default=None,
+        metavar="HOST:PORT",
+        help="with --eval-runtime cluster: announce the cluster manager at "
+        "this address so one process fronts both the query service and the "
+        "cluster; remote workers dial in with 'repro worker --connect' "
+        "(mutually exclusive with --cluster-connect; not with --replicas)",
     )
     serve_p.add_argument(
         "--cache-size",
@@ -729,6 +860,43 @@ def build_parser() -> argparse.ArgumentParser:
         "this many appended records",
     )
     serve_p.set_defaults(func=_cmd_serve)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="run one remote shard worker against a cluster manager "
+        "(the other terminal of the docs/usage.md walkthrough)",
+    )
+    worker_p.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="cluster manager address to register with",
+    )
+    worker_p.add_argument(
+        "--name",
+        default=None,
+        help="stable worker name (reconnects keep it; default: assigned "
+        "by the manager)",
+    )
+    worker_p.add_argument(
+        "--reconnect-attempts",
+        type=int,
+        default=60,
+        help="consecutive failed connects tolerated before giving up",
+    )
+    worker_p.add_argument(
+        "--reconnect-backoff",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="sleep between reconnect attempts",
+    )
+    worker_p.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-connection log lines on stderr",
+    )
+    worker_p.set_defaults(func=_cmd_worker)
 
     bench_p = sub.add_parser(
         "bench-session",

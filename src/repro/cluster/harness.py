@@ -1,0 +1,140 @@
+"""A localhost cluster-in-a-box: manager thread + worker processes.
+
+CI (and ``Session(runtime="cluster")`` with no external address) needs the
+full multi-host stack — TCP transport, registration, relay, supervision —
+without real hosts.  The harness runs the manager on a daemon thread in
+the calling process and each worker as a separate OS process connected
+over loopback TCP, so every wire byte, handshake, heartbeat, and
+reconnect path is the one real deployments exercise; only the network
+latency is missing.
+
+Workers are started with the ``spawn`` context: a fresh interpreter per
+worker keeps the fork-safety of the caller (which is running an asyncio
+event loop on the manager thread) out of the picture, and matches how a
+real remote worker boots — ``repro worker --connect`` in a new process.
+
+``kill_worker`` SIGKILLs a live worker mid-query — the chaos hook the
+smoke benchmark and the worker-loss tests use.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import time
+from typing import Optional
+
+from .client import ClusterClient
+from .manager import ManagerThread
+from .worker import worker_main
+
+__all__ = ["ClusterHarness"]
+
+
+class ClusterHarness:
+    """``start()`` → a running manager with ``workers`` registered shards."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        start_timeout: float = 30.0,
+    ) -> None:
+        self.n_workers = max(1, workers)
+        self.host = host
+        self.port = port
+        self.start_timeout = start_timeout
+        self.manager: Optional[ManagerThread] = None
+        self.processes: list[mp.process.BaseProcess] = []
+        self._clients: list[ClusterClient] = []
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ClusterHarness":
+        if self._started:
+            return self
+        self.manager = ManagerThread(self.host, self.port).start()
+        context = mp.get_context("spawn")
+        for index in range(self.n_workers):
+            process = context.Process(
+                target=worker_main,
+                args=(self.manager.address,),
+                kwargs={"name": f"worker-{index}"},
+                daemon=True,
+            )
+            process.start()
+            self.processes.append(process)
+        deadline = time.monotonic() + self.start_timeout
+        while self.manager.worker_count() < self.n_workers:
+            if time.monotonic() > deadline:
+                registered = self.manager.worker_count()
+                self.stop()
+                raise RuntimeError(
+                    f"only {registered}/{self.n_workers} "
+                    f"workers registered within {self.start_timeout}s"
+                )
+            time.sleep(0.02)
+        self._started = True
+        return self
+
+    def __enter__(self) -> "ClusterHarness":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> str:
+        if self.manager is None:
+            raise RuntimeError("harness not started")
+        return self.manager.address
+
+    def client(self, pool_size: int = 2) -> ClusterClient:
+        """A pooled client against this harness (closed by :meth:`stop`)."""
+        cluster_client = ClusterClient(self.address, pool_size=pool_size)
+        self._clients.append(cluster_client)
+        return cluster_client
+
+    def transport_snapshot(self) -> dict:
+        if self.manager is None:
+            raise RuntimeError("harness not started")
+        return self.manager.transport_snapshot()
+
+    def worker_count(self) -> int:
+        return self.manager.worker_count() if self.manager else 0
+
+    # ------------------------------------------------------------------
+    def kill_worker(self, index: int) -> int:
+        """SIGKILL worker ``index`` (no cleanup, no goodbye); returns its pid.
+
+        The process stays dead — unlike a network flap there is no
+        reconnect — so subsequent queries run over ``n - 1`` shards, which
+        is exactly the capacity-degradation path retry must cover.
+        """
+        process = self.processes[index]
+        pid = process.pid
+        if pid is not None and process.is_alive():
+            os.kill(pid, signal.SIGKILL)
+            process.join(timeout=5.0)
+        return pid or -1
+
+    def stop(self) -> None:
+        for cluster_client in self._clients:
+            cluster_client.close()
+        self._clients.clear()
+        for process in self.processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self.processes:
+            process.join(timeout=2.0)
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+        self.processes.clear()
+        if self.manager is not None:
+            self.manager.stop()
+            self.manager = None
+        self._started = False

@@ -1,0 +1,535 @@
+"""The remote shard worker: one host's slice of the node network.
+
+``repro worker --connect HOST:PORT`` runs this loop: connect to the
+manager, register (HELLO/WELCOME handshake, protocol version checked),
+then serve jobs.  For each JOB frame the worker rebuilds the engine from
+the pickled program + prebuilt rule/goal graph + database — every worker
+deterministically computes the *same* node ids and the same
+``assign_shards`` map, so "which nodes are mine" needs no extra
+coordination, exactly as the pool runtime's forked workers all inherit
+one engine — and runs the same delivery loop as
+``runtime/pool_engine._shard_worker_loop`` with the queue fabric swapped
+for TCP frames:
+
+* intra-shard messages ride a local deque (exact pending counts);
+* cross-shard messages buffer per destination and ship as BATCH frames
+  (the :class:`~repro.network.messages.MessageBatch` envelope, JSON-coded);
+* the pool's RawArray ``sent`` counters become a cumulative logical-sent
+  total piggybacked on every BATCH frame, so the receiver's
+  ``pending_for`` stays a conservative in-transit bound (see
+  docs/architecture.md — cross-component completion rests on the exact
+  per-stream seq/upto accounting, which serializes losslessly);
+* the pool's RawArray heartbeat slots become HEARTBEAT frames, throttled
+  to the supervision interval: a worker wedged inside a handler goes
+  silent on the wire exactly as it went still in shared memory.
+
+Threading: the connection's reader runs on the main thread (BATCH frames
+must keep flowing while a job computes), the job loop runs on a runner
+thread fed through a queue, and all frame *writes* are serialized by
+:class:`~repro.cluster.framing.FrameSocket`.  A lost connection aborts
+the running job and triggers reconnect-with-backoff; the manager counts
+the re-registration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import queue as queue_module
+import socket
+import struct
+import threading
+import time
+import traceback
+from typing import Optional
+
+from ..network.engine import MessagePassingEngine, assign_shards
+from ..network.messages import (
+    COMPUTATION_TYPES,
+    Message,
+    TupleMessage,
+    TupleSet,
+    coalesce_batch,
+    logical_size,
+)
+from ..network.nodes import DRIVER_ID
+from ..runtime.faults import FaultPlan, wedge_forever
+from .framing import (
+    FrameError,
+    FrameSocket,
+    FrameType,
+    PROTOCOL_VERSION,
+    decode_messages,
+    encode_messages,
+    rows_to_wire,
+)
+
+__all__ = ["worker_main", "ClusterRouter"]
+
+#: Mirrors runtime/pool_engine: consecutive protocol-only deliveries after
+#: which the loop briefly polls for remote input instead of spinning.
+_PROTOCOL_SPIN_LIMIT = 64
+_PROTOCOL_SPIN_POLL = 0.001
+
+#: Inbox sentinel: the manager concluded the job, report stats and idle.
+_STOP = "__stop__"
+
+
+class _JobAborted(Exception):
+    """Internal: the manager aborted this job (retry underway elsewhere)."""
+
+
+class ClusterRouter:
+    """The pool's :class:`ShardRouter` with TCP frames as the far fabric.
+
+    Node logic needs only ``send`` and ``pending_for``.  Cross-shard sends
+    buffer per destination shard and flush as one BATCH frame carrying the
+    encoded member messages plus this link's cumulative logical-sent total
+    (``s``); the receiving router treats ``max`` of those totals minus its
+    own received total as in-transit work, so a queued batch holds
+    ``empty_queues()`` false across the wire exactly as the pool's shared
+    counters do across forks.  Per-link frame order is preserved end to
+    end, so the per-channel FIFO the seq/upto end accounting needs
+    survives the relay.
+    """
+
+    def __init__(
+        self,
+        fs: FrameSocket,
+        job_id: int,
+        shard_id: int,
+        shard_of: dict[int, int],
+        n_shards: int,
+        batch_size: int,
+        tuple_sets: bool = True,
+    ) -> None:
+        self.fs = fs
+        self.job_id = job_id
+        self.shard_id = shard_id
+        self.shard_of = shard_of
+        self.n_shards = n_shards
+        self.batch_size = max(1, batch_size)
+        self.tuple_sets = tuple_sets
+        from collections import deque
+
+        self.local: deque[Message] = deque()
+        self.local_pending: dict[int, int] = {}
+        self.buffers: dict[int, list[Message]] = {
+            dest: [] for dest in range(n_shards) if dest != shard_id
+        }
+        # Logical (per-tuple) accounting per link, as in the pool runtime.
+        self.sent_total: dict[int, int] = {d: 0 for d in self.buffers}
+        self.known_sent: dict[int, int] = {}
+        self.received_total: dict[int, int] = {}
+        self.batches_out = 0
+        self.batches_in = 0
+        # Delivery statistics for the per-shard STATS report.
+        self.delivered_logical = 0
+        self.delivered_physical = 0
+        self.tuple_rows = 0
+        self.protocol_messages = 0
+        self.by_receiver: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        dest = self.shard_of[message.receiver]
+        if dest == self.shard_id:
+            self.local.append(message)
+            self.local_pending[message.receiver] = (
+                self.local_pending.get(message.receiver, 0) + 1
+            )
+            return
+        self.sent_total[dest] += logical_size(message)
+        buffer = self.buffers[dest]
+        buffer.append(message)
+        if len(buffer) >= self.batch_size:
+            self._flush_one(dest)
+
+    def _flush_one(self, dest: int) -> None:
+        buffer = self.buffers[dest]
+        if not buffer:
+            return
+        self.buffers[dest] = []
+        self.batches_out += 1
+        self.fs.send_json(
+            FrameType.BATCH,
+            {
+                "j": self.job_id,
+                "o": self.shard_id,
+                "d": dest,
+                "s": self.sent_total[dest],
+                "m": encode_messages(buffer),
+            },
+        )
+
+    def flush(self) -> None:
+        for dest in self.buffers:
+            self._flush_one(dest)
+
+    def ingest(self, origin: int, sent_total: int, messages: list[Message]) -> None:
+        self.batches_in += 1
+        self.known_sent[origin] = max(self.known_sent.get(origin, 0), sent_total)
+        self.received_total[origin] = self.received_total.get(origin, 0) + sum(
+            logical_size(m) for m in messages
+        )
+        for message in coalesce_batch(messages, tuple_sets=self.tuple_sets):
+            self.local.append(message)
+            self.local_pending[message.receiver] = (
+                self.local_pending.get(message.receiver, 0) + 1
+            )
+
+    # ------------------------------------------------------------------
+    def pending_for(self, node_id: int) -> int:
+        pending = self.local_pending.get(node_id, 0)
+        for origin, known in self.known_sent.items():
+            pending += max(0, known - self.received_total.get(origin, 0))
+        return pending
+
+    # ------------------------------------------------------------------
+    def account_delivery(self, message: Message) -> None:
+        size = logical_size(message)
+        self.delivered_logical += size
+        self.delivered_physical += 1
+        if isinstance(message, (TupleMessage, TupleSet)):
+            self.tuple_rows += size
+        if not isinstance(message, COMPUTATION_TYPES):
+            self.protocol_messages += size
+        self.by_receiver[message.receiver] = (
+            self.by_receiver.get(message.receiver, 0) + size
+        )
+
+    def counters(self) -> dict:
+        return {
+            "sent": {str(d): n for d, n in self.sent_total.items()},
+            "received": {str(o): n for o, n in self.received_total.items()},
+            "batches_out": self.batches_out,
+            "batches_in": self.batches_in,
+            "delivered_logical": self.delivered_logical,
+            "delivered_physical": self.delivered_physical,
+            "tuple_rows": self.tuple_rows,
+            "protocol_messages": self.protocol_messages,
+            "by_receiver": {str(k): v for k, v in self.by_receiver.items()},
+        }
+
+
+class _JobContext:
+    """One job's moving parts, shared between reader and runner threads."""
+
+    def __init__(self, job_id: int, shard_id: int, n_shards: int, spec: dict, hb) -> None:
+        self.job_id = job_id
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self.spec = spec
+        self.heartbeat_interval = hb
+        self.inbox: queue_module.Queue = queue_module.Queue()
+        self.abort = threading.Event()
+
+
+def _run_job(fs: FrameSocket, ctx: _JobContext) -> None:
+    """Build this shard's engine and run the delivery loop (runner thread)."""
+    try:
+        _job_loop(fs, ctx)
+    except _JobAborted:
+        pass
+    except FrameError:
+        pass  # connection died mid-job; the main loop is already reconnecting
+    except BaseException:
+        try:
+            fs.send_json(
+                FrameType.ERROR,
+                {
+                    "j": ctx.job_id,
+                    "where": f"shard {ctx.shard_id}",
+                    "traceback": traceback.format_exc(),
+                },
+            )
+        except Exception:
+            pass
+
+
+def _job_loop(fs: FrameSocket, ctx: _JobContext) -> None:
+    spec = ctx.spec
+    engine = MessagePassingEngine(
+        spec["program"],
+        validate_protocol=False,  # the oracle belongs to the simulator
+        package_requests=spec.get("package_requests", False),
+        # Hash-partitioned EDB replicas default to one per shard, exactly
+        # as the pool runtime defaults ``edb_shards`` to its worker count.
+        edb_shards=spec.get("edb_shards") or ctx.n_shards,
+        tuple_sets=spec.get("tuple_sets", True),
+        columnar=spec.get("columnar", True),
+        database=spec.get("database"),
+        graph=spec["graph"],
+    )
+    shard_of = assign_shards(engine, ctx.n_shards)
+    router = ClusterRouter(
+        fs,
+        ctx.job_id,
+        ctx.shard_id,
+        shard_of,
+        ctx.n_shards,
+        spec.get("batch_size", 64),
+        spec.get("tuple_sets", True),
+    )
+    processes = engine.processes
+    hosted = [
+        process
+        for node_id, process in processes.items()
+        if shard_of[node_id] == ctx.shard_id
+    ]
+    fault_plan: Optional[FaultPlan] = spec.get("fault_plan")
+    injector = (
+        fault_plan.injector(ctx.shard_id) if fault_plan is not None else None
+    )
+    labels: dict[int, str] = {}
+    if injector is not None:
+        for node_id in processes:
+            if node_id == DRIVER_ID:
+                labels[node_id] = "driver"
+            else:
+                try:
+                    labels[node_id] = engine.graph.node_label(node_id)
+                except KeyError:  # EDB replicas live outside the graph
+                    labels[node_id] = f"edb-replica:{node_id}"
+
+    if shard_of[DRIVER_ID] == ctx.shard_id:
+        driver = engine.driver
+        root_stream = driver.feeders[engine.graph.root]
+
+        def on_complete() -> None:
+            # Flush trailing cross-shard traffic first: conclusion-time
+            # ends/component-dones must not sit in a buffer while the
+            # manager stops the job.
+            router.flush()
+            fs.send_json(
+                FrameType.DONE,
+                {
+                    "j": ctx.job_id,
+                    "answers": rows_to_wire(driver.answers),
+                    "seq": root_stream.last_seq_sent,
+                    "upto": root_stream.last_upto_ended,
+                },
+            )
+
+        driver.on_complete = on_complete
+        driver.start(router)  # type: ignore[arg-type]
+
+    hb = ctx.heartbeat_interval
+    poll_interval = max(0.01, hb / 4.0) if hb else 0.05
+    beat_every = min(0.05, hb / 2.0) if hb else None
+    last_beat = 0.0
+    protocol_spin = 0
+
+    def beat() -> None:
+        nonlocal last_beat
+        if beat_every is None:
+            return
+        now = time.monotonic()
+        if now - last_beat >= beat_every:
+            last_beat = now
+            fs.send_json(
+                FrameType.HEARTBEAT, {"j": ctx.job_id, "sh": ctx.shard_id}
+            )
+
+    def drain_one(timeout: Optional[float] = None) -> bool:
+        """Ingest one inbox item; True when the loop should exit (STOP)."""
+        try:
+            item = (
+                ctx.inbox.get_nowait()
+                if timeout is None
+                else ctx.inbox.get(timeout=timeout)
+            )
+        except queue_module.Empty:
+            return False
+        if item == _STOP:
+            raise StopIteration
+        origin, sent_total, messages = item
+        if injector is not None:
+            injector.delay()
+        router.ingest(origin, sent_total, messages)
+        return False
+
+    try:
+        while True:
+            if ctx.abort.is_set():
+                raise _JobAborted
+            beat()
+            # 1) Drain the wire inbox without blocking.
+            while True:
+                try:
+                    item = ctx.inbox.get_nowait()
+                except queue_module.Empty:
+                    break
+                if item == _STOP:
+                    raise StopIteration
+                origin, sent_total, messages = item
+                if injector is not None:
+                    injector.delay()
+                router.ingest(origin, sent_total, messages)
+            # 2) Deliver one local message.
+            if router.local:
+                if protocol_spin >= _PROTOCOL_SPIN_LIMIT:
+                    protocol_spin = 0
+                    router.flush()
+                    drain_one(timeout=_PROTOCOL_SPIN_POLL)
+                message = router.local.popleft()
+                router.local_pending[message.receiver] -= 1
+                protocol_spin = (
+                    0
+                    if isinstance(message, COMPUTATION_TYPES)
+                    else protocol_spin + 1
+                )
+                if injector is not None:
+                    action = injector.on_delivery(labels.get(message.receiver))
+                    if action == "kill":  # pragma: no cover - worker dies
+                        os._exit(1)
+                    if action == "wedge":  # pragma: no cover - reaped later
+                        wedge_forever()
+                router.account_delivery(message)
+                process = processes[message.receiver]
+                process.handle(message, router)  # type: ignore[arg-type]
+                process.on_idle_check(router)  # type: ignore[arg-type]
+                continue
+            # 3) Idle: flush request packaging, idle-check every hosted
+            #    node, ship buffered batches, then block briefly for
+            #    remote input (bounded so heartbeats keep flowing).
+            for process in hosted:
+                if process._request_buffer:
+                    process.flush_requests(router)  # type: ignore[arg-type]
+            for process in hosted:
+                process.on_idle_check(router)  # type: ignore[arg-type]
+            router.flush()
+            if router.local:
+                continue
+            drain_one(timeout=poll_interval)
+    except StopIteration:
+        pass
+    # Job concluded: report this shard's counters (plus per-node tuple
+    # footprints, so the client can rebuild the node table remotely).
+    tuples_by_node = {
+        str(node_id): process.tuples_stored
+        for node_id, process in processes.items()
+        if shard_of[node_id] == ctx.shard_id and getattr(process, "tuples_stored", 0)
+    }
+    counters = router.counters()
+    counters["tuples_by_node"] = tuples_by_node
+    fs.send_json(
+        FrameType.STATS, {"j": ctx.job_id, "sh": ctx.shard_id, "c": counters}
+    )
+
+
+# ----------------------------------------------------------------------
+def _serve_connection(fs: FrameSocket, quiet: bool) -> None:
+    """Dispatch frames from the manager until the connection dies."""
+    current: Optional[_JobContext] = None
+    runner: Optional[threading.Thread] = None
+    try:
+        while True:
+            frame = fs.recv_frame()
+            if frame.ftype == FrameType.JOB:
+                (header_len,) = struct.unpack_from("!I", frame.payload)
+                head = json.loads(
+                    frame.payload[4 : 4 + header_len].decode("utf-8")
+                )
+                spec = pickle.loads(frame.payload[4 + header_len :])
+                current = _JobContext(
+                    head["j"], head["sh"], head["n"], spec, head.get("hb")
+                )
+                runner = threading.Thread(
+                    target=_run_job,
+                    args=(fs, current),
+                    name=f"job-{head['j']}-shard-{head['sh']}",
+                    daemon=True,
+                )
+                runner.start()
+            elif frame.ftype == FrameType.BATCH:
+                body = frame.json()
+                if current is not None and body.get("j") == current.job_id:
+                    current.inbox.put(
+                        (
+                            body.get("o", 0),
+                            body.get("s", 0),
+                            decode_messages(body.get("m", [])),
+                        )
+                    )
+            elif frame.ftype == FrameType.STOP:
+                if current is not None and frame.json().get("j") == current.job_id:
+                    current.inbox.put(_STOP)
+                    if runner is not None:
+                        runner.join(timeout=10.0)
+                    current, runner = None, None
+            elif frame.ftype == FrameType.ABORT:
+                if current is not None and frame.json().get("j") == current.job_id:
+                    current.abort.set()
+                    current.inbox.put(_STOP)  # unblock a waiting get
+                    current, runner = None, None
+            elif frame.ftype == FrameType.PING:
+                fs.send_json(FrameType.PONG, frame.json())
+    finally:
+        if current is not None:
+            current.abort.set()
+            current.inbox.put(_STOP)
+
+
+def worker_main(
+    connect: str,
+    name: Optional[str] = None,
+    reconnect_attempts: int = 60,
+    reconnect_backoff: float = 0.25,
+    quiet: bool = True,
+) -> None:
+    """Run a shard worker against ``connect`` (``"host:port"``) until killed.
+
+    Lost connections reconnect with linear backoff under the same name, so
+    the manager's per-worker ``reconnects`` counter records every flap; a
+    handshake REJECT (protocol version mismatch) is fatal, not retried.
+    """
+    host, _, port_text = connect.rpartition(":")
+    address = (host or "127.0.0.1", int(port_text))
+    failures = 0
+    while True:
+        try:
+            sock = socket.create_connection(address, timeout=10.0)
+        except OSError:
+            failures += 1
+            if failures > reconnect_attempts:
+                raise
+            time.sleep(reconnect_backoff)
+            continue
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        fs = FrameSocket(sock)
+        try:
+            fs.send_json(
+                FrameType.HELLO,
+                {"role": "worker", "name": name, "pid": os.getpid()},
+            )
+            welcome = fs.recv_frame(timeout=10.0)
+            if welcome.ftype == FrameType.REJECT:
+                raise RuntimeError(
+                    f"manager rejected this worker: "
+                    f"{welcome.json().get('reason', 'unknown reason')}"
+                )
+            if welcome.ftype != FrameType.WELCOME:
+                raise FrameError(
+                    f"expected WELCOME, got frame type {welcome.ftype}"
+                )
+            name = welcome.json().get("name", name)
+            if not quiet:
+                print(
+                    f"[{name}] registered with {connect} "
+                    f"(protocol v{PROTOCOL_VERSION})",
+                    flush=True,
+                )
+            failures = 0
+            fs.sock.settimeout(None)
+            _serve_connection(fs, quiet)
+        except (FrameError, ConnectionError, OSError, socket.timeout):
+            failures += 1
+            if failures > reconnect_attempts:
+                raise
+            if not quiet:
+                print(f"[{name}] connection lost; reconnecting", flush=True)
+            time.sleep(reconnect_backoff)
+        finally:
+            fs.close()

@@ -38,6 +38,7 @@ __all__ = [
     "FaultInjectedError",
     "FaultPlan",
     "FaultInjector",
+    "LinkFaultInjector",
     "ServiceFaultPlan",
     "ServiceFaultInjector",
 ]
@@ -80,6 +81,34 @@ class FaultPlan:
     only_attempt:
         Arm the plan only on this (1-based) attempt of a retried query;
         ``None`` arms it on every attempt.
+
+    Transport-level faults (cluster runtime only — applied by the manager's
+    relay, where every cross-shard batch passes; links are named
+    ``"<origin>-><dest>"`` in shard ids):
+
+    drop_link / drop_link_after:
+        Sever the *origin worker's connection* when the named link carries
+        its ``drop_link_after + 1``-th batch — a mid-transfer network cut.
+        The manager sees a worker vanish mid-job, so the supervised retry
+        path must mask it exactly like a crash.
+    delay_link / delay_link_seconds:
+        Hold each batch on the named link for ``delay_link_seconds`` before
+        forwarding — a slow WAN hop; answers must not change.
+    duplicate_link / duplicate_count:
+        Re-forward the row-carrying members (tuple messages / tuple sets) of
+        the first ``duplicate_count`` batches on the named link — at-least-
+        once delivery.  Only rows are duplicated: row delivery is idempotent
+        under monotone set semantics, whereas replaying a termination-wave
+        probe could falsify the Section 3.2 conclusion, so the injector
+        never duplicates protocol traffic (real transports get the same
+        guarantee from per-channel FIFO + the seq/upto accounting).
+    partition_worker / partition_after:
+        After ``partition_after`` batches touching the worker have been
+        relayed, drop every further BATCH frame to *and* from that shard
+        while control frames (heartbeats, pings) still flow — the classic
+        partial partition.  Evaluation can no longer finish, the client's
+        deadline raises ``EvaluationTimeout``, and retry (with the plan
+        disarmed via ``only_attempt``) must recover.
     """
 
     kill_worker: Optional[int] = None
@@ -92,6 +121,36 @@ class FaultPlan:
     delay_worker: Optional[int] = None
     delay_seconds: float = 0.0
     only_attempt: Optional[int] = None
+    drop_link: Optional[str] = None
+    drop_link_after: int = 0
+    delay_link: Optional[str] = None
+    delay_link_seconds: float = 0.0
+    duplicate_link: Optional[str] = None
+    duplicate_count: int = 1
+    partition_worker: Optional[int] = None
+    partition_after: int = 0
+
+    def has_link_faults(self) -> bool:
+        """Whether the manager relay needs a :class:`LinkFaultInjector`."""
+        return (
+            self.drop_link is not None
+            or self.delay_link is not None
+            or self.duplicate_link is not None
+            or self.partition_worker is not None
+        )
+
+    def link_fields(self) -> dict:
+        """The transport-fault fields as a JSON-safe dict (for JOB headers)."""
+        return {
+            "drop_link": self.drop_link,
+            "drop_link_after": self.drop_link_after,
+            "delay_link": self.delay_link,
+            "delay_link_seconds": self.delay_link_seconds,
+            "duplicate_link": self.duplicate_link,
+            "duplicate_count": self.duplicate_count,
+            "partition_worker": self.partition_worker,
+            "partition_after": self.partition_after,
+        }
 
     def for_attempt(self, attempt: int) -> Optional["FaultPlan"]:
         """The plan as armed for one attempt (``None`` when inactive)."""
@@ -166,6 +225,62 @@ class FaultInjector:
         plan = self.plan
         if plan.delay_worker == self.worker_index and plan.delay_seconds > 0:
             time.sleep(plan.delay_seconds)
+
+
+def _parse_link(name: str) -> tuple[int, int]:
+    """``"0->1"`` as ``(origin shard, destination shard)``."""
+    origin, _, dest = name.partition("->")
+    try:
+        return int(origin), int(dest)
+    except ValueError:
+        raise ValueError(
+            f"link fault names are '<origin>-><dest>' in shard ids, got {name!r}"
+        ) from None
+
+
+class LinkFaultInjector:
+    """Relay-side counters deciding when a transport fault fires.
+
+    The cluster manager calls :meth:`on_batch` once per relayed cross-shard
+    batch, before forwarding.  The return value tells the relay what to do:
+    ``None`` (forward normally), ``"drop_connection"`` (sever the origin
+    worker's socket), ``"duplicate"`` (forward, then forward the
+    row-carrying members again), ``"blackhole"`` (silently swallow the
+    batch — the partition fault), or a float (seconds to hold the batch
+    before forwarding).
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._link_counts: dict[tuple[int, int], int] = {}
+        self._partition_seen = 0
+        self._duplicated = 0
+        self.drop_link = _parse_link(plan.drop_link) if plan.drop_link else None
+        self.delay_link = _parse_link(plan.delay_link) if plan.delay_link else None
+        self.duplicate_link = (
+            _parse_link(plan.duplicate_link) if plan.duplicate_link else None
+        )
+
+    def on_batch(self, origin: int, dest: int):
+        plan = self.plan
+        link = (origin, dest)
+        count = self._link_counts.get(link, 0) + 1
+        self._link_counts[link] = count
+        if plan.partition_worker is not None and plan.partition_worker in link:
+            self._partition_seen += 1
+            if self._partition_seen > plan.partition_after:
+                return "blackhole"
+        if self.drop_link == link and count > plan.drop_link_after:
+            return "drop_connection"
+        if (
+            self.duplicate_link == link
+            and self._duplicated < plan.duplicate_count
+        ):
+            self._duplicated += 1
+            return "duplicate"
+        if self.delay_link == link and plan.delay_link_seconds > 0:
+            return plan.delay_link_seconds
+        return None
 
 
 def wedge_forever() -> None:  # pragma: no cover - runs in a sacrificed worker

@@ -592,7 +592,13 @@ def evaluate_pool(
         if planner == "cost":
             from ..core.planner import CostPlanner
 
-            cost_planner = CostPlanner.from_database(database)
+            # Seed from the facts when no database was shared, as the
+            # in-process engine does: same priors, same chosen plan.
+            cost_planner = CostPlanner.from_database(
+                database
+                if database is not None
+                else Database.from_facts(program.facts)
+            )
             sip_factory = cost_planner.sip_factory()
         graph = build_rule_goal_graph(
             program, sip_factory, query_goal=query_goal, coalesce=coalesce

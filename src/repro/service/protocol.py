@@ -47,8 +47,13 @@ __all__ = [
 #: trusted once a line has been truncated).
 MAX_REQUEST_BYTES = 1_000_000
 
-#: Every operation the server understands.
-OPS = ("query", "ask", "add_facts", "add_rules", "stats", "ping", "shutdown")
+#: Every operation the server understands.  ``warm`` is the cache-priming
+#: variant of ``query`` the replication front door replays its recent-read
+#: log through before readmitting a resynced replica: same evaluation,
+#: same cache effects, but no answer rows on the wire — and a distinct op
+#: name, so chaos plans scoped to client traffic (``only_ops: ["query"]``)
+#: do not fire on internal warm-up replays.
+OPS = ("query", "ask", "warm", "add_facts", "add_rules", "stats", "ping", "shutdown")
 
 #: The closed set of error types a response may carry.
 ERROR_TYPES = (

@@ -128,6 +128,12 @@ class ReplicaSetConfig:
     resync_tail: int = 1024  # in-memory log records kept for resync
     boot_timeout: float = 30.0  # spawn → bound-port budget per replica
     front_cache_size: int = 256  # stale-answer entries for degraded reads
+    # Readmission warm-up: before a resynced replica flips HEALTHY, the
+    # front door replays up to this many of its most recent distinct
+    # reads against it, so the replica's graph/answer caches (and any
+    # warm materializations) are hot before real traffic lands on it.
+    # 0 disables — a restarted replica then serves its first reads cold.
+    warmup_queries: int = 8
     max_request_bytes: int = MAX_REQUEST_BYTES
     drain_timeout: float = 5.0
 
@@ -321,6 +327,8 @@ class _Replica:
         self.failures = 0
         self.restarts = 0
         self.resyncs = 0
+        self.warmups = 0  # readmission warm-up passes completed
+        self.warmed_queries = 0  # recent reads replayed across those passes
 
     def snapshot(self) -> dict:
         proc = self.process
@@ -334,6 +342,8 @@ class _Replica:
             "failures": self.failures,
             "restarts": self.restarts,
             "resyncs": self.resyncs,
+            "warmups": self.warmups,
+            "warmed_queries": self.warmed_queries,
         }
 
 
@@ -404,6 +414,11 @@ class ReplicaSet:
         self._heartbeats = RawArray("q", self.config.replicas)
         self._replicas = [_Replica(i) for i in range(self.config.replicas)]
         self._front_cache: "OrderedDict[tuple, dict]" = OrderedDict()
+        # The bounded recent-query log readmission warm-up replays: the
+        # most recent *successful* distinct read texts, in recency order
+        # (query and ask of the same text dedup — they prime the same
+        # caches).  Values are ready-to-send ``warm`` request payloads.
+        self._recent_reads: "OrderedDict[str, dict]" = OrderedDict()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         m = self.metrics
         self._requests = m.counter("front_requests_total", "requests at the front door")
@@ -420,6 +435,13 @@ class ReplicaSet:
         self._restarts = m.counter("replica_restarts_total", "replica processes respawned")
         self._resyncs = m.counter(
             "replica_resyncs_total", "log-replay resyncs completed before (re)admission"
+        )
+        self._warmups = m.counter(
+            "replica_warmups_total", "readmission warm-up passes completed"
+        )
+        self._warmup_replays = m.counter(
+            "warmup_queries_replayed_total",
+            "recent reads replayed against resyncing replicas",
         )
         self._trips = m.counter("breaker_trips_total", "circuit breakers opened")
         self._stale_served = m.counter(
@@ -705,10 +727,23 @@ class ReplicaSet:
     # Resync: replay the log records a replica missed, then admit it
     # ------------------------------------------------------------------
     async def _resync_and_admit(self, rep: _Replica, generation: int) -> None:
+        warmed = False
         while True:
             if rep.generation != generation or rep.state != RESYNCING:
                 return
             if rep.applied_seq >= self.store.seq:
+                if not warmed:
+                    # Warm-up happens once per admission, caught-up but
+                    # *before* the HEALTHY flip and outside the write
+                    # lock: replaying reads must not block writers, and
+                    # a write landing mid-warm-up simply sends the loop
+                    # back through tail replay (fan-out skips RESYNCING
+                    # replicas, so applied_seq lags again and the gap is
+                    # bridged above before admission is re-checked).
+                    warmed = True
+                    if not await self._warm_replica(rep, generation):
+                        return
+                    continue
                 # Admission happens under the write lock: a write either
                 # committed before (its record is in applied_seq) or
                 # will fan out to this now-healthy replica — no record
@@ -746,6 +781,39 @@ class ReplicaSet:
                     self._trip(rep, generation)
                     return
                 rep.applied_seq = record["seq"]
+
+    async def _warm_replica(self, rep: _Replica, generation: int) -> bool:
+        """Replay the recent-read log against ``rep`` before readmission.
+
+        Most-recent first, bounded by ``warmup_queries``.  Returns False
+        when admission must be abandoned (the replica died or a transport
+        failure tripped its breaker); typed errors from individual
+        replays — a query whose rules changed since it was logged — are
+        skipped, not fatal: warm-up is an optimization, the replica is
+        still consistent.
+        """
+        payloads = list(reversed(self._recent_reads.values()))
+        replayed = 0
+        for payload in payloads:
+            if rep.generation != generation or rep.state != RESYNCING:
+                return False
+            try:
+                await asyncio.wait_for(
+                    rep.link.request(dict(payload)), self.config.read_timeout
+                )
+            except asyncio.CancelledError:
+                raise
+            except _TRANSPORT_ERRORS:
+                self._trip(rep, generation)
+                return False
+            replayed += 1
+        if rep.generation != generation or rep.state != RESYNCING:
+            return False
+        rep.warmups += 1
+        rep.warmed_queries += replayed
+        self._warmups.inc()
+        self._warmup_replays.inc(replayed)
+        return True
 
     def _trip(self, rep: _Replica, generation: Optional[int] = None) -> None:
         """Open the breaker: out of rotation until a probe + resync pass."""
@@ -831,7 +899,7 @@ class ReplicaSet:
             return {"id": rid, "ok": True, "op": "shutdown", "draining": True}, True
         if self._draining:
             return error_payload("shutting_down", "replica set is draining", rid), True
-        if op in ("query", "ask"):
+        if op in ("query", "ask", "warm"):
             text = request.get("query")
             if not isinstance(text, str) or not text.strip():
                 return error_payload("bad_request", f"{op} needs a 'query' string", rid), False
@@ -894,8 +962,9 @@ class ReplicaSet:
                 rep.consecutive_failures = 0
             response["id"] = rid
             response["replica"] = rep.name
-            if response.get("ok"):
+            if response.get("ok") and op != "warm":
                 self._cache_answer(op, text, response)
+                self._record_recent(text)
             return response, False
         return self._degraded_read(op, text, rid), False
 
@@ -918,6 +987,22 @@ class ReplicaSet:
         cache.move_to_end((op, text))
         while len(cache) > self.config.front_cache_size:
             cache.popitem(last=False)
+
+    def _record_recent(self, text: str) -> None:
+        """Note one successful read in the bounded warm-up replay log.
+
+        Stored as ``warm`` requests: the replica evaluates them exactly
+        like queries (same graph/answer-cache effects) but ships no rows
+        back, and the distinct op keeps client-scoped chaos plans
+        (``only_ops: ["query"]``) from firing on internal replays.
+        """
+        if self.config.warmup_queries < 1:
+            return
+        log = self._recent_reads
+        log[text] = {"op": "warm", "query": text}
+        log.move_to_end(text)
+        while len(log) > self.config.warmup_queries:
+            log.popitem(last=False)
 
     def _degraded_read(self, op: str, text: str, rid) -> dict:
         cached = self._front_cache.get((op, text))
@@ -1026,6 +1111,9 @@ class ReplicaSet:
                 "breaker_trips": self._trips.value,
                 "restarts": self._restarts.value,
                 "resyncs": self._resyncs.value,
+                "warmups": self._warmups.value,
+                "warmup_queries_replayed": self._warmup_replays.value,
+                "recent_reads_logged": len(self._recent_reads),
                 "writes": self._writes.value,
                 "fanout_failures": self._fanout_failures.value,
                 "stale_served": self._stale_served.value,

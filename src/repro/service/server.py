@@ -368,7 +368,7 @@ class QueryServer:
 
     def _work_for(self, op: str, request: dict) -> Callable[[], object]:
         """The executor thunk for one evaluated op; validates its fields."""
-        if op in ("query", "ask"):
+        if op in ("query", "ask", "warm"):
             text = request.get("query")
             if not isinstance(text, str) or not text.strip():
                 raise ServiceError("bad_request", f"{op} needs a 'query' string")
@@ -432,6 +432,15 @@ class QueryServer:
     # ------------------------------------------------------------------
     def _success(self, op: str, rid, value, elapsed: float) -> dict:
         payload = {"id": rid, "ok": True, "op": op, "elapsed": round(elapsed, 6)}
+        if op == "warm":
+            # Cache priming: report what got warm, skip the answer rows.
+            outcome = value
+            payload.update(
+                cache_hit=outcome.cache_hit,
+                answer_cached=outcome.answer_cached,
+                count=len(outcome.answers),
+            )
+            return payload
         if op in ("query", "ask"):
             outcome = value  # a QueryOutcome
             payload.update(

@@ -611,6 +611,15 @@ class SharedSession:
             "persistence": (
                 self._store.stats() if self._store is not None else None
             ),
+            # Cluster runtime only: the manager's transport snapshot
+            # (per-worker wire bytes, batches, reconnects, heartbeat RTT).
+            # None under every other runtime — and before the first
+            # cluster query, since the client connects lazily.
+            "cluster": (
+                self._session.cluster_stats()
+                if self._session.runtime == "cluster"
+                else None
+            ),
             "graph_cache": {
                 "hits": cache.hits,
                 "misses": cache.misses,

@@ -218,13 +218,29 @@ class Session:
         its graph, the pre-cache behavior.
     runtime:
         Which substrate answers queries: ``"simulator"`` (default, the
-        in-process scheduler), ``"pool"`` (supervised shard workers), or
-        ``"mp"`` (supervised one-process-per-node).  The multiprocess
-        runtimes reuse the session's cached graphs — a retry after a
-        worker crash skips graph construction — and the shared database
-        (copy-on-write under fork).
+        in-process scheduler), ``"pool"`` (supervised shard workers),
+        ``"mp"`` (supervised one-process-per-node), or ``"cluster"``
+        (remote shard workers behind a TCP cluster manager; see
+        :mod:`repro.cluster`).  The non-simulator runtimes reuse the
+        session's cached graphs — a retry after a worker crash skips
+        graph construction — and the shared database (copy-on-write
+        under fork; pickled into the job spec for the cluster).
     workers:
-        Pool runtime only: shard worker count (default: CPU count).
+        Pool/cluster runtimes: shard worker count (pool default: CPU
+        count; cluster default: every registered worker).
+    cluster_address:
+        Cluster runtime: the manager's ``"host:port"``.  ``None`` makes
+        the session start a private localhost
+        :class:`~repro.cluster.ClusterHarness` on first query and keep
+        it warm until :meth:`close`.
+    cluster_listen:
+        Cluster runtime, mutually exclusive with ``cluster_address``:
+        instead of dialing out, *announce* a manager at this
+        ``"host:port"`` (port ``0`` binds an ephemeral port; read the
+        bound address from :attr:`cluster_listen_address`).  Remote
+        workers dial in with ``repro worker --connect``; the first
+        query blocks until at least ``workers`` (default 1) of them
+        have registered, bounded by ``timeout``.
     retries, backoff, backoff_factor, jitter:
         Whole-query re-execution policy for the multiprocess runtimes
         (``retries`` = max attempts; safe by monotonicity).  ``retries``
@@ -258,6 +274,8 @@ class Session:
         graph_cache_size: int = 64,
         runtime: str = "simulator",
         workers: Optional[int] = None,
+        cluster_address: Optional[str] = None,
+        cluster_listen: Optional[str] = None,
         retries=1,
         backoff: float = 0.0,
         backoff_factor: float = 1.0,
@@ -266,10 +284,10 @@ class Session:
         heartbeat_interval: Optional[float] = None,
         timeout: float = 120.0,
     ) -> None:
-        if runtime not in ("simulator", "pool", "mp"):
+        if runtime not in ("simulator", "pool", "mp", "cluster"):
             raise ValueError(
                 f"unknown session runtime {runtime!r}; "
-                "use 'simulator', 'pool', or 'mp'"
+                "use 'simulator', 'pool', 'mp', or 'cluster'"
             )
         if planner not in ("static", "cost"):
             raise ValueError(
@@ -295,6 +313,21 @@ class Session:
         self.provenance = provenance
         self.runtime = runtime
         self.workers = workers
+        if cluster_address is not None and cluster_listen is not None:
+            raise ValueError(
+                "cluster_address and cluster_listen are mutually exclusive: "
+                "either dial an existing manager or announce one, not both"
+            )
+        self.cluster_address = cluster_address
+        self.cluster_listen = cluster_listen
+        # Cluster runtime: the client (and private harness or announced
+        # manager, when no address was given) are created lazily on the
+        # first query and kept warm across queries — connection reuse is
+        # the whole point of a session — until close() tears them down.
+        self._cluster_client = None
+        self._cluster_harness = None
+        self._cluster_manager = None
+        self._cluster_lock = threading.Lock()
         self.retries = retries
         self.backoff = backoff
         self.backoff_factor = backoff_factor
@@ -530,9 +563,128 @@ class Session:
             graph=graph,
             database=self._database,
         )
+        if self.runtime == "cluster":
+            from .cluster import evaluate_cluster
+
+            return evaluate_cluster(
+                graph.program,
+                workers=self.workers,
+                client=self._ensure_cluster_client(),
+                **common,
+            )
         if self.runtime == "pool":
             return evaluate_pool(graph.program, workers=self.workers, **common)
         return evaluate_multiprocessing(graph.program, **common)
+
+    # ------------------------------------------------------------------
+    # Cluster runtime plumbing
+    # ------------------------------------------------------------------
+    def _ensure_cluster_manager(self):
+        """Start (once) the announced manager for :attr:`cluster_listen`.
+
+        Does not wait for workers — :meth:`_ensure_cluster_client` does
+        that before the first dispatch.  Callers hold
+        :attr:`_cluster_lock` or tolerate the idempotent race.
+        """
+        with self._cluster_lock:
+            if self._cluster_manager is None:
+                from .cluster.manager import ManagerThread
+
+                host, _, port_text = self.cluster_listen.rpartition(":")
+                self._cluster_manager = ManagerThread(
+                    host or "127.0.0.1", int(port_text or 0)
+                ).start()
+            return self._cluster_manager
+
+    @property
+    def cluster_listen_address(self) -> str:
+        """The announced manager's bound ``"host:port"``.
+
+        Only meaningful with :attr:`cluster_listen`; starts the manager
+        if the first query has not already.  Point remote workers here:
+        ``repro worker --connect <this address>``.
+        """
+        if self.cluster_listen is None:
+            raise RuntimeError(
+                "cluster_listen_address requires Session(cluster_listen=...)"
+            )
+        return self._ensure_cluster_manager().address
+
+    def _ensure_cluster_client(self):
+        """The session's shared cluster client, created on first use.
+
+        With :attr:`cluster_address` set it connects there; with
+        :attr:`cluster_listen` set it announces a manager there and
+        waits for :attr:`workers` (default 1) remote registrations;
+        otherwise a private localhost
+        :class:`~repro.cluster.ClusterHarness` (two workers, or
+        :attr:`workers`) is started and owned by the session.  Either
+        way the TCP connections persist across queries, so retry after
+        a worker crash reuses the registration state the manager
+        already holds.
+        """
+        if self.cluster_listen is not None:
+            # Started outside the client lock: wait_for_workers can block
+            # for the full timeout and must not hold up close().
+            manager = self._ensure_cluster_manager()
+            manager.wait_for_workers(self.workers or 1, timeout=self.timeout)
+        with self._cluster_lock:
+            if self._cluster_client is None:
+                from .cluster import ClusterClient, ClusterHarness
+
+                if self.cluster_address is not None:
+                    self._cluster_client = ClusterClient(self.cluster_address)
+                elif self._cluster_manager is not None:
+                    self._cluster_client = ClusterClient(
+                        self._cluster_manager.address
+                    )
+                else:
+                    self._cluster_harness = ClusterHarness(
+                        workers=self.workers or 2
+                    ).start()
+                    self._cluster_client = self._cluster_harness.client()
+            return self._cluster_client
+
+    def cluster_stats(self) -> Optional[dict]:
+        """The manager's transport snapshot (cluster runtime; else ``None``).
+
+        JSON-safe: per-worker wire counters (bytes, batches, reconnects,
+        heartbeat RTT) plus registration and job totals — the section the
+        service ``stats`` op surfaces under ``"cluster"``.
+        """
+        with self._cluster_lock:
+            client = self._cluster_client
+        if client is None:
+            return None
+        try:
+            return client.stats()
+        except Exception as exc:  # manager down ≠ stats op failure
+            return {"error": f"{type(exc).__name__}: {exc}"}
+
+    def close(self) -> None:
+        """Release runtime resources (idempotent; simulator: no-op).
+
+        Cluster runtime: closes the client connections and, when the
+        session owns a private harness or an announced
+        ``cluster_listen`` manager, stops it.  The session remains
+        usable — the next query reconnects.
+        """
+        with self._cluster_lock:
+            client, self._cluster_client = self._cluster_client, None
+            harness, self._cluster_harness = self._cluster_harness, None
+            manager, self._cluster_manager = self._cluster_manager, None
+        if client is not None and harness is None:
+            client.close()
+        if harness is not None:
+            harness.stop()  # also closes clients it handed out
+        if manager is not None:
+            manager.stop()  # announced manager; remote workers will retry
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def materialize(
         self,

@@ -1,13 +1,21 @@
 """Runtime parity: every runtime, every workload, every knob — same answers.
 
-The four runtimes (deterministic simulator, asyncio tasks, one-OS-process-
-per-node, pooled shard workers with batched channels) execute byte-for-byte
-the same node logic over different channel fabrics.  This matrix pins the
-only property that justifies having four of them: the fabric is invisible —
-for every workload shape in :mod:`repro.workloads.programs` and every
-combination of the coalesce / package-requests / tuple-sets knobs and the
-pool batch size, all runtimes must produce exactly the simulator's (= the
-naive oracle's) answer set.
+The five runtimes (deterministic simulator, asyncio tasks, one-OS-process-
+per-node, pooled shard workers with batched channels, and TCP cluster
+workers behind a manager) execute byte-for-byte the same node logic over
+different channel fabrics.  This matrix pins the only property that
+justifies having five of them: the fabric is invisible — for every
+workload shape in :mod:`repro.workloads.programs` and every combination of
+the coalesce / package-requests / tuple-sets knobs and the pool batch
+size, all runtimes must produce exactly the simulator's (= the naive
+oracle's) answer set.
+
+The cluster column additionally pins the *logical* accounting: per-stream
+dedup makes the set of tuple rows each stream carries a property of the
+least fixpoint, not of scheduling, so the cluster's ``logical_tuple_rows``
+must equal the simulator's TupleMessage + TupleSet row total exactly.
+(Protocol-wave and end-message counts legitimately vary with timing and
+are not compared.)
 
 Each test arms a ``SIGALRM`` watchdog: a hung distributed run must fail the
 test, not the whole suite (the process runtimes also carry their own
@@ -133,6 +141,25 @@ def oracles():
     return {name: naive.goal_answers(make()) for name, make in CASES.items()}
 
 
+@pytest.fixture(scope="module")
+def cluster():
+    """One localhost 2-worker cluster shared by every cluster-column test.
+
+    Module-scoped deliberately: registration, handshake, and connection
+    reuse across many jobs is exactly what a long-lived deployment does,
+    and starting a fresh harness per matrix cell would dominate runtime.
+    """
+    from repro.cluster import ClusterHarness
+
+    harness = ClusterHarness(workers=2)
+    harness.start()
+    client = harness.client()
+    try:
+        yield client
+    finally:
+        harness.stop()
+
+
 @pytest.mark.parametrize("coalesce,package,tuple_sets,columnar,planner", KNOBS)
 @pytest.mark.parametrize("name", sorted(CASES))
 class TestRuntimeParity:
@@ -195,4 +222,31 @@ class TestRuntimeParity:
         )
         assert run.answers == oracles[name], (
             f"{name}: pool diverged (batch_size={batch_size})"
+        )
+
+    def test_cluster(
+        self, name, coalesce, package, tuple_sets, columnar, planner,
+        oracles, cluster,
+    ):
+        from repro.cluster import evaluate_cluster
+
+        program = CASES[name]()
+        knobs = dict(
+            coalesce=coalesce,
+            package_requests=package,
+            tuple_sets=tuple_sets,
+            columnar=columnar,
+            planner=planner,
+        )
+        sim = evaluate(program, **knobs)
+        assert sim.answers == oracles[name], f"{name}: simulator diverged"
+        run = evaluate_cluster(program, client=cluster, timeout=60, **knobs)
+        assert run.answers == oracles[name], f"{name}: cluster diverged"
+        # The runtime-invariant accounting slice (see module docstring).
+        sim_rows = (
+            sim.stats.by_kind.get("TupleMessage", 0) + sim.stats.tuple_set_rows
+        )
+        assert run.logical_tuple_rows == sim_rows, (
+            f"{name}: cluster logical tuple rows {run.logical_tuple_rows} "
+            f"!= simulator {sim_rows}"
         )

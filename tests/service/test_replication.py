@@ -462,3 +462,59 @@ class TestClientRetry:
             client.close()
         finally:
             thread.stop()
+
+
+class TestReadmissionWarmup:
+    """A restarted replica is warmed from the recent-read log before HEALTHY."""
+
+    def test_restarted_replica_is_warmed_before_readmission(
+        self, tmp_path, monkeypatch
+    ):
+        faults = {"kill_replica": "replica-1", "kill_after": 3, "only_ops": ["query"]}
+        thread, port = make_set(tmp_path, faults=faults, monkeypatch=monkeypatch)
+        try:
+            # Concurrent readers populate the recent-read log and trip
+            # the kill on replica-1; failover keeps every read answered.
+            queries = ["anc(ann, Z)", "anc(X, dee)", "par(X, Y)"]
+            with _Load(port, queries) as load:
+                time.sleep(2.0)
+            assert load.errors == []
+            assert wait_for(lambda: all_caught_up(port))
+            stats = replication_stats(port)
+            snap = stats["replicas"]["replica-1"]
+            assert snap["restarts"] >= 1
+            # Readmission after the restart replayed the logged reads.
+            assert snap["warmups"] >= 1
+            assert snap["warmed_queries"] >= 1
+            assert stats["warmups"] >= 1
+            assert stats["warmup_queries_replayed"] >= 1
+            assert stats["recent_reads_logged"] >= 1
+        finally:
+            thread.stop()
+
+    def test_warm_op_evaluates_without_shipping_rows(self, tmp_path):
+        thread, port = make_set(tmp_path)
+        try:
+            client = ServiceClient(port=port, timeout=10)
+            response = client.call("warm", query="anc(ann, Z)")
+            assert response["ok"] and response["op"] == "warm"
+            assert response["count"] == len(ANC_ANN)
+            assert "answers" not in response  # priming ships no rows
+            # The replica that served the warm now answers from its caches.
+            assert set(client.query("anc(ann, Z)").answers) == ANC_ANN
+            client.close()
+        finally:
+            thread.stop()
+
+    def test_recent_read_log_is_bounded_and_deduped(self, tmp_path):
+        thread, port = make_set(tmp_path, warmup_queries=2)
+        try:
+            client = ServiceClient(port=port, timeout=10)
+            for query in ["anc(ann, Z)", "anc(bob, Z)", "par(X, Y)", "anc(ann, Z)"]:
+                client.query(query)
+                client.query(query)  # repeats dedup, they don't evict
+            client.close()
+            stats = replication_stats(port)
+            assert stats["recent_reads_logged"] == 2
+        finally:
+            thread.stop()
